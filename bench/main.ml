@@ -1,0 +1,809 @@
+(* Reproduction harness for "Analysis of a Cone-Based Distributed
+   Topology Control Algorithm for Wireless Multi-hop Networks"
+   (Li, Halpern, Bahl, Wang, Wattenhofer; PODC 2001).
+
+   Regenerates every quantitative result of the paper:
+   - Table 1  (average node degree / average radius, all configurations);
+   - Figure 2 (Example 2.1: N_alpha asymmetry);
+   - Figure 5 (Theorem 2.4: disconnection for alpha > 5pi/6);
+   - Figure 6 (one network rendered under eight configurations, as SVG);
+   plus connectivity sweeps, ablations of our own, and Bechamel
+   microbenchmarks of the computational kernels.
+
+   Usage: main.exe [--seeds N] [--fast] [--out DIR] [section ...]
+   Sections: table1 figures figure6 connectivity ablations extensions
+   series perf (default: all of them). *)
+
+let alpha56 = Geom.Angle.five_pi_six
+
+let alpha23 = Geom.Angle.two_pi_three
+
+let c56 = Cbtc.Config.make alpha56
+
+let c23 = Cbtc.Config.make alpha23
+
+let section title = Fmt.pr "@.=== %s ===@.@." title
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type table1_row = {
+  label : string;
+  paper_degree : float option;
+  paper_radius : float option;
+  run : Radio.Pathloss.t -> Geom.Vec2.t array -> float * float;
+      (* (degree, radius) for one network *)
+}
+
+let pipeline_row label paper_degree paper_radius plan =
+  {
+    label;
+    paper_degree;
+    paper_radius;
+    run =
+      (fun pl positions ->
+        let r = Cbtc.Pipeline.run_oracle pl positions plan in
+        (Cbtc.Pipeline.avg_degree r, Cbtc.Pipeline.avg_radius r));
+  }
+
+let table1_rows =
+  [
+    pipeline_row "basic, a=5pi/6" (Some 12.3) (Some 436.8) (Cbtc.Pipeline.basic c56);
+    pipeline_row "basic, a=2pi/3" (Some 15.4) (Some 457.4) (Cbtc.Pipeline.basic c23);
+    pipeline_row "op1 (shrink), a=5pi/6" (Some 10.3) (Some 373.7)
+      (Cbtc.Pipeline.with_shrink c56);
+    pipeline_row "op1 (shrink), a=2pi/3" (Some 12.8) (Some 398.1)
+      (Cbtc.Pipeline.with_shrink c23);
+    pipeline_row "op1+op2 (asym), a=2pi/3" (Some 7.0) (Some 276.8)
+      (Cbtc.Pipeline.shrink_asym c23);
+    (* the paper's in-text number: basic + asymmetric removal, no shrink *)
+    pipeline_row "op2 only (asym), a=2pi/3" None (Some 301.2)
+      { (Cbtc.Pipeline.basic c23) with Cbtc.Pipeline.asym = true };
+    pipeline_row "all ops, a=5pi/6" (Some 3.6) (Some 155.9)
+      (Cbtc.Pipeline.all_ops c56);
+    pipeline_row "all ops, a=2pi/3" (Some 3.6) (Some 160.6)
+      (Cbtc.Pipeline.all_ops c23);
+    {
+      label = "max power (no TC)";
+      paper_degree = Some 25.6;
+      paper_radius = Some 500.;
+      run =
+        (fun pl positions ->
+          let gr = Baselines.Proximity.max_power pl positions in
+          (Metrics.Topo_metrics.avg_degree gr, Radio.Pathloss.max_range pl));
+    };
+  ]
+
+let fmt_opt = function None -> "-" | Some v -> Fmt.str "%.1f" v
+
+let run_table1 ~seeds =
+  section
+    (Fmt.str
+       "Table 1: average degree and radius over %d random networks (100 \
+        nodes, 1500x1500, R=500)"
+       (List.length seeds));
+  let accs =
+    List.map
+      (fun row -> (row, Stats.Welford.create (), Stats.Welford.create ()))
+      table1_rows
+  in
+  let broken = ref 0 in
+  List.iter
+    (fun seed ->
+      let sc = Workload.Scenario.paper ~seed in
+      let pl = Workload.Scenario.pathloss sc in
+      let positions = Workload.Scenario.positions sc in
+      let gr = Baselines.Proximity.max_power pl positions in
+      List.iter
+        (fun (row, dacc, racc) ->
+          let deg, rad = row.run pl positions in
+          Stats.Welford.add dacc deg;
+          Stats.Welford.add racc rad)
+        accs;
+      let all56 =
+        Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.all_ops c56)
+      in
+      if
+        not
+          (Metrics.Connectivity.preserves ~reference:gr
+             all56.Cbtc.Pipeline.graph)
+      then incr broken)
+    seeds;
+  let table =
+    Metrics.Table.create
+      ~columns:
+        [ "configuration"; "deg (paper)"; "deg (ours)"; "+/-95%";
+          "rad (paper)"; "rad (ours)"; "+/-95%" ]
+  in
+  List.iter
+    (fun (row, dacc, racc) ->
+      Metrics.Table.add_row table
+        [
+          row.label;
+          fmt_opt row.paper_degree;
+          Fmt.str "%.1f" (Stats.Welford.mean dacc);
+          Fmt.str "%.2f" (Stats.Ci.of_welford dacc).Stats.Ci.half_width;
+          fmt_opt row.paper_radius;
+          Fmt.str "%.1f" (Stats.Welford.mean racc);
+          Fmt.str "%.2f" (Stats.Ci.of_welford racc).Stats.Ci.half_width;
+        ])
+    accs;
+  Fmt.pr "%a@." Metrics.Table.pp table;
+  Fmt.pr "connectivity violations across all networks (all ops, a=5pi/6): %d@."
+    !broken;
+  let mean_of label =
+    let _, dacc, racc =
+      List.find (fun (r, _, _) -> r.label = label) accs
+    in
+    (Stats.Welford.mean dacc, Stats.Welford.mean racc)
+  in
+  let max_deg, _ = mean_of "max power (no TC)" in
+  let all_deg, all_rad = mean_of "all ops, a=5pi/6" in
+  Fmt.pr
+    "headline ratios: degree cut %.1fx (paper: 7.1x), radius cut %.1fx \
+     (paper: 3.2x)@."
+    (max_deg /. all_deg) (500. /. all_rad)
+
+(* ------------------------------------------------------------------ *)
+(* Figures 2 and 5 (the hand constructions)                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_figures () =
+  section "Figure 2 / Example 2.1: N_alpha asymmetry at alpha = 5pi/6";
+  let ex = Cbtc.Constructions.example_2_1 ~alpha:alpha56 () in
+  let pl = Radio.Pathloss.make ~max_range:ex.Cbtc.Constructions.max_range () in
+  let d =
+    Cbtc.Geo.run (Cbtc.Config.make alpha56) pl ex.Cbtc.Constructions.positions
+  in
+  let na = Cbtc.Discovery.nalpha d in
+  let names = [| "u0"; "u1"; "u2"; "u3"; "v" |] in
+  Array.iteri
+    (fun u name ->
+      Fmt.pr "  N(%s) = {%s}@." name
+        (String.concat ", "
+           (List.map (fun v -> names.(v)) (Graphkit.Digraph.succ na u))))
+    names;
+  Fmt.pr
+    "  (v,u0) in N_alpha: %b   (u0,v) in N_alpha: %b   => asymmetric, \
+     closure required@."
+    (Graphkit.Digraph.mem_edge na 4 0)
+    (Graphkit.Digraph.mem_edge na 0 4);
+  Fmt.pr "  closure preserves connectivity: %b@."
+    (Metrics.Connectivity.preserves
+       ~reference:(Cbtc.Geo.max_power_graph pl ex.Cbtc.Constructions.positions)
+       (Cbtc.Discovery.closure d));
+
+  section "Figure 5 / Theorem 2.4: disconnection for alpha = 5pi/6 + eps";
+  List.iter
+    (fun epsilon ->
+      let th = Cbtc.Constructions.theorem_2_4 ~epsilon () in
+      let pl =
+        Radio.Pathloss.make ~max_range:th.Cbtc.Constructions.max_range ()
+      in
+      let positions = th.Cbtc.Constructions.positions in
+      let gr = Cbtc.Geo.max_power_graph pl positions in
+      let galpha =
+        Cbtc.Discovery.closure
+          (Cbtc.Geo.run
+             (Cbtc.Config.make th.Cbtc.Constructions.alpha)
+             pl positions)
+      in
+      let gthr =
+        Cbtc.Discovery.closure
+          (Cbtc.Geo.run (Cbtc.Config.make alpha56) pl positions)
+      in
+      Fmt.pr
+        "  eps=%-5g GR connected: %b | G(5pi/6+eps) connected: %b | \
+         G(5pi/6) connected: %b@."
+        epsilon
+        (Graphkit.Traversal.is_connected gr)
+        (Graphkit.Traversal.is_connected galpha)
+        (Graphkit.Traversal.is_connected gthr))
+    [ 0.01; 0.05; 0.1; 0.2; 0.3 ];
+  Fmt.pr
+    "  => 5pi/6 is tight: the same placements stay connected at the \
+     threshold@."
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6 (topology panels)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_figure6 ~out_dir =
+  section "Figure 6: one network under eight configurations (SVG panels)";
+  if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+  let sc = Workload.Scenario.paper ~seed:42 in
+  let pl = Workload.Scenario.pathloss sc in
+  let positions = Workload.Scenario.positions sc in
+  let gr = Baselines.Proximity.max_power pl positions in
+  let oracle plan =
+    (Cbtc.Pipeline.run_oracle pl positions plan).Cbtc.Pipeline.graph
+  in
+  let panels =
+    [
+      ("a", "no topology control", gr);
+      ("b", "basic, a=2pi/3", oracle (Cbtc.Pipeline.basic c23));
+      ("c", "basic, a=5pi/6", oracle (Cbtc.Pipeline.basic c56));
+      ("d", "shrink-back, a=2pi/3", oracle (Cbtc.Pipeline.with_shrink c23));
+      ("e", "shrink-back, a=5pi/6", oracle (Cbtc.Pipeline.with_shrink c56));
+      ("f", "shrink-back + asym, a=2pi/3", oracle (Cbtc.Pipeline.shrink_asym c23));
+      ("g", "all optimizations, a=5pi/6", oracle (Cbtc.Pipeline.all_ops c56));
+      ("h", "all optimizations, a=2pi/3", oracle (Cbtc.Pipeline.all_ops c23));
+    ]
+  in
+  List.iter
+    (fun (tag, title, graph) ->
+      let path = Filename.concat out_dir (Fmt.str "figure6%s.svg" tag) in
+      let style = Viz.Topoviz.style ~title:(Fmt.str "(%s) %s" tag title) () in
+      Viz.Topoviz.write_svg ~style path ~field_width:1500. ~field_height:1500.
+        positions graph;
+      Fmt.pr "  (%s) %-30s edges=%4d avg-degree=%5.1f -> %s@." tag title
+        (Graphkit.Ugraph.nb_edges graph)
+        (Metrics.Topo_metrics.avg_degree graph)
+        path)
+    panels
+
+(* ------------------------------------------------------------------ *)
+(* Connectivity sweep (Theorem 2.1 empirically)                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_connectivity ~seeds =
+  section "Connectivity sweep: networks whose partition is preserved, vs alpha";
+  let alphas =
+    [
+      ("pi/2", Float.pi /. 2.);
+      ("2pi/3", alpha23);
+      ("3pi/4", 3. *. Float.pi /. 4.);
+      ("5pi/6", alpha56);
+      ("5pi/6+0.1", alpha56 +. 0.1);
+      ("11pi/12", 11. *. Float.pi /. 12.);
+    ]
+  in
+  let table =
+    Metrics.Table.create ~columns:[ "alpha"; "closure ok"; "all-ops ok"; "note" ]
+  in
+  List.iter
+    (fun (name, alpha) ->
+      let config = Cbtc.Config.make alpha in
+      let ok_closure = ref 0 and ok_all = ref 0 in
+      List.iter
+        (fun seed ->
+          let sc = Workload.Scenario.paper ~seed in
+          let pl = Workload.Scenario.pathloss sc in
+          let positions = Workload.Scenario.positions sc in
+          let gr = Baselines.Proximity.max_power pl positions in
+          let closure =
+            Cbtc.Discovery.closure (Cbtc.Geo.run config pl positions)
+          in
+          if Metrics.Connectivity.preserves ~reference:gr closure then
+            incr ok_closure;
+          let all =
+            Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.all_ops config)
+          in
+          if
+            Metrics.Connectivity.preserves ~reference:gr
+              all.Cbtc.Pipeline.graph
+          then incr ok_all)
+        seeds;
+      let n = List.length seeds in
+      let note =
+        if alpha <= alpha56 +. 1e-9 then "guaranteed (Thm 2.1)"
+        else "no guarantee (Thm 2.4)"
+      in
+      Metrics.Table.add_row table
+        [ name; Fmt.str "%d/%d" !ok_closure n; Fmt.str "%d/%d" !ok_all n; note ])
+    alphas;
+  Fmt.pr "%a@." Metrics.Table.pp table;
+  let th = Cbtc.Constructions.theorem_2_4 ~epsilon:0.1 () in
+  let pl = Radio.Pathloss.make ~max_range:th.Cbtc.Constructions.max_range () in
+  let g =
+    Cbtc.Discovery.closure
+      (Cbtc.Geo.run
+         (Cbtc.Config.make th.Cbtc.Constructions.alpha)
+         pl th.Cbtc.Constructions.positions)
+  in
+  Fmt.pr "constructed counterexample at alpha=5pi/6+0.1 disconnected: %b@."
+    (not (Graphkit.Traversal.is_connected g))
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_ablations ~seeds =
+  let seeds =
+    match seeds with s0 :: s1 :: s2 :: _ -> [ s0; s1; s2 ] | l -> l
+  in
+
+  section "Ablation A: power-growth schedule (overshoot of Increase(p)=2p)";
+  let table =
+    Metrics.Table.create
+      ~columns:[ "schedule"; "avg power"; "avg radius"; "avg degree" ]
+  in
+  let growths =
+    [
+      ("exact (continuous)", Cbtc.Config.Exact);
+      ("double from p0=1", Cbtc.Config.Double 1.);
+      ("double from p0=1000", Cbtc.Config.Double 1000.);
+      ("x4 from p0=1000", Cbtc.Config.Mult { p0 = 1000.; factor = 4. });
+    ]
+  in
+  List.iter
+    (fun (name, growth) ->
+      let config = Cbtc.Config.make ~growth alpha56 in
+      let pacc = Stats.Welford.create () in
+      let racc = Stats.Welford.create () in
+      let dacc = Stats.Welford.create () in
+      List.iter
+        (fun seed ->
+          let sc = Workload.Scenario.paper ~seed in
+          let pl = Workload.Scenario.pathloss sc in
+          let positions = Workload.Scenario.positions sc in
+          let d = Cbtc.Geo.run config pl positions in
+          let n = Stdlib.float_of_int (Array.length positions) in
+          Stats.Welford.add pacc (Array.fold_left ( +. ) 0. d.power /. n);
+          let closure = Cbtc.Discovery.closure d in
+          Stats.Welford.add racc
+            (Metrics.Topo_metrics.avg_radius
+               (Cbtc.Discovery.radius_in d closure));
+          Stats.Welford.add dacc (Metrics.Topo_metrics.avg_degree closure))
+        seeds;
+      Metrics.Table.add_row table
+        [
+          name;
+          Fmt.str "%.0f" (Stats.Welford.mean pacc);
+          Fmt.str "%.1f" (Stats.Welford.mean racc);
+          Fmt.str "%.1f" (Stats.Welford.mean dacc);
+        ])
+    growths;
+  Fmt.pr "%a@." Metrics.Table.pp table;
+
+  section "Ablation B: distributed protocol message cost";
+  let table =
+    Metrics.Table.create
+      ~columns:[ "nodes"; "transmissions"; "deliveries"; "max rounds"; "sim time" ]
+  in
+  List.iter
+    (fun n ->
+      let sc = Workload.Scenario.make ~n ~seed:(List.hd seeds) () in
+      let pl = Workload.Scenario.pathloss sc in
+      let positions = Workload.Scenario.positions sc in
+      let config = Cbtc.Config.make ~growth:(Cbtc.Config.Double 100.) alpha56 in
+      let o = Cbtc.Distributed.run config pl positions in
+      let s = o.Cbtc.Distributed.stats in
+      Metrics.Table.add_row table
+        [
+          string_of_int n;
+          string_of_int s.Cbtc.Distributed.transmissions;
+          string_of_int s.Cbtc.Distributed.deliveries;
+          string_of_int s.Cbtc.Distributed.max_rounds;
+          Fmt.str "%.0f" s.Cbtc.Distributed.duration;
+        ])
+    [ 25; 50; 100; 200 ];
+  Fmt.pr "%a@." Metrics.Table.pp table;
+
+  section "Ablation C: power stretch and hop stretch vs baselines";
+  let table =
+    Metrics.Table.create
+      ~columns:
+        [ "topology"; "avg degree"; "power stretch (max)";
+          "power stretch (avg)"; "hop stretch (max)" ]
+  in
+  let sc = Workload.Scenario.paper ~seed:(List.hd seeds) in
+  let pl = Workload.Scenario.pathloss sc in
+  let positions = Workload.Scenario.positions sc in
+  let gr = Baselines.Proximity.max_power pl positions in
+  let energy = Radio.Energy.make pl in
+  let row name graph =
+    let ps =
+      Metrics.Stretch.power_stretch energy positions ~reference:gr graph
+    in
+    let hs = Metrics.Stretch.hop_stretch ~reference:gr graph in
+    Metrics.Table.add_row table
+      [
+        name;
+        Fmt.str "%.1f" (Metrics.Topo_metrics.avg_degree graph);
+        Fmt.str "%.2f" ps.Metrics.Stretch.max_stretch;
+        Fmt.str "%.3f" ps.Metrics.Stretch.avg_stretch;
+        Fmt.str "%.1f" hs.Metrics.Stretch.max_stretch;
+      ]
+  in
+  let oracle plan =
+    (Cbtc.Pipeline.run_oracle pl positions plan).Cbtc.Pipeline.graph
+  in
+  row "CBTC basic 5pi/6" (oracle (Cbtc.Pipeline.basic c56));
+  row "CBTC all ops 5pi/6" (oracle (Cbtc.Pipeline.all_ops c56));
+  row "CBTC all ops 2pi/3" (oracle (Cbtc.Pipeline.all_ops c23));
+  let half_pi = Cbtc.Config.make (Float.pi /. 2.) in
+  row "CBTC basic pi/2 (competitive)" (oracle (Cbtc.Pipeline.basic half_pi));
+  row "RNG" (Baselines.Proximity.rng pl positions);
+  row "Gabriel" (Baselines.Proximity.gabriel pl positions);
+  row "Euclidean MST" (Baselines.Proximity.euclidean_mst pl positions);
+  Fmt.pr "%a@." Metrics.Table.pp table;
+
+  section "Ablation D: boundary nodes vs the deployment's convex hull";
+  (* A boundary node (terminates at max power with a cone gap) should sit
+     near the field edge; check how many lie on the convex hull and how
+     far from it the rest are. *)
+  let d = Cbtc.Geo.run c56 pl positions in
+  let hull = Geom.Hull.hull_indices positions in
+  let boundary =
+    List.filter (fun u -> d.Cbtc.Discovery.boundary.(u))
+      (List.init (Array.length positions) Fun.id)
+  in
+  let on_hull = List.filter (fun u -> List.mem u hull) boundary in
+  Fmt.pr
+    "boundary nodes: %d of %d; convex hull vertices: %d, of which boundary:      %d (every hull vertex has a half-plane without neighbors, so it must      be a boundary node for alpha >= pi)@."
+    (List.length boundary)
+    (Array.length positions)
+    (List.length hull)
+    (List.length on_hull)
+
+(* ------------------------------------------------------------------ *)
+(* Extensions: lifetime, interference, congestion, competitiveness     *)
+(* ------------------------------------------------------------------ *)
+
+let run_extensions ~seeds =
+  let seed = List.hd seeds in
+
+  section "Extension: network lifetime under data gathering (seed network)";
+  let sc = Workload.Scenario.make ~n:80 ~seed () in
+  let pl = Workload.Scenario.pathloss sc in
+  let positions = Workload.Scenario.positions sc in
+  let params = { Lifetime.Gather.default_params with max_rounds = 4000 } in
+  let table =
+    Metrics.Table.create
+      ~columns:
+        [ "topology"; "first death"; "sink partition"; "delivered"; "dropped" ]
+  in
+  let show = function None -> ">end" | Some r -> string_of_int r in
+  let run name topology =
+    let o = Lifetime.Gather.run ~params pl positions ~sink:0 ~topology in
+    Metrics.Table.add_row table
+      [
+        name;
+        show o.Lifetime.Gather.first_death;
+        show o.Lifetime.Gather.sink_partition;
+        string_of_int o.Lifetime.Gather.packets_delivered;
+        string_of_int o.Lifetime.Gather.packets_dropped;
+      ]
+  in
+  run "max power" (Lifetime.Gather.max_power_builder pl);
+  run "CBTC all ops 5pi/6"
+    (Lifetime.Gather.cbtc_builder (Cbtc.Pipeline.all_ops c56) pl);
+  run "CBTC all ops 2pi/3"
+    (Lifetime.Gather.cbtc_builder (Cbtc.Pipeline.all_ops c23) pl);
+  Fmt.pr "%a@." Metrics.Table.pp table;
+
+  section "Extension: interference (nodes disturbed per transmission)";
+  let sc = Workload.Scenario.paper ~seed in
+  let pl = Workload.Scenario.pathloss sc in
+  let positions = Workload.Scenario.positions sc in
+  let n = Array.length positions in
+  let table = Metrics.Table.create ~columns:[ "topology"; "avg"; "max" ] in
+  let add name radius =
+    let i = Metrics.Interference.coverage positions ~radius in
+    Metrics.Table.add_row table
+      [
+        name;
+        Fmt.str "%.1f" i.Metrics.Interference.avg_coverage;
+        string_of_int i.Metrics.Interference.max_coverage;
+      ]
+  in
+  add "max power" (Array.make n 500.);
+  add "CBTC basic 5pi/6"
+    (Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.basic c56)).radius;
+  add "CBTC all ops 5pi/6"
+    (Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.all_ops c56)).radius;
+  Fmt.pr "%a@." Metrics.Table.pp table;
+
+  section "Extension: congestion under 300 random flows (min-hop routes)";
+  let prng = Prng.create ~seed:(seed + 1) in
+  let pairs = Routing.Greedy.random_pairs prng ~n ~count:300 in
+  let gr = Baselines.Proximity.max_power pl positions in
+  let table =
+    Metrics.Table.create
+      ~columns:
+        [ "topology"; "routed"; "max link load"; "max node load"; "total hops";
+          "greedy delivery" ]
+  in
+  let add name graph =
+    let load = Routing.Flows.measure positions graph ~pairs in
+    let greedy = Routing.Greedy.evaluate graph positions ~pairs in
+    Metrics.Table.add_row table
+      [
+        name;
+        Fmt.str "%d/300" load.Routing.Flows.flows_routed;
+        string_of_int load.Routing.Flows.max_link_load;
+        string_of_int load.Routing.Flows.max_node_load;
+        string_of_int load.Routing.Flows.total_hops;
+        Fmt.str "%d%%"
+          (100 * greedy.Routing.Greedy.delivered
+          / Stdlib.max 1 greedy.Routing.Greedy.attempts);
+      ]
+  in
+  add "max power" gr;
+  add "CBTC basic 5pi/6"
+    (Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.basic c56)).graph;
+  add "CBTC all ops 5pi/6"
+    (Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.all_ops c56)).graph;
+  add "Gabriel" (Baselines.Proximity.gabriel pl positions);
+  add "SMECN" (Baselines.Smecn.smecn (Radio.Energy.make pl) positions);
+  add "Yao k=6" (Baselines.Yao.yao pl positions ~k:6);
+  Fmt.pr "%a@." Metrics.Table.pp table;
+
+  section "Extension: MAC goodput under slotted ALOHA (interference made real)";
+  let table =
+    Metrics.Table.create
+      ~columns:
+        [ "topology"; "offered"; "delivered"; "collisions"; "goodput/node/slot" ]
+  in
+  let params = { Mac.Aloha.attempt_prob = 0.1; slots = 1000 } in
+  let add name graph radius =
+    let r = Mac.Aloha.run (Prng.create ~seed:4242) positions ~radius ~graph params in
+    Metrics.Table.add_row table
+      [
+        name;
+        string_of_int r.Mac.Aloha.offered;
+        string_of_int r.Mac.Aloha.delivered;
+        string_of_int r.Mac.Aloha.collisions;
+        Fmt.str "%.4f" r.Mac.Aloha.goodput;
+      ]
+  in
+  add "max power" gr
+    (Baselines.Proximity.radius_of ~full_power:true pl positions gr);
+  let basic = Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.basic c56) in
+  add "CBTC basic 5pi/6" basic.Cbtc.Pipeline.graph basic.Cbtc.Pipeline.radius;
+  let allops = Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.all_ops c56) in
+  add "CBTC all ops 5pi/6" allops.Cbtc.Pipeline.graph allops.Cbtc.Pipeline.radius;
+  Fmt.pr "%a@." Metrics.Table.pp table;
+
+  section "Extension: robustness cost (articulation points and bridges)";
+  let table =
+    Metrics.Table.create
+      ~columns:[ "topology"; "cut vertices"; "bridges"; "biconnected" ]
+  in
+  let add name graph =
+    Metrics.Table.add_row table
+      [
+        name;
+        string_of_int (List.length (Graphkit.Biconnect.articulation_points graph));
+        string_of_int (List.length (Graphkit.Biconnect.bridges graph));
+        string_of_bool (Graphkit.Biconnect.is_biconnected graph);
+      ]
+  in
+  add "max power" gr;
+  add "CBTC basic 5pi/6" basic.Cbtc.Pipeline.graph;
+  add "CBTC all ops 5pi/6" allops.Cbtc.Pipeline.graph;
+  add "Euclidean MST" (Baselines.Proximity.euclidean_mst pl positions);
+  Fmt.pr "%a@." Metrics.Table.pp table;
+
+  section "Extension: density sweep (CBTC adapts radius to local density)";
+  let table =
+    Metrics.Table.create
+      ~columns:
+        [ "nodes"; "GR degree"; "CBTC degree"; "CBTC radius"; "radius / R" ]
+  in
+  List.iter
+    (fun n ->
+      let sc = Workload.Scenario.make ~n ~seed () in
+      let pl = Workload.Scenario.pathloss sc in
+      let positions = Workload.Scenario.positions sc in
+      let gr = Baselines.Proximity.max_power pl positions in
+      let r = Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.all_ops c56) in
+      Metrics.Table.add_row table
+        [
+          string_of_int n;
+          Fmt.str "%.1f" (Metrics.Topo_metrics.avg_degree gr);
+          Fmt.str "%.1f" (Cbtc.Pipeline.avg_degree r);
+          Fmt.str "%.0f" (Cbtc.Pipeline.avg_radius r);
+          Fmt.str "%.2f" (Cbtc.Pipeline.avg_radius r /. 500.);
+        ])
+    [ 50; 100; 200; 400 ];
+  Fmt.pr "%a@." Metrics.Table.pp table;
+
+  section "Extension: fault tolerance — CBTC(2pi/3k) preserves k-connectivity";
+  let table =
+    Metrics.Table.create
+      ~columns:[ "k"; "alpha"; "GR k-connected"; "topology k-connected"; "checked" ]
+  in
+  List.iter
+    (fun k ->
+      let tried = ref 0 and held = ref 0 in
+      List.iter
+        (fun seed ->
+          (* denser field so GR is usually k-connected *)
+          let sc = Workload.Scenario.make ~n:60 ~width:800. ~height:800. ~seed () in
+          let pl = Workload.Scenario.pathloss sc in
+          let positions = Workload.Scenario.positions sc in
+          let gr_ok, topo_ok = Cbtc.Fault_tolerant.check ~k pl positions in
+          if gr_ok then begin
+            incr tried;
+            if topo_ok then incr held
+          end)
+        (match seeds with a :: b :: c :: _ -> [ a; b; c ] | l -> l);
+      Metrics.Table.add_row table
+        [
+          string_of_int k;
+          Fmt.str "%.3f" (Cbtc.Fault_tolerant.alpha_for ~k);
+          Fmt.str "%d" !tried;
+          Fmt.str "%d" !held;
+          (if !tried = !held then "all preserved" else "VIOLATION");
+        ])
+    [ 1; 2; 3 ];
+  Fmt.pr "%a@." Metrics.Table.pp table;
+
+  section
+    "Extension: competitiveness check for alpha <= pi/2 (power stretch vs \
+     the paper's bound)";
+  (* For p(d) ~ d^n and transmission-power-only cost (k = 1 in the
+     paper's terms), CBTC(alpha <= pi/2) routes are competitive.  We
+     check the empirical max power stretch on several networks. *)
+  let energy = Radio.Energy.make pl in
+  let worst = ref 0. in
+  List.iter
+    (fun seed ->
+      let sc = Workload.Scenario.paper ~seed in
+      let pl = Workload.Scenario.pathloss sc in
+      let positions = Workload.Scenario.positions sc in
+      let gr = Baselines.Proximity.max_power pl positions in
+      let g =
+        (Cbtc.Pipeline.run_oracle pl positions
+           (Cbtc.Pipeline.basic (Cbtc.Config.make (Float.pi /. 2.))))
+          .Cbtc.Pipeline.graph
+      in
+      let s = Metrics.Stretch.power_stretch energy positions ~reference:gr g in
+      if s.Metrics.Stretch.max_stretch > !worst then
+        worst := s.Metrics.Stretch.max_stretch)
+    (match seeds with a :: b :: c :: _ -> [ a; b; c ] | l -> l);
+  Fmt.pr "max power stretch of CBTC(pi/2) over the seed set: %.4f (bound \
+          from the paper's competitiveness analysis: > 1, small constant; \
+          empirically the routes are essentially optimal)@."
+    !worst
+
+(* ------------------------------------------------------------------ *)
+(* Data series (CSV for downstream plotting)                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_series ~seeds ~out_dir =
+  section "Data series: degree/radius vs alpha (CSV under bench_out/)";
+  if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+  let seeds = match seeds with a :: b :: c :: d :: e :: _ -> [a; b; c; d; e] | l -> l in
+  let path = Filename.concat out_dir "alpha_sweep.csv" in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc
+        "alpha,basic_degree,basic_radius,allops_degree,allops_radius,preserved\n";
+      let steps = 24 in
+      for i = 2 to steps do
+        let alpha =
+          Stdlib.float_of_int i /. Stdlib.float_of_int steps *. Float.pi
+        in
+        let config = Cbtc.Config.make alpha in
+        let bd = Stats.Welford.create () and br = Stats.Welford.create () in
+        let ad = Stats.Welford.create () and ar = Stats.Welford.create () in
+        let ok = ref 0 in
+        List.iter
+          (fun seed ->
+            let sc = Workload.Scenario.paper ~seed in
+            let pl = Workload.Scenario.pathloss sc in
+            let positions = Workload.Scenario.positions sc in
+            let basic =
+              Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.basic config)
+            in
+            let allops =
+              Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.all_ops config)
+            in
+            Stats.Welford.add bd (Cbtc.Pipeline.avg_degree basic);
+            Stats.Welford.add br (Cbtc.Pipeline.avg_radius basic);
+            Stats.Welford.add ad (Cbtc.Pipeline.avg_degree allops);
+            Stats.Welford.add ar (Cbtc.Pipeline.avg_radius allops);
+            if
+              Metrics.Connectivity.preserves
+                ~reference:(Baselines.Proximity.max_power pl positions)
+                allops.Cbtc.Pipeline.graph
+            then incr ok)
+          seeds;
+        output_string oc
+          (Fmt.str "%.6f,%.3f,%.2f,%.3f,%.2f,%d/%d\n" alpha
+             (Stats.Welford.mean bd) (Stats.Welford.mean br)
+             (Stats.Welford.mean ad) (Stats.Welford.mean ar) !ok
+             (List.length seeds))
+      done);
+  Fmt.pr "wrote %s (alpha from pi/12 to pi, %d seeds per point)@." path
+    (List.length seeds)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_perf () =
+  section "Microbenchmarks (Bechamel, monotonic clock)";
+  let open Bechamel in
+  let open Toolkit in
+  let sc = Workload.Scenario.paper ~seed:42 in
+  let pl = Workload.Scenario.pathloss sc in
+  let positions = Workload.Scenario.positions sc in
+  let d56 = Cbtc.Geo.run c56 pl positions in
+  let closure = Cbtc.Discovery.closure d56 in
+  let dirs =
+    List.init 24 (fun i -> Stdlib.float_of_int i *. Geom.Angle.two_pi /. 24.)
+  in
+  let dist_cfg = Cbtc.Config.make ~growth:(Cbtc.Config.Double 100.) alpha56 in
+  let tests =
+    [
+      Test.make ~name:"gap-test (24 dirs)"
+        (Staged.stage (fun () -> Geom.Dirset.has_gap ~alpha:alpha56 dirs));
+      Test.make ~name:"oracle CBTC(5pi/6), 100 nodes"
+        (Staged.stage (fun () -> Cbtc.Geo.run c56 pl positions));
+      Test.make ~name:"shrink-back, 100 nodes"
+        (Staged.stage (fun () -> Cbtc.Optimize.shrink_back d56));
+      Test.make ~name:"pairwise removal, 100 nodes"
+        (Staged.stage (fun () -> Cbtc.Optimize.pairwise ~positions closure));
+      Test.make ~name:"full pipeline all-ops, 100 nodes"
+        (Staged.stage (fun () ->
+             Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.all_ops c56)));
+      Test.make ~name:"distributed run, 100 nodes"
+        (Staged.stage (fun () -> Cbtc.Distributed.run dist_cfg pl positions));
+      Test.make ~name:"components, 100 nodes"
+        (Staged.stage (fun () -> Graphkit.Traversal.components closure));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ Instance.monotonic_clock ] test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name r ->
+          match Analyze.OLS.estimates r with
+          | Some (ns :: _) when ns >= 1e6 ->
+              Fmt.pr "  %-36s %8.2f ms/run@." name (ns /. 1e6)
+          | Some (ns :: _) when ns >= 1e3 ->
+              Fmt.pr "  %-36s %8.2f us/run@." name (ns /. 1e3)
+          | Some (ns :: _) -> Fmt.pr "  %-36s %8.1f ns/run@." name ns
+          | Some [] | None -> Fmt.pr "  %-36s (no estimate)@." name)
+        analyzed)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let seeds_count = ref 100 in
+  let out_dir = ref "bench_out" in
+  let sections = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--seeds" :: v :: rest ->
+        seeds_count := int_of_string v;
+        parse rest
+    | "--out" :: v :: rest ->
+        out_dir := v;
+        parse rest
+    | "--fast" :: rest ->
+        seeds_count := 10;
+        parse rest
+    | s :: rest ->
+        sections := s :: !sections;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let seeds = Workload.Scenario.seeds ~base:42 ~count:!seeds_count in
+  let want s = !sections = [] || List.mem s !sections in
+  Fmt.pr "CBTC reproduction benchmarks (%d networks per table)@."
+    !seeds_count;
+  if want "table1" then run_table1 ~seeds;
+  if want "figures" then run_figures ();
+  if want "figure6" then run_figure6 ~out_dir:!out_dir;
+  if want "connectivity" then
+    run_connectivity
+      ~seeds:(Workload.Scenario.seeds ~base:42 ~count:(Stdlib.min 30 !seeds_count));
+  if want "ablations" then run_ablations ~seeds;
+  if want "extensions" then run_extensions ~seeds;
+  if want "series" then run_series ~seeds ~out_dir:!out_dir;
+  if want "perf" then run_perf ();
+  Fmt.pr "@.done.@."

@@ -1,0 +1,392 @@
+(* Command-line interface to the CBTC library.
+
+   Subcommands:
+     run        run a configuration on a random network and print metrics
+     sweep      sweep alpha over a seed set, reporting degree/radius
+     topology   write an SVG (and optional ASCII) rendering
+     protocol   run the distributed protocol and print message statistics
+     theory     check the paper's two constructions
+     compare    compare CBTC against the proximity-graph baselines *)
+
+open Cmdliner
+
+(* ---------- shared options ---------- *)
+
+let seed =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let nodes =
+  Arg.(value & opt int 100 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Node count.")
+
+let side =
+  Arg.(
+    value & opt float 1500.
+    & info [ "side" ] ~docv:"L" ~doc:"Square field side length.")
+
+let range =
+  Arg.(
+    value & opt float 500.
+    & info [ "range" ] ~docv:"R" ~doc:"Maximum transmission radius.")
+
+let alpha =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "5pi/6" | "5pi6" -> Ok Geom.Angle.five_pi_six
+    | "2pi/3" | "2pi3" -> Ok Geom.Angle.two_pi_three
+    | "pi/2" | "pi2" -> Ok (Float.pi /. 2.)
+    | s -> (
+        match float_of_string_opt s with
+        | Some v when v > 0. && v <= Geom.Angle.two_pi -> Ok v
+        | Some _ -> Error (`Msg "alpha must be in (0, 2pi]")
+        | None -> Error (`Msg "alpha must be a float or 5pi/6, 2pi/3, pi/2"))
+  in
+  let print ppf v = Fmt.pf ppf "%g" v in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Geom.Angle.five_pi_six
+    & info [ "alpha" ] ~docv:"ALPHA"
+        ~doc:"Cone degree (radians, or one of 5pi/6, 2pi/3, pi/2).")
+
+let opts_flag =
+  Arg.(
+    value
+    & opt (enum [ ("none", `None); ("shrink", `Shrink); ("all", `All) ]) `All
+    & info [ "opts" ] ~docv:"LEVEL"
+        ~doc:"Optimization level: none (basic), shrink (op1), all.")
+
+let scenario_of ~n ~side ~range ~seed =
+  Workload.Scenario.make ~n ~width:side ~height:side ~max_range:range ~seed ()
+
+let plan_of config = function
+  | `None -> Cbtc.Pipeline.basic config
+  | `Shrink -> Cbtc.Pipeline.with_shrink config
+  | `All -> Cbtc.Pipeline.all_ops config
+
+(* ---------- run ---------- *)
+
+let run_cmd =
+  let action n side range seed alpha opts =
+    let sc = scenario_of ~n ~side ~range ~seed in
+    let pl = Workload.Scenario.pathloss sc in
+    let positions = Workload.Scenario.positions sc in
+    let config = Cbtc.Config.make alpha in
+    let r = Cbtc.Pipeline.run_oracle pl positions (plan_of config opts) in
+    let gr = Baselines.Proximity.max_power pl positions in
+    Fmt.pr "scenario: %a@." Workload.Scenario.pp sc;
+    Fmt.pr "config:   %a@." Cbtc.Config.pp config;
+    Fmt.pr "edges:    %d (GR has %d)@." (Graphkit.Ugraph.nb_edges r.Cbtc.Pipeline.graph)
+      (Graphkit.Ugraph.nb_edges gr);
+    Fmt.pr "degree:   %.2f (GR %.2f)@."
+      (Cbtc.Pipeline.avg_degree r)
+      (Metrics.Topo_metrics.avg_degree gr);
+    Fmt.pr "radius:   %.1f (max power %g)@." (Cbtc.Pipeline.avg_radius r) range;
+    Fmt.pr "degree distribution: %a@." Stats.Summary.pp
+      (Metrics.Topo_metrics.degree_summary r.Cbtc.Pipeline.graph);
+    Fmt.pr "connectivity preserved: %b@."
+      (Metrics.Connectivity.preserves ~reference:gr r.Cbtc.Pipeline.graph)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one CBTC configuration and print metrics.")
+    Term.(const action $ nodes $ side $ range $ seed $ alpha $ opts_flag)
+
+(* ---------- sweep ---------- *)
+
+let sweep_cmd =
+  let count =
+    Arg.(
+      value & opt int 20
+      & info [ "count" ] ~docv:"K" ~doc:"Number of random networks.")
+  in
+  let action n side range seed count opts =
+    let table =
+      Metrics.Table.create
+        ~columns:[ "alpha"; "avg degree"; "avg radius"; "preserved" ]
+    in
+    let alphas =
+      [ ("pi/3", Float.pi /. 3.); ("pi/2", Float.pi /. 2.);
+        ("2pi/3", Geom.Angle.two_pi_three); ("3pi/4", 3. *. Float.pi /. 4.);
+        ("5pi/6", Geom.Angle.five_pi_six) ]
+    in
+    let seeds = Workload.Scenario.seeds ~base:seed ~count in
+    List.iter
+      (fun (name, alpha) ->
+        let config = Cbtc.Config.make alpha in
+        let dacc = Stats.Welford.create () in
+        let racc = Stats.Welford.create () in
+        let ok = ref 0 in
+        List.iter
+          (fun seed ->
+            let sc = scenario_of ~n ~side ~range ~seed in
+            let pl = Workload.Scenario.pathloss sc in
+            let positions = Workload.Scenario.positions sc in
+            let r = Cbtc.Pipeline.run_oracle pl positions (plan_of config opts) in
+            Stats.Welford.add dacc (Cbtc.Pipeline.avg_degree r);
+            Stats.Welford.add racc (Cbtc.Pipeline.avg_radius r);
+            if
+              Metrics.Connectivity.preserves
+                ~reference:(Baselines.Proximity.max_power pl positions)
+                r.Cbtc.Pipeline.graph
+            then incr ok)
+          seeds;
+        Metrics.Table.add_row table
+          [
+            name;
+            Fmt.str "%.1f" (Stats.Welford.mean dacc);
+            Fmt.str "%.1f" (Stats.Welford.mean racc);
+            Fmt.str "%d/%d" !ok count;
+          ])
+      alphas;
+    Fmt.pr "%a" Metrics.Table.pp table
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Sweep alpha over a seed set.")
+    Term.(const action $ nodes $ side $ range $ seed $ count $ opts_flag)
+
+(* ---------- topology ---------- *)
+
+let topology_cmd =
+  let out =
+    Arg.(
+      value & opt string "topology.svg"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output SVG path.")
+  in
+  let ascii =
+    Arg.(value & flag & info [ "ascii" ] ~doc:"Also print an ASCII rendering.")
+  in
+  let dot =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Also export Graphviz DOT.")
+  in
+  let csv =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also export node/edge CSV.")
+  in
+  let action n side range seed alpha opts out ascii dot csv =
+    let sc = scenario_of ~n ~side ~range ~seed in
+    let pl = Workload.Scenario.pathloss sc in
+    let positions = Workload.Scenario.positions sc in
+    let config = Cbtc.Config.make alpha in
+    let r = Cbtc.Pipeline.run_oracle pl positions (plan_of config opts) in
+    let style =
+      Viz.Topoviz.style ~title:(Fmt.str "CBTC alpha=%.3f" alpha) ()
+    in
+    Viz.Topoviz.write_svg ~style out ~field_width:side ~field_height:side
+      positions r.Cbtc.Pipeline.graph;
+    Fmt.pr "wrote %s (%d edges)@." out
+      (Graphkit.Ugraph.nb_edges r.Cbtc.Pipeline.graph);
+    Option.iter
+      (fun path ->
+        Viz.Export.write_dot path positions r.Cbtc.Pipeline.graph;
+        Fmt.pr "wrote %s@." path)
+      dot;
+    Option.iter
+      (fun path ->
+        Viz.Export.write_csv path positions r.Cbtc.Pipeline.graph;
+        Fmt.pr "wrote %s@." path)
+      csv;
+    if ascii then
+      Fmt.pr "%s@."
+        (Viz.Topoviz.to_ascii ~field_width:side ~field_height:side positions
+           r.Cbtc.Pipeline.graph)
+  in
+  Cmd.v
+    (Cmd.info "topology"
+       ~doc:"Render a controlled topology to SVG (optionally DOT/CSV).")
+    Term.(
+      const action $ nodes $ side $ range $ seed $ alpha $ opts_flag $ out
+      $ ascii $ dot $ csv)
+
+(* ---------- protocol ---------- *)
+
+let protocol_cmd =
+  let loss =
+    Arg.(
+      value & opt float 0.
+      & info [ "loss" ] ~docv:"P" ~doc:"Per-message loss probability.")
+  in
+  let repeats =
+    Arg.(
+      value & opt int 1
+      & info [ "repeats" ] ~docv:"K" ~doc:"Hello repeats per power step.")
+  in
+  let action n side range seed alpha loss repeats =
+    let sc = scenario_of ~n ~side ~range ~seed in
+    let pl = Workload.Scenario.pathloss sc in
+    let positions = Workload.Scenario.positions sc in
+    let config = Cbtc.Config.make ~growth:(Cbtc.Config.Double 100.) alpha in
+    let channel = Dsim.Channel.make ~loss () in
+    let o =
+      Cbtc.Distributed.run ~channel ~hello_repeats:repeats ~seed config pl
+        positions
+    in
+    let s = o.Cbtc.Distributed.stats in
+    Fmt.pr "distributed CBTC on %d nodes (loss=%.2f, repeats=%d):@." n loss
+      repeats;
+    Fmt.pr "  transmissions:   %d@." s.Cbtc.Distributed.transmissions;
+    Fmt.pr "  deliveries:      %d@." s.Cbtc.Distributed.deliveries;
+    Fmt.pr "  max rounds:      %d@." s.Cbtc.Distributed.max_rounds;
+    Fmt.pr "  converged at:    t=%.1f@." s.Cbtc.Distributed.duration;
+    Fmt.pr "  remove messages: %d@." o.Cbtc.Distributed.removals;
+    let gr = Baselines.Proximity.max_power pl positions in
+    Fmt.pr "  connectivity preserved: %b@."
+      (Metrics.Connectivity.preserves ~reference:gr
+         (Cbtc.Discovery.closure o.Cbtc.Distributed.discovery))
+  in
+  Cmd.v
+    (Cmd.info "protocol"
+       ~doc:"Run the distributed protocol over the simulated radio.")
+    Term.(const action $ nodes $ side $ range $ seed $ alpha $ loss $ repeats)
+
+(* ---------- theory ---------- *)
+
+let theory_cmd =
+  let action () =
+    let ex = Cbtc.Constructions.example_2_1 ~alpha:Geom.Angle.five_pi_six () in
+    let pl = Radio.Pathloss.make ~max_range:ex.Cbtc.Constructions.max_range () in
+    let d =
+      Cbtc.Geo.run
+        (Cbtc.Config.make Geom.Angle.five_pi_six)
+        pl ex.Cbtc.Constructions.positions
+    in
+    let na = Cbtc.Discovery.nalpha d in
+    Fmt.pr "Example 2.1: (v,u0) in N = %b, (u0,v) in N = %b (asymmetric: %b)@."
+      (Graphkit.Digraph.mem_edge na 4 0)
+      (Graphkit.Digraph.mem_edge na 0 4)
+      (Graphkit.Digraph.mem_edge na 4 0 && not (Graphkit.Digraph.mem_edge na 0 4));
+    let th = Cbtc.Constructions.theorem_2_4 ~epsilon:0.1 () in
+    let pl = Radio.Pathloss.make ~max_range:th.Cbtc.Constructions.max_range () in
+    let gr = Cbtc.Geo.max_power_graph pl th.Cbtc.Constructions.positions in
+    let g =
+      Cbtc.Discovery.closure
+        (Cbtc.Geo.run
+           (Cbtc.Config.make th.Cbtc.Constructions.alpha)
+           pl th.Cbtc.Constructions.positions)
+    in
+    Fmt.pr "Theorem 2.4: GR connected = %b, G(5pi/6+eps) connected = %b@."
+      (Graphkit.Traversal.is_connected gr)
+      (Graphkit.Traversal.is_connected g)
+  in
+  Cmd.v (Cmd.info "theory" ~doc:"Check the paper's two hand constructions.")
+    Term.(const action $ const ())
+
+(* ---------- compare ---------- *)
+
+let compare_cmd =
+  let action n side range seed =
+    let sc = scenario_of ~n ~side ~range ~seed in
+    let pl = Workload.Scenario.pathloss sc in
+    let positions = Workload.Scenario.positions sc in
+    let gr = Baselines.Proximity.max_power pl positions in
+    let energy = Radio.Energy.make pl in
+    let table =
+      Metrics.Table.create
+        ~columns:[ "topology"; "deg"; "radius"; "power stretch"; "preserved" ]
+    in
+    let add name graph radius =
+      let ps =
+        Metrics.Stretch.power_stretch energy positions ~reference:gr graph
+      in
+      Metrics.Table.add_row table
+        [
+          name;
+          Fmt.str "%.1f" (Metrics.Topo_metrics.avg_degree graph);
+          Fmt.str "%.0f" (Metrics.Topo_metrics.avg_radius radius);
+          Fmt.str "%.2f" ps.Metrics.Stretch.max_stretch;
+          string_of_bool (Metrics.Connectivity.preserves ~reference:gr graph);
+        ]
+    in
+    add "max power" gr
+      (Baselines.Proximity.radius_of ~full_power:true pl positions gr);
+    List.iter
+      (fun (name, a) ->
+        let config = Cbtc.Config.make a in
+        let r = Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.all_ops config) in
+        add name r.Cbtc.Pipeline.graph r.Cbtc.Pipeline.radius)
+      [ ("CBTC all 5pi/6", Geom.Angle.five_pi_six);
+        ("CBTC all 2pi/3", Geom.Angle.two_pi_three) ];
+    List.iter
+      (fun (name, g) -> add name g (Baselines.Proximity.radius_of pl positions g))
+      [
+        ("RNG", Baselines.Proximity.rng pl positions);
+        ("Gabriel", Baselines.Proximity.gabriel pl positions);
+        ("MST", Baselines.Proximity.euclidean_mst pl positions);
+      ];
+    Fmt.pr "%a" Metrics.Table.pp table
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare CBTC against proximity-graph baselines.")
+    Term.(const action $ nodes $ side $ range $ seed)
+
+(* ---------- route ---------- *)
+
+let route_cmd =
+  let count =
+    Arg.(
+      value & opt int 200
+      & info [ "count" ] ~docv:"K" ~doc:"Number of random source/dest pairs.")
+  in
+  let action n side range seed alpha opts count =
+    let sc = scenario_of ~n ~side ~range ~seed in
+    let pl = Workload.Scenario.pathloss sc in
+    let positions = Workload.Scenario.positions sc in
+    let config = Cbtc.Config.make alpha in
+    let r = Cbtc.Pipeline.run_oracle pl positions (plan_of config opts) in
+    let graph = r.Cbtc.Pipeline.graph in
+    let prng = Prng.create ~seed:(seed + 1) in
+    let pairs = Routing.Greedy.random_pairs prng ~n ~count in
+    let greedy = Routing.Greedy.evaluate graph positions ~pairs in
+    Fmt.pr "greedy geographic forwarding on the controlled topology:@.";
+    Fmt.pr "  delivered: %d/%d (%.0f%%)@." greedy.Routing.Greedy.delivered
+      greedy.Routing.Greedy.attempts
+      (100.
+      *. Stdlib.float_of_int greedy.Routing.Greedy.delivered
+      /. Stdlib.float_of_int (Stdlib.max 1 greedy.Routing.Greedy.attempts));
+    Fmt.pr "  avg hops: %.1f, avg route/straight-line length: %.2f@."
+      greedy.Routing.Greedy.avg_hops greedy.Routing.Greedy.avg_length_ratio;
+    let load = Routing.Flows.measure positions graph ~pairs in
+    Fmt.pr "min-hop flow load: max link %d, max node %d, total hops %d@."
+      load.Routing.Flows.max_link_load load.Routing.Flows.max_node_load
+      load.Routing.Flows.total_hops
+  in
+  Cmd.v
+    (Cmd.info "route" ~doc:"Routing quality of a controlled topology.")
+    Term.(
+      const action $ nodes $ side $ range $ seed $ alpha $ opts_flag $ count)
+
+(* ---------- lifetime ---------- *)
+
+let lifetime_cmd =
+  let rounds =
+    Arg.(
+      value & opt int 4000
+      & info [ "rounds" ] ~docv:"K" ~doc:"Maximum data-gathering rounds.")
+  in
+  let action n side range seed alpha rounds =
+    let sc = scenario_of ~n ~side ~range ~seed in
+    let pl = Workload.Scenario.pathloss sc in
+    let positions = Workload.Scenario.positions sc in
+    let params = { Lifetime.Gather.default_params with max_rounds = rounds } in
+    let config = Cbtc.Config.make alpha in
+    let run name topology =
+      let o = Lifetime.Gather.run ~params pl positions ~sink:0 ~topology in
+      Fmt.pr "%-18s %a@." name Lifetime.Gather.pp_outcome o
+    in
+    run "max power" (Lifetime.Gather.max_power_builder pl);
+    run "CBTC all ops"
+      (Lifetime.Gather.cbtc_builder (Cbtc.Pipeline.all_ops config) pl)
+  in
+  Cmd.v
+    (Cmd.info "lifetime"
+       ~doc:"Network lifetime under many-to-one data gathering.")
+    Term.(const action $ nodes $ side $ range $ seed $ alpha $ rounds)
+
+let () =
+  let info =
+    Cmd.info "cbtc" ~version:"1.0.0"
+      ~doc:"Cone-Based Topology Control for wireless multi-hop networks."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; sweep_cmd; topology_cmd; protocol_cmd; theory_cmd;
+            compare_cmd; route_cmd; lifetime_cmd ]))

@@ -1,0 +1,80 @@
+(* Mobility and reconfiguration: nodes move under random waypoint while
+   the Section 4 machinery (NDP beacons, join/leave/aChange, local
+   re-growth) maintains the topology; two nodes also crash mid-run.
+   After motion stops, the maintained topology must preserve the
+   connectivity of the *new* max-power graph.
+
+   Run with: dune exec examples/mobility_reconfig.exe *)
+
+let () =
+  let scenario = Workload.Scenario.make ~n:60 ~seed:31 () in
+  let pathloss = Workload.Scenario.pathloss scenario in
+  let positions = Workload.Scenario.positions scenario in
+  let config =
+    Cbtc.Config.make ~growth:(Cbtc.Config.Double 100.) Geom.Angle.five_pi_six
+  in
+  let rc = Cbtc.Reconfig.create config pathloss positions in
+
+  let field = Workload.Placement.field ~width:1500. ~height:1500. in
+  let params = { Workload.Mobility.speed_lo = 10.; speed_hi = 40.; pause = 5. } in
+  let mob =
+    Workload.Mobility.create (Prng.create ~seed:99) ~field ~params positions
+  in
+
+  let count_events kind =
+    List.length
+      (List.filter (fun e -> e.Cbtc.Reconfig.kind = kind) (Cbtc.Reconfig.events rc))
+  in
+  let report label =
+    let topo = Cbtc.Reconfig.topology rc in
+    Fmt.pr "%-22s t=%7.0f  edges=%3d  joins=%3d leaves=%3d aChanges=%3d@."
+      label (Cbtc.Reconfig.now rc)
+      (Graphkit.Ugraph.nb_edges topo)
+      (count_events Cbtc.Reconfig.Join)
+      (count_events Cbtc.Reconfig.Leave)
+      (count_events Cbtc.Reconfig.Achange)
+  in
+
+  report "after initial CBTC";
+
+  (* 10 epochs of motion: move for dt, mirror positions into the radio
+     network, let the protocol react. *)
+  let dt = 30. in
+  for epoch = 1 to 10 do
+    Workload.Mobility.step mob ~dt;
+    Array.iteri
+      (fun u p -> Cbtc.Reconfig.set_position rc u p)
+      (Workload.Mobility.positions mob);
+    if epoch = 4 then begin
+      Cbtc.Reconfig.crash rc 0;
+      Cbtc.Reconfig.crash rc 1;
+      Fmt.pr "  !! nodes 0 and 1 crashed@."
+    end;
+    Cbtc.Reconfig.run_for rc ~duration:dt;
+    if epoch mod 2 = 0 then report (Fmt.str "epoch %d" epoch)
+  done;
+
+  (* Motion stops; let the protocol settle, then audit. *)
+  Workload.Mobility.freeze mob;
+  Cbtc.Reconfig.run_for rc ~duration:400.;
+  report "settled";
+
+  let final_positions = Cbtc.Reconfig.positions rc in
+  let n = Array.length final_positions in
+  let live_gr = Graphkit.Ugraph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if
+        Cbtc.Reconfig.alive rc u && Cbtc.Reconfig.alive rc v
+        && Radio.Pathloss.in_range pathloss
+             ~dist:(Geom.Vec2.dist final_positions.(u) final_positions.(v))
+      then Graphkit.Ugraph.add_edge live_gr u v
+    done
+  done;
+  let topo = Cbtc.Reconfig.topology rc in
+  Fmt.pr "@.final audit: components GR=%d topology=%d, connectivity of the \
+          new GR preserved: %b, quiescent: %b@."
+    (Metrics.Connectivity.nb_components live_gr)
+    (Metrics.Connectivity.nb_components topo)
+    (Metrics.Connectivity.preserves ~reference:live_gr topo)
+    (Cbtc.Reconfig.quiescent rc ~for_:100.)

@@ -1,0 +1,42 @@
+(* Quickstart: build a random network, run CBTC(5pi/6) with all
+   optimizations, and print what topology control bought us.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* The paper's evaluation setup: 100 nodes uniform in 1500x1500,
+     maximum transmission radius 500, quadratic path loss. *)
+  let scenario = Workload.Scenario.paper ~seed:7 in
+  let pathloss = Workload.Scenario.pathloss scenario in
+  let positions = Workload.Scenario.positions scenario in
+
+  (* No topology control: every node at maximum power. *)
+  let gr = Baselines.Proximity.max_power pathloss positions in
+
+  (* CBTC(5pi/6) with shrink-back and pairwise edge removal. *)
+  let config = Cbtc.Config.make Geom.Angle.five_pi_six in
+  let result =
+    Cbtc.Pipeline.run_oracle pathloss positions (Cbtc.Pipeline.all_ops config)
+  in
+
+  Fmt.pr "max power:  avg degree %.1f, radius %g@."
+    (Metrics.Topo_metrics.avg_degree gr)
+    (Radio.Pathloss.max_range pathloss);
+  Fmt.pr "CBTC:       avg degree %.1f, avg radius %.1f@."
+    (Cbtc.Pipeline.avg_degree result)
+    (Cbtc.Pipeline.avg_radius result);
+  Fmt.pr "connectivity preserved: %b@."
+    (Metrics.Connectivity.preserves ~reference:gr result.Cbtc.Pipeline.graph);
+
+  (* The same outcome computed by the actual distributed protocol, with
+     real message passing over a simulated radio. *)
+  let dist_config =
+    Cbtc.Config.make ~growth:(Cbtc.Config.Double 100.) Geom.Angle.five_pi_six
+  in
+  let outcome = Cbtc.Distributed.run dist_config pathloss positions in
+  Fmt.pr "distributed protocol: %d transmissions, %d power rounds max, \
+          connectivity preserved: %b@."
+    outcome.Cbtc.Distributed.stats.Cbtc.Distributed.transmissions
+    outcome.Cbtc.Distributed.stats.Cbtc.Distributed.max_rounds
+    (Metrics.Connectivity.preserves ~reference:gr
+       (Cbtc.Discovery.closure outcome.Cbtc.Distributed.discovery))

@@ -1,0 +1,54 @@
+(* Visualization: renders a random network under the paper's eight
+   Figure 6 configurations to SVG files, and prints a terminal ASCII
+   rendering of the most and least aggressive ones.
+
+   Run with: dune exec examples/visualize.exe [-- output-dir]
+   (default output directory: examples_out) *)
+
+let () =
+  let out_dir =
+    match Array.to_list Sys.argv with _ :: dir :: _ -> dir | _ -> "examples_out"
+  in
+  if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+
+  let scenario = Workload.Scenario.paper ~seed:2026 in
+  let pathloss = Workload.Scenario.pathloss scenario in
+  let positions = Workload.Scenario.positions scenario in
+  let c56 = Cbtc.Config.make Geom.Angle.five_pi_six in
+  let c23 = Cbtc.Config.make Geom.Angle.two_pi_three in
+  let oracle plan =
+    (Cbtc.Pipeline.run_oracle pathloss positions plan).Cbtc.Pipeline.graph
+  in
+  let panels =
+    [
+      ("a-no-control", "no topology control",
+       Baselines.Proximity.max_power pathloss positions);
+      ("b-basic-2pi3", "basic, a=2pi/3", oracle (Cbtc.Pipeline.basic c23));
+      ("c-basic-5pi6", "basic, a=5pi/6", oracle (Cbtc.Pipeline.basic c56));
+      ("d-shrink-2pi3", "shrink-back, a=2pi/3", oracle (Cbtc.Pipeline.with_shrink c23));
+      ("e-shrink-5pi6", "shrink-back, a=5pi/6", oracle (Cbtc.Pipeline.with_shrink c56));
+      ("f-asym-2pi3", "shrink + asym removal, a=2pi/3",
+       oracle (Cbtc.Pipeline.shrink_asym c23));
+      ("g-all-5pi6", "all optimizations, a=5pi/6", oracle (Cbtc.Pipeline.all_ops c56));
+      ("h-all-2pi3", "all optimizations, a=2pi/3", oracle (Cbtc.Pipeline.all_ops c23));
+    ]
+  in
+  List.iter
+    (fun (tag, title, graph) ->
+      let path = Filename.concat out_dir (tag ^ ".svg") in
+      let style = Viz.Topoviz.style ~title ~show_labels:true ~node_radius:2.5 () in
+      Viz.Topoviz.write_svg ~style path ~field_width:1500. ~field_height:1500.
+        positions graph;
+      Fmt.pr "wrote %-28s (%d edges)@." path (Graphkit.Ugraph.nb_edges graph))
+    panels;
+
+  let ascii graph =
+    Viz.Topoviz.to_ascii ~cols:70 ~rows:24 ~field_width:1500. ~field_height:1500.
+      positions graph
+  in
+  let _, _, full = List.nth panels 0 in
+  let _, _, sparse = List.nth panels 6 in
+  Fmt.pr "@.no topology control (%d edges):@.%s@."
+    (Graphkit.Ugraph.nb_edges full) (ascii full);
+  Fmt.pr "all optimizations at 5pi/6 (%d edges):@.%s@."
+    (Graphkit.Ugraph.nb_edges sparse) (ascii sparse)

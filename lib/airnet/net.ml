@@ -1,0 +1,144 @@
+type 'msg recv = {
+  dst : int;
+  src : int;
+  tx_power : float;
+  rx_power : float;
+  rx_dir : float;
+  payload : 'msg;
+}
+
+type 'msg handler = 'msg recv -> unit
+
+type 'msg t = {
+  sim : Dsim.Sim.t;
+  pathloss : Radio.Pathloss.t;
+  channel : Dsim.Channel.t;
+  prng : Prng.t;
+  positions : Geom.Vec2.t array;
+  alive : bool array;
+  handlers : 'msg handler option array;
+  energy : float array;
+  mutable transmissions : int;
+  mutable deliveries : int;
+}
+
+let create ~sim ~pathloss ~channel ~prng ~positions =
+  let n = Array.length positions in
+  {
+    sim;
+    pathloss;
+    channel;
+    prng;
+    positions = Array.copy positions;
+    alive = Array.make n true;
+    handlers = Array.make n None;
+    energy = Array.make n 0.;
+    transmissions = 0;
+    deliveries = 0;
+  }
+
+let nb_nodes t = Array.length t.positions
+
+let sim t = t.sim
+
+let pathloss t = t.pathloss
+
+let check t u =
+  if u < 0 || u >= nb_nodes t then invalid_arg "Net: node out of range"
+
+let position t u =
+  check t u;
+  t.positions.(u)
+
+let set_position t u p =
+  check t u;
+  t.positions.(u) <- p
+
+let distance t u v =
+  check t u;
+  check t v;
+  Geom.Vec2.dist t.positions.(u) t.positions.(v)
+
+let set_handler t u h =
+  check t u;
+  t.handlers.(u) <- Some h
+
+let crash t u =
+  check t u;
+  t.alive.(u) <- false
+
+let is_alive t u =
+  check t u;
+  t.alive.(u)
+
+let transmissions t = t.transmissions
+
+let deliveries t = t.deliveries
+
+let energy_used t u =
+  check t u;
+  t.energy.(u)
+
+let check_power t power =
+  if power <= 0. then invalid_arg "Net: non-positive power";
+  if power > Radio.Pathloss.max_power t.pathloss *. (1. +. 1e-9) then
+    invalid_arg "Net: power exceeds maximum"
+
+(* Schedule delivery of one copy to [dst]; reception metadata is computed
+   at transmission time (geometry when the wave leaves the antenna). *)
+let deliver_to t ~src ~dst ~power payload =
+  let dist = distance t src dst in
+  let rx_power = Radio.Pathloss.rx_power t.pathloss ~tx_power:power ~dist in
+  let rx_dir =
+    Geom.Vec2.direction ~from:t.positions.(dst) ~toward:t.positions.(src)
+  in
+  let event () =
+    if t.alive.(dst) then
+      match t.handlers.(dst) with
+      | None -> ()
+      | Some h ->
+          t.deliveries <- t.deliveries + 1;
+          h { dst; src; tx_power = power; rx_power; rx_dir; payload }
+  in
+  ignore (Dsim.Channel.deliver t.channel t.sim t.prng event)
+
+let radiate t ~src ~power =
+  t.transmissions <- t.transmissions + 1;
+  t.energy.(src) <- t.energy.(src) +. power
+
+let bcast t ~src ~power msg =
+  check t src;
+  check_power t power;
+  if not t.alive.(src) then 0
+  else begin
+    radiate t ~src ~power;
+    let reached = ref 0 in
+    for dst = 0 to nb_nodes t - 1 do
+      if
+        dst <> src && t.alive.(dst)
+        && Radio.Pathloss.reaches t.pathloss ~power ~dist:(distance t src dst)
+      then begin
+        incr reached;
+        deliver_to t ~src ~dst ~power msg
+      end
+    done;
+    !reached
+  end
+
+let send t ~src ~dst ~power msg =
+  check t src;
+  check t dst;
+  check_power t power;
+  if src = dst then invalid_arg "Net.send: src = dst";
+  if not t.alive.(src) then false
+  else begin
+    radiate t ~src ~power;
+    if
+      t.alive.(dst)
+      && Radio.Pathloss.reaches t.pathloss ~power ~dist:(distance t src dst)
+    then begin
+      deliver_to t ~src ~dst ~power msg;
+      true
+    end
+    else false
+  end

@@ -1,0 +1,79 @@
+(** Simulated radio network: the paper's communication primitives.
+
+    Section 2 of the paper assumes three primitives:
+    - [bcast(u, p, m)]: all nodes [v] with [p(d(u,v)) <= p] receive [m];
+    - [send(u, p, m, v)]: point-to-point message;
+    - [recv(u, m, v)]: reception, with the reception power [p'] known, from
+      which [p(d(u,v))] can be estimated, and with directional (angle of
+      arrival) information available.
+
+    This module realizes them over the {!Dsim} engine and the {!Radio}
+    path-loss model.  Delivery timing/loss/duplication is governed by a
+    {!Dsim.Channel.t}; reception metadata ([rx_power], [rx_dir]) is
+    computed from the true geometry — simulating the angle-of-arrival
+    hardware the paper assumes.  Nodes can crash (crash-stop) and move. *)
+
+type 'msg t
+
+(** What a receiving node observes for one delivered message. *)
+type 'msg recv = {
+  dst : int;  (** the receiving node *)
+  src : int;  (** the sender *)
+  tx_power : float;  (** power the sender used (carried in-message in the paper) *)
+  rx_power : float;  (** reception power after attenuation *)
+  rx_dir : float;  (** angle of arrival: direction from [dst] toward [src] *)
+  payload : 'msg;
+}
+
+type 'msg handler = 'msg recv -> unit
+
+(** [create ~sim ~pathloss ~channel ~prng ~positions] builds a network of
+    [Array.length positions] nodes, all alive, with no handlers. *)
+val create :
+  sim:Dsim.Sim.t ->
+  pathloss:Radio.Pathloss.t ->
+  channel:Dsim.Channel.t ->
+  prng:Prng.t ->
+  positions:Geom.Vec2.t array ->
+  'msg t
+
+val nb_nodes : 'msg t -> int
+
+val sim : 'msg t -> Dsim.Sim.t
+
+val pathloss : 'msg t -> Radio.Pathloss.t
+
+val position : 'msg t -> int -> Geom.Vec2.t
+
+val set_position : 'msg t -> int -> Geom.Vec2.t -> unit
+
+val distance : 'msg t -> int -> int -> float
+
+(** [set_handler t u h] installs [u]'s receive handler (replacing any). *)
+val set_handler : 'msg t -> int -> 'msg handler -> unit
+
+(** [bcast t ~src ~power msg] broadcasts: every other live node within
+    [distance_for_power power] gets a delivery scheduled through the
+    channel model.  Sender must be alive, [power] in [(0, P]].  Returns
+    the number of nodes the transmission physically reaches. *)
+val bcast : 'msg t -> src:int -> power:float -> 'msg -> int
+
+(** [send t ~src ~dst ~power msg] unicast; returns [false] (and delivers
+    nothing) when [dst] is out of range at [power]. *)
+val send : 'msg t -> src:int -> dst:int -> power:float -> 'msg -> bool
+
+(** [crash t u] makes [u] crash-stop: it no longer sends or receives. *)
+val crash : 'msg t -> int -> unit
+
+val is_alive : 'msg t -> int -> bool
+
+(** [transmissions t] counts [bcast]/[send] calls that actually radiated. *)
+val transmissions : 'msg t -> int
+
+(** [deliveries t] counts receive events fired at live nodes. *)
+val deliveries : 'msg t -> int
+
+(** [energy_used t u] is the cumulative transmission energy node [u] has
+    radiated (sum over its transmissions of the power used, one unit of
+    airtime each). *)
+val energy_used : 'msg t -> int -> float

@@ -1,0 +1,88 @@
+let in_range pathloss positions u v =
+  Radio.Pathloss.in_range pathloss
+    ~dist:(Geom.Vec2.dist positions.(u) positions.(v))
+
+let max_power pathloss positions =
+  let n = Array.length positions in
+  let g = Graphkit.Ugraph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if in_range pathloss positions u v then Graphkit.Ugraph.add_edge g u v
+    done
+  done;
+  g
+
+let filter_gr pathloss positions ~keep =
+  let n = Array.length positions in
+  let g = Graphkit.Ugraph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if in_range pathloss positions u v && keep u v then
+        Graphkit.Ugraph.add_edge g u v
+    done
+  done;
+  g
+
+let rng pathloss positions =
+  let n = Array.length positions in
+  let dist u v = Geom.Vec2.dist positions.(u) positions.(v) in
+  let keep u v =
+    let duv = dist u v in
+    let blocked = ref false in
+    for w = 0 to n - 1 do
+      if (not !blocked) && w <> u && w <> v
+         && Float.max (dist u w) (dist v w) < duv
+      then blocked := true
+    done;
+    not !blocked
+  in
+  filter_gr pathloss positions ~keep
+
+let gabriel pathloss positions =
+  let n = Array.length positions in
+  let dist2 u v = Geom.Vec2.dist2 positions.(u) positions.(v) in
+  let keep u v =
+    let d2uv = dist2 u v in
+    let blocked = ref false in
+    for w = 0 to n - 1 do
+      if (not !blocked) && w <> u && w <> v
+         && dist2 u w +. dist2 v w < d2uv
+      then blocked := true
+    done;
+    not !blocked
+  in
+  filter_gr pathloss positions ~keep
+
+let euclidean_mst pathloss positions =
+  let gr = max_power pathloss positions in
+  Graphkit.Mst.forest_graph gr ~weight:(fun u v ->
+      Geom.Vec2.dist positions.(u) positions.(v))
+
+let knn pathloss positions ~k =
+  if k <= 0 then invalid_arg "Proximity.knn: non-positive k";
+  let n = Array.length positions in
+  let g = Graphkit.Ugraph.create n in
+  for u = 0 to n - 1 do
+    let in_reach = ref [] in
+    for v = 0 to n - 1 do
+      if v <> u && in_range pathloss positions u v then
+        in_reach := (Geom.Vec2.dist positions.(u) positions.(v), v) :: !in_reach
+    done;
+    let sorted = List.sort Stdlib.compare !in_reach in
+    List.iteri
+      (fun i (_, v) -> if i < k then Graphkit.Ugraph.add_edge g u v)
+      sorted
+  done;
+  g
+
+let radius_of ?(full_power = false) pathloss positions g =
+  if full_power then
+    Array.make (Array.length positions) (Radio.Pathloss.max_range pathloss)
+  else
+    Array.mapi
+      (fun u pos_u ->
+        List.fold_left
+          (fun acc v -> Float.max acc (Geom.Vec2.dist pos_u positions.(v)))
+          0.
+          (Graphkit.Ugraph.neighbors g u))
+      positions

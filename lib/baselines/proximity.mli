@@ -1,0 +1,44 @@
+(** Comparator topologies.
+
+    [max_power] is the paper's Table 1 baseline (no topology control).
+    The proximity-graph families — Relative Neighborhood Graph, Gabriel
+    graph, Euclidean MST, symmetric k-nearest-neighbors — are the
+    related-work structures the paper cites (Toussaint; Jaromczyk and
+    Toussaint) and serve as reference points in the examples and
+    ablations.  All are restricted to edges of [G_R] (pairs within radio
+    range), so they are implementable topologies. *)
+
+(** [max_power pathloss positions] is [G_R]. *)
+val max_power :
+  Radio.Pathloss.t -> Geom.Vec2.t array -> Graphkit.Ugraph.t
+
+(** [rng pathloss positions]: keep [(u,v)] of [G_R] unless some witness
+    [w] satisfies [max(d(u,w), d(v,w)) < d(u,v)] (lune criterion). *)
+val rng : Radio.Pathloss.t -> Geom.Vec2.t array -> Graphkit.Ugraph.t
+
+(** [gabriel pathloss positions]: keep [(u,v)] of [G_R] unless some [w]
+    lies strictly inside the circle with diameter [uv]
+    ([d2(u,w) + d2(v,w) < d2(u,v)]). *)
+val gabriel : Radio.Pathloss.t -> Geom.Vec2.t array -> Graphkit.Ugraph.t
+
+(** [euclidean_mst pathloss positions]: minimum spanning forest of [G_R]
+    under Euclidean edge lengths. *)
+val euclidean_mst :
+  Radio.Pathloss.t -> Geom.Vec2.t array -> Graphkit.Ugraph.t
+
+(** [knn pathloss positions ~k]: symmetric closure of each node's [k]
+    nearest in-range neighbors. *)
+val knn :
+  Radio.Pathloss.t -> Geom.Vec2.t array -> k:int -> Graphkit.Ugraph.t
+
+(** [radius_of pathloss positions g] is the per-node transmission radius
+    implied by a topology: distance to the farthest [g]-neighbor, except
+    that {!max_power}'s semantics (every node shouting at full power) is
+    recovered with [~full_power:true], which reports [R] for every node
+    as the paper's Table 1 does. *)
+val radius_of :
+  ?full_power:bool ->
+  Radio.Pathloss.t ->
+  Geom.Vec2.t array ->
+  Graphkit.Ugraph.t ->
+  float array

@@ -1,0 +1,23 @@
+let smecn (energy : Radio.Energy.t) positions =
+  let n = Array.length positions in
+  let pathloss = energy.Radio.Energy.pathloss in
+  let cost u v =
+    Radio.Energy.link_cost energy (Geom.Vec2.dist positions.(u) positions.(v))
+  in
+  let g = Graphkit.Ugraph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let dist = Geom.Vec2.dist positions.(u) positions.(v) in
+      if Radio.Pathloss.in_range pathloss ~dist then begin
+        let direct = cost u v in
+        let blocked = ref false in
+        for w = 0 to n - 1 do
+          if (not !blocked) && w <> u && w <> v
+             && cost u w +. cost w v < direct
+          then blocked := true
+        done;
+        if not !blocked then Graphkit.Ugraph.add_edge g u v
+      end
+    done
+  done;
+  g

@@ -1,0 +1,29 @@
+let yao_out_degree_bound ~k = k
+
+let yao pathloss positions ~k =
+  if k < 3 then invalid_arg "Yao.yao: k < 3";
+  let n = Array.length positions in
+  let sector_width = Geom.Angle.two_pi /. Stdlib.float_of_int k in
+  let g = Graphkit.Ugraph.create n in
+  for u = 0 to n - 1 do
+    (* nearest in-range neighbor per sector *)
+    let best = Array.make k None in
+    for v = 0 to n - 1 do
+      if v <> u then begin
+        let dist = Geom.Vec2.dist positions.(u) positions.(v) in
+        if Radio.Pathloss.in_range pathloss ~dist then begin
+          let dir = Geom.Vec2.direction ~from:positions.(u) ~toward:positions.(v) in
+          let sector =
+            Stdlib.min (k - 1) (Stdlib.int_of_float (dir /. sector_width))
+          in
+          match best.(sector) with
+          | Some (d, _) when d <= dist -> ()
+          | Some _ | None -> best.(sector) <- Some (dist, v)
+        end
+      end
+    done;
+    Array.iter
+      (function Some (_, v) -> Graphkit.Ugraph.add_edge g u v | None -> ())
+      best
+  done;
+  g

@@ -1,0 +1,21 @@
+(** Yao graphs (theta-graphs), the sector-based sparsifiers of
+    Hassin–Peleg and Keil–Gutwin that the paper cites as the closest
+    relatives of the cone-based idea.
+
+    Space around each node is cut into [k] equal sectors; the node keeps
+    a directed edge to its nearest in-range neighbor in each sector, and
+    the final graph is the symmetric closure.  Unlike CBTC this needs
+    distances and a fixed global sector frame, but it makes a natural
+    comparison point: CBTC's cone test is "some neighbor in every cone of
+    degree alpha", Yao's is "the nearest neighbor in each of k fixed
+    cones". *)
+
+(** [yao pathloss positions ~k] builds the symmetric closure of the
+    k-sector Yao graph restricted to [G_R] edges.
+    @raise Invalid_argument when [k < 3]. *)
+val yao :
+  Radio.Pathloss.t -> Geom.Vec2.t array -> k:int -> Graphkit.Ugraph.t
+
+(** [yao_out_degree_bound ~k] is the out-degree bound [k] (each sector
+    contributes at most one selected edge) — exported for tests. *)
+val yao_out_degree_bound : k:int -> int

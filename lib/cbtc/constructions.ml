@@ -1,0 +1,102 @@
+let ex_u0 = 0
+
+let ex_u1 = 1
+
+let ex_u2 = 2
+
+let ex_u3 = 3
+
+let ex_v = 4
+
+type example_2_1 = {
+  positions : Geom.Vec2.t array;
+  alpha : float;
+  epsilon : float;
+  max_range : float;
+}
+
+let example_2_1 ?(r = 500.) ~alpha () =
+  if r <= 0. then invalid_arg "Constructions.example_2_1: non-positive R";
+  if
+    alpha <= Geom.Angle.two_pi_three
+    || alpha > Geom.Angle.five_pi_six +. 1e-12
+  then
+    invalid_arg "Constructions.example_2_1: needs 2pi/3 < alpha <= 5pi/6";
+  (* eps = alpha/2 - pi/3, so that angle(v, u0, u1) = pi/3 + eps = alpha/2. *)
+  let epsilon = (alpha /. 2.) -. Geom.Angle.pi_three in
+  let u0 = Geom.Vec2.zero in
+  let v = Geom.Vec2.make r 0. in
+  (* Triangle u0-v-u1: angles pi/3+eps at u0, pi/3-eps at v, pi/3 at u1;
+     law of sines gives d(u0,u1) = R sin(pi/3-eps)/sin(pi/3) < R. *)
+  let d_u1 = r *. sin (Geom.Angle.pi_three -. epsilon) /. sin Geom.Angle.pi_three in
+  let u1 = Geom.Vec2.of_polar ~r:d_u1 ~theta:(Geom.Angle.pi_three +. epsilon) in
+  let u2 = Geom.Vec2.of_polar ~r:d_u1 ~theta:(-.(Geom.Angle.pi_three +. epsilon)) in
+  let u3 = Geom.Vec2.make (-.r /. 2.) 0. in
+  { positions = [| u0; u1; u2; u3; v |]; alpha; epsilon; max_range = r }
+
+let th_u0 = 0
+
+let th_u1 = 1
+
+let th_u2 = 2
+
+let th_u3 = 3
+
+let th_v0 = 4
+
+let th_v1 = 5
+
+let th_v2 = 6
+
+let th_v3 = 7
+
+type theorem_2_4 = {
+  positions : Geom.Vec2.t array;
+  alpha : float;
+  epsilon : float;
+  max_range : float;
+}
+
+let theorem_2_4 ?(r = 500.) ~epsilon () =
+  if r <= 0. then invalid_arg "Constructions.theorem_2_4: non-positive R";
+  if epsilon <= 0. || epsilon >= Float.pi /. 6. then
+    invalid_arg "Constructions.theorem_2_4: needs 0 < epsilon < pi/6";
+  let alpha = Geom.Angle.five_pi_six +. epsilon in
+  let u0 = Geom.Vec2.zero in
+  let v0 = Geom.Vec2.make r 0. in
+  (* u3 sits on the horizontal line through s' = (R/2, -sqrt(3)R/2),
+     slightly left of s', at angle(u3,u0,u1) = 5pi/6 + eps/2 < alpha. *)
+  let theta3 = -.Geom.Angle.pi_three -. (epsilon /. 2.) in
+  let r3 = sqrt 3. *. r /. 2. /. sin (Geom.Angle.pi_three +. (epsilon /. 2.)) in
+  let u3 = Geom.Vec2.of_polar ~r:r3 ~theta:theta3 in
+  let delta = (r /. 2.) -. u3.Geom.Vec2.x in
+  (* d(u0,u1) small enough that d(u3, v1) > R; delta/4 suffices. *)
+  let h = delta /. 4. in
+  let u1 = Geom.Vec2.make 0. h in
+  let u2 = Geom.Vec2.of_polar ~r:(r /. 2.) ~theta:((Float.pi /. 2.) +. alpha) in
+  (* The v-cluster is the u-cluster reflected through the midpoint of
+     u0 v0 (central symmetry). *)
+  let mirror (p : Geom.Vec2.t) = Geom.Vec2.make (r -. p.Geom.Vec2.x) (-.p.Geom.Vec2.y) in
+  let positions = [| u0; u1; u2; u3; v0; mirror u1; mirror u2; mirror u3 |] in
+  (* Re-verify the paper's distance claims. *)
+  let dist i j = Geom.Vec2.dist positions.(i) positions.(j) in
+  let fail fmt = Fmt.kstr failwith fmt in
+  if Float.abs (dist th_u0 th_v0 -. r) > 1e-6 then
+    fail "theorem_2_4: d(u0,v0) = %g, expected R = %g" (dist th_u0 th_v0) r;
+  List.iter
+    (fun i ->
+      if dist th_u0 i >= r then
+        fail "theorem_2_4: u-cluster node %d at distance %g >= R" i
+          (dist th_u0 i);
+      if dist th_v0 (i + 4) >= r then
+        fail "theorem_2_4: v-cluster node %d at distance %g >= R" (i + 4)
+          (dist th_v0 (i + 4)))
+    [ th_u1; th_u2; th_u3 ];
+  for i = 0 to 3 do
+    for j = 4 to 7 do
+      if i + j > 4 (* skip (u0, v0) *) && dist i j <= r then
+        fail "theorem_2_4: cross pair (%d, %d) at distance %g <= R" i j
+          (dist i j)
+    done
+  done;
+  { positions; alpha; epsilon; max_range = r }

@@ -1,0 +1,68 @@
+(** The paper's two hand constructions, built exactly and checkable.
+
+    {!example_2_1} (Figure 2): a 5-node placement showing the
+    discovered-neighbor relation [N_alpha] need not be symmetric for
+    [2pi/3 < alpha <= 5pi/6] — [v] discovers [u0] but not conversely —
+    which is why [G_alpha] must take the symmetric closure.
+
+    {!theorem_2_4} (Figure 5): for [alpha = 5pi/6 + eps], an 8-node
+    two-cluster placement whose only [G_R] inter-cluster edge [(u0, v0)]
+    is dropped by CBTC(alpha), disconnecting [G_alpha] — establishing
+    that [5pi/6] is tight. *)
+
+type example_2_1 = {
+  positions : Geom.Vec2.t array;
+      (** indices: 0=[u0], 1=[u1], 2=[u2], 3=[u3], 4=[v] *)
+  alpha : float;
+  epsilon : float;
+  max_range : float;  (** [R = d(u0, v)] *)
+}
+
+(** [example_2_1 ?r ~alpha ()] realizes Example 2.1 for
+    [2pi/3 < alpha <= 5pi/6] (taking [eps = alpha/2 - pi/3], which the
+    example requires to lie in [(0, pi/12)]); [r] defaults to 500.
+    @raise Invalid_argument for [alpha] outside the open-closed interval. *)
+val example_2_1 : ?r:float -> alpha:float -> unit -> example_2_1
+
+(** Node indices of Example 2.1, for readable tests. *)
+val ex_u0 : int
+
+val ex_u1 : int
+
+val ex_u2 : int
+
+val ex_u3 : int
+
+val ex_v : int
+
+type theorem_2_4 = {
+  positions : Geom.Vec2.t array;
+      (** indices: 0=[u0], 1=[u1], 2=[u2], 3=[u3], 4=[v0], 5=[v1],
+          6=[v2], 7=[v3] *)
+  alpha : float;
+  epsilon : float;
+  max_range : float;
+}
+
+(** [theorem_2_4 ?r ~epsilon ()] realizes the Figure 5 construction for
+    [alpha = 5pi/6 + epsilon]; requires [0 < epsilon < pi/6] so that
+    [alpha < pi].  The constructor re-verifies the paper's distance
+    claims ([d(u0,v0) = R]; every other inter-cluster distance [> R];
+    intra-cluster distances [< R]) and raises [Failure] if any fails. *)
+val theorem_2_4 : ?r:float -> epsilon:float -> unit -> theorem_2_4
+
+val th_u0 : int
+
+val th_u1 : int
+
+val th_u2 : int
+
+val th_u3 : int
+
+val th_v0 : int
+
+val th_v1 : int
+
+val th_v2 : int
+
+val th_v3 : int

@@ -1,0 +1,77 @@
+type t = {
+  config : Config.t;
+  pathloss : Radio.Pathloss.t;
+  positions : Geom.Vec2.t array;
+  neighbors : Neighbor.t list array;
+  power : float array;
+  boundary : bool array;
+}
+
+let nb_nodes t = Array.length t.positions
+
+let nalpha t =
+  let g = Graphkit.Digraph.create (nb_nodes t) in
+  Array.iteri
+    (fun u ns ->
+      List.iter (fun (n : Neighbor.t) -> Graphkit.Digraph.add_edge g u n.id) ns)
+    t.neighbors;
+  g
+
+let closure t = Graphkit.Digraph.symmetric_closure (nalpha t)
+
+let core t = Graphkit.Digraph.symmetric_core (nalpha t)
+
+let radius_in t g =
+  Array.mapi
+    (fun u pos_u ->
+      List.fold_left
+        (fun acc v -> Float.max acc (Geom.Vec2.dist pos_u t.positions.(v)))
+        0.
+        (Graphkit.Ugraph.neighbors g u))
+    t.positions
+
+let reach_power_in t g =
+  Array.map
+    (fun r -> if r = 0. then 0. else Radio.Pathloss.power_for_distance t.pathloss r)
+    (radius_in t g)
+
+let out_radius t =
+  Array.mapi
+    (fun u pos_u ->
+      List.fold_left
+        (fun acc (n : Neighbor.t) ->
+          Float.max acc (Geom.Vec2.dist pos_u t.positions.(n.id)))
+        0. t.neighbors.(u))
+    t.positions
+
+let has_gap t u =
+  Geom.Dirset.has_gap ~alpha:t.config.Config.alpha
+    (Neighbor.directions t.neighbors.(u))
+
+let check_invariants t =
+  let n = nb_nodes t in
+  let max_power = Radio.Pathloss.max_power t.pathloss in
+  let fail fmt = Fmt.kstr failwith fmt in
+  if Array.length t.neighbors <> n || Array.length t.power <> n
+     || Array.length t.boundary <> n
+  then fail "Discovery: array length mismatch";
+  for u = 0 to n - 1 do
+    let rec sorted = function
+      | [] | [ _ ] -> true
+      | a :: (b :: _ as rest) ->
+          Neighbor.compare_by_link_power a b <= 0 && sorted rest
+    in
+    if not (sorted t.neighbors.(u)) then fail "Discovery: node %d unsorted" u;
+    List.iter
+      (fun (nb : Neighbor.t) ->
+        if nb.id = u then fail "Discovery: node %d lists itself" u;
+        if nb.id < 0 || nb.id >= n then fail "Discovery: node %d bad id" u)
+      t.neighbors.(u);
+    if t.power.(u) <= 0. || t.power.(u) > max_power *. (1. +. 1e-9) then
+      fail "Discovery: node %d power %g out of range" u t.power.(u);
+    if t.boundary.(u) then begin
+      if t.power.(u) < max_power *. (1. -. 1e-9) then
+        fail "Discovery: boundary node %d below max power" u
+    end
+    else if has_gap t u then fail "Discovery: non-boundary node %d has a gap" u
+  done

@@ -1,0 +1,199 @@
+module IMap = Map.Make (Int)
+module ISet = Set.Make (Int)
+
+type msg = Hello | Ack | Remove
+
+type stats = {
+  transmissions : int;
+  deliveries : int;
+  max_rounds : int;
+  duration : float;
+}
+
+type outcome = {
+  discovery : Discovery.t;
+  core_neighbors : int list array;
+  removals : int;
+  stats : stats;
+}
+
+type phase = Growing | Done
+
+type node = {
+  id : int;
+  mutable phase : phase;
+  mutable power : float;  (* current broadcast power *)
+  mutable schedule : float list;  (* remaining steps *)
+  mutable rounds : int;
+  mutable neighbors : Neighbor.t IMap.t;  (* N_u, keyed by id *)
+  mutable acked : float IMap.t;  (* nodes I acked -> estimated link power *)
+  mutable removed_by : ISet.t;  (* senders of Remove notifications *)
+  mutable boundary : bool;
+}
+
+let check_growth (config : Config.t) =
+  match config.growth with
+  | Config.Exact ->
+      invalid_arg
+        "Distributed.run: Exact growth needs global knowledge; use Double or \
+         Mult"
+  | Config.Double _ | Config.Mult _ -> ()
+
+let run ?(channel = Dsim.Channel.reliable) ?(hello_repeats = 1) ?(seed = 1)
+    ?(start_spread = 0.) config pathloss positions =
+  check_growth config;
+  if hello_repeats < 1 then invalid_arg "Distributed.run: hello_repeats < 1";
+  if start_spread < 0. then invalid_arg "Distributed.run: negative spread";
+  let alpha = config.Config.alpha in
+  let n = Array.length positions in
+  let sim = Dsim.Sim.create () in
+  let prng = Prng.create ~seed in
+  let net =
+    Airnet.Net.create ~sim ~pathloss ~channel ~prng:(Prng.split prng)
+      ~positions
+  in
+  let steps = Config.power_steps config ~pathloss ~link_powers:[] in
+  let nodes =
+    Array.init n (fun id ->
+        {
+          id;
+          phase = Growing;
+          power = 0.;
+          schedule = steps;
+          rounds = 0;
+          neighbors = IMap.empty;
+          acked = IMap.empty;
+          removed_by = ISet.empty;
+          boundary = false;
+        })
+  in
+  (* Delay after which a broadcast's acks must have arrived: hello
+     propagation + ack propagation, for the last repeat. *)
+  let eval_delay =
+    (Stdlib.float_of_int hello_repeats *. channel.Dsim.Channel.max_delay)
+    +. channel.Dsim.Channel.max_delay +. 0.5
+  in
+  let directions node =
+    IMap.fold (fun _ (nb : Neighbor.t) acc -> nb.dir :: acc) node.neighbors []
+  in
+  let has_gap node = Geom.Dirset.has_gap ~alpha (directions node) in
+  let rec start_step node =
+    match node.schedule with
+    | [] ->
+        (* Exhausted at maximum power with a gap remaining: boundary. *)
+        node.phase <- Done;
+        node.boundary <- true
+    | power :: rest ->
+        node.schedule <- rest;
+        node.power <- power;
+        node.rounds <- node.rounds + 1;
+        for i = 0 to hello_repeats - 1 do
+          ignore
+            (Dsim.Sim.schedule sim
+               ~delay:(Stdlib.float_of_int i *. channel.Dsim.Channel.max_delay)
+               (fun () ->
+                 ignore (Airnet.Net.bcast net ~src:node.id ~power Hello)))
+        done;
+        ignore (Dsim.Sim.schedule sim ~delay:eval_delay (fun () -> evaluate node))
+  and evaluate node =
+    if node.phase = Growing then
+      if not (has_gap node) then node.phase <- Done
+      else if node.schedule = [] then begin
+        node.phase <- Done;
+        node.boundary <- true
+      end
+      else start_step node
+  in
+  let on_recv (r : msg Airnet.Net.recv) =
+    let me = nodes.(r.dst) in
+    match r.payload with
+    | Hello ->
+        (* Always answer, whatever our phase: the sender needs the Ack,
+           and the link power estimate comes from (tx, rx) powers. *)
+        let link_power =
+          Radio.Pathloss.estimate_link_power pathloss ~tx_power:r.tx_power
+            ~rx_power:r.rx_power
+        in
+        me.acked <- IMap.add r.src link_power me.acked;
+        ignore (Airnet.Net.send net ~src:r.dst ~dst:r.src ~power:link_power Ack)
+    | Ack ->
+        if not (IMap.mem r.src me.neighbors) then begin
+          let link_power =
+            Radio.Pathloss.estimate_link_power pathloss ~tx_power:r.tx_power
+              ~rx_power:r.rx_power
+          in
+          me.neighbors <-
+            IMap.add r.src
+              (Neighbor.make ~id:r.src ~dir:r.rx_dir ~link_power ~tag:me.power)
+              me.neighbors
+        end
+    | Remove -> me.removed_by <- ISet.add r.src me.removed_by
+  in
+  for u = 0 to n - 1 do
+    Airnet.Net.set_handler net u on_recv
+  done;
+  (* Start every node, optionally staggered (asynchronous starts). *)
+  Array.iter
+    (fun node ->
+      let delay = if start_spread = 0. then 0. else Prng.float prng start_spread in
+      ignore (Dsim.Sim.schedule sim ~delay (fun () -> start_step node)))
+    nodes;
+  ignore (Dsim.Sim.run sim);
+  (* Section 3.2 Remove phase: u notifies every node it acked but did not
+     select.  Run after global convergence — and only when asymmetric
+     edge removal is applicable (alpha <= 2pi/3), since the
+     notifications exist solely to build E-_alpha. *)
+  let removals = ref 0 in
+  if Config.allows_asymmetric_removal config then begin
+    Array.iter
+      (fun node ->
+        IMap.iter
+          (fun v link_power ->
+            if not (IMap.mem v node.neighbors) then begin
+              incr removals;
+              ignore
+                (Airnet.Net.send net ~src:node.id ~dst:v ~power:link_power
+                   Remove)
+            end)
+          node.acked)
+      nodes;
+    ignore (Dsim.Sim.run sim)
+  end;
+  let neighbors =
+    Array.map
+      (fun node ->
+        IMap.bindings node.neighbors
+        |> List.map snd
+        |> List.sort Neighbor.compare_by_link_power)
+      nodes
+  in
+  let discovery =
+    {
+      Discovery.config;
+      pathloss;
+      positions = Array.copy positions;
+      neighbors;
+      power = Array.map (fun node -> node.power) nodes;
+      boundary = Array.map (fun node -> node.boundary) nodes;
+    }
+  in
+  let core_neighbors =
+    Array.map
+      (fun node ->
+        IMap.bindings node.neighbors
+        |> List.filter_map (fun (v, _) ->
+               if ISet.mem v node.removed_by then None else Some v))
+      nodes
+  in
+  {
+    discovery;
+    core_neighbors;
+    removals = !removals;
+    stats =
+      {
+        transmissions = Airnet.Net.transmissions net;
+        deliveries = Airnet.Net.deliveries net;
+        max_rounds = Array.fold_left (fun acc node -> Stdlib.max acc node.rounds) 0 nodes;
+        duration = Dsim.Sim.now sim;
+      };
+  }

@@ -1,0 +1,72 @@
+(** The distributed CBTC(alpha) protocol (Figure 1 of the paper), run
+    over the simulated radio network.
+
+    Each node executes, independently and asynchronously:
+    {v
+    N_u <- {};  D_u <- {};  p_u <- p0;
+    while (p_u < P and gap_alpha(D_u)) do
+      p_u <- Increase(p_u);
+      bcast(u, p_u, ("Hello", p_u)) and gather Acks;
+      N_u <- N_u + {v : v discovered};
+      D_u <- D_u + {dir_u(v) : v discovered}
+    v}
+    A node receiving a "Hello" always answers with an Ack sent at the
+    estimated link power.  The initiator tags each neighbor with the
+    broadcast power in use when it was first discovered (for
+    shrink-back), estimates the neighbor's link power from the Ack's
+    transmission/reception powers, and reads its direction from the
+    angle of arrival.
+
+    After global convergence, {!finalize}d runs send the Section 3.2
+    "Remove" notifications: [u] tells every node it acked but did not
+    select that [(v, u)] must not count toward [E-_alpha].
+
+    The protocol requires a stepped growth schedule ([Double] or [Mult]);
+    a distributed node cannot realize [Exact] growth because it does not
+    know the next neighbor's distance in advance.
+
+    Under a reliable channel the outcome is provably identical to the
+    centralized oracle ({!Geo}) with the same schedule — the test suite
+    checks this on random scenarios.  Under lossy/duplicating channels
+    (Section 4's asynchronous model) handlers are idempotent and Hellos
+    can be repeated; see {!Async} for the full reconfiguration story. *)
+
+type stats = {
+  transmissions : int;  (** radio transmissions (hellos + acks + removes) *)
+  deliveries : int;  (** message receptions *)
+  max_rounds : int;  (** largest number of power steps any node used *)
+  duration : float;  (** simulated time to quiescence *)
+}
+
+type outcome = {
+  discovery : Discovery.t;  (** converged per-node state *)
+  core_neighbors : int list array;
+      (** per-node [N_alpha(u)] after incoming Remove notifications — the
+          distributed materialization of [E-_alpha].  Meaningful only for
+          [alpha <= 2pi/3]; at larger angles the Remove phase does not run
+          and this equals the plain neighbor sets. *)
+  removals : int;
+      (** Remove notifications sent (0 when [alpha > 2pi/3]) *)
+  stats : stats;
+}
+
+(** [run ?channel ?hello_repeats ?seed ?start_spread config pathloss
+    positions] executes the protocol to quiescence and, afterwards, the
+    Remove phase.
+
+    - [channel] (default reliable, unit delay) governs loss/duplication/
+      delay.
+    - [hello_repeats] (default 1) re-broadcasts each Hello to tolerate
+      loss.
+    - [start_spread] (default 0.) staggers node start times uniformly in
+      [\[0, start_spread\]] — full asynchrony.
+    @raise Invalid_argument if [config.growth] is [Exact]. *)
+val run :
+  ?channel:Dsim.Channel.t ->
+  ?hello_repeats:int ->
+  ?seed:int ->
+  ?start_spread:float ->
+  Config.t ->
+  Radio.Pathloss.t ->
+  Geom.Vec2.t array ->
+  outcome

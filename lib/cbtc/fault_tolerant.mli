@@ -1,0 +1,32 @@
+(** Fault-tolerant CBTC — the follow-up result the paper's discussion
+    anticipates (Bahramgiri, Hajiaghayi, Mirrokni 2002): running
+    CBTC with cone degree [2pi/(3k)] preserves {e k-connectivity} — if
+    the max-power graph [G_R] is k-vertex-connected, so is the resulting
+    topology (no symmetric closure needed at that angle, but we keep the
+    closure for uniformity; extra edges never hurt connectivity).
+
+    This module packages the parameterization and the empirical check;
+    it is an extension beyond the reproduced paper, flagged as such in
+    DESIGN.md. *)
+
+(** [alpha_for ~k] is [2pi/(3k)] — the cone degree preserving
+    k-connectivity.
+    @raise Invalid_argument for [k < 1]. *)
+val alpha_for : k:int -> float
+
+(** [config ?growth ~k ()] is a {!Config.t} at {!alpha_for}. *)
+val config : ?growth:Config.growth -> k:int -> unit -> Config.t
+
+(** [run ~k pathloss positions] runs the oracle at [alpha_for ~k] and
+    returns the closure topology. *)
+val run : k:int -> Radio.Pathloss.t -> Geom.Vec2.t array -> Graphkit.Ugraph.t
+
+(** [check ~k pathloss positions] runs {!run} and reports whether the
+    max-power graph was k-connected and whether the controlled topology
+    still is ([k <= 3]). *)
+val check :
+  k:int ->
+  Radio.Pathloss.t ->
+  Geom.Vec2.t array ->
+  (* (GR k-connected, topology k-connected) *)
+  bool * bool

@@ -1,0 +1,69 @@
+let candidates pathloss positions u =
+  let n = Array.length positions in
+  if u < 0 || u >= n then invalid_arg "Geo.candidates: node out of range";
+  let acc = ref [] in
+  for v = 0 to n - 1 do
+    if v <> u then begin
+      let dist = Geom.Vec2.dist positions.(u) positions.(v) in
+      if Radio.Pathloss.in_range pathloss ~dist then begin
+        let link_power = Radio.Pathloss.power_for_distance pathloss dist in
+        let dir = Geom.Vec2.direction ~from:positions.(u) ~toward:positions.(v) in
+        acc := Neighbor.make ~id:v ~dir ~link_power ~tag:link_power :: !acc
+      end
+    end
+  done;
+  List.sort Neighbor.compare_by_link_power !acc
+
+let max_power_graph pathloss positions =
+  let n = Array.length positions in
+  let g = Graphkit.Ugraph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let dist = Geom.Vec2.dist positions.(u) positions.(v) in
+      if Radio.Pathloss.in_range pathloss ~dist then Graphkit.Ugraph.add_edge g u v
+    done
+  done;
+  g
+
+(* Walk the power schedule for one node: at each step, move the candidates
+   now reachable from [remaining] to [discovered] (tagging them with the
+   step power), and stop at the first gap-free step.  The last step always
+   absorbs all remaining candidates (it is >= P up to rounding). *)
+let grow_node ~alpha ~max_power cands steps =
+  let rec walk discovered dirs remaining = function
+    | [] -> assert false
+    | step :: rest ->
+        let is_last = rest = [] in
+        let reachable (nb : Neighbor.t) = is_last || nb.link_power <= step in
+        let newly, remaining = List.partition reachable remaining in
+        let discovered =
+          discovered
+          @ List.map (fun (nb : Neighbor.t) -> { nb with tag = step }) newly
+        in
+        let dirs = dirs @ Neighbor.directions newly in
+        if not (Geom.Dirset.has_gap ~alpha dirs) then (discovered, step, false)
+        else if is_last then (discovered, max_power, true)
+        else walk discovered dirs remaining rest
+  in
+  walk [] [] cands steps
+
+let run config pathloss positions =
+  let n = Array.length positions in
+  let alpha = config.Config.alpha in
+  let max_power = Radio.Pathloss.max_power pathloss in
+  let neighbors = Array.make n [] in
+  let power = Array.make n max_power in
+  let boundary = Array.make n false in
+  for u = 0 to n - 1 do
+    let cands = candidates pathloss positions u in
+    let link_powers = List.map (fun (nb : Neighbor.t) -> nb.link_power) cands in
+    let steps = Config.power_steps config ~pathloss ~link_powers in
+    let discovered, final_power, is_boundary =
+      grow_node ~alpha ~max_power cands steps
+    in
+    neighbors.(u) <- List.sort Neighbor.compare_by_link_power discovered;
+    power.(u) <- final_power;
+    boundary.(u) <- is_boundary
+  done;
+  { Discovery.config; pathloss; positions = Array.copy positions; neighbors;
+    power; boundary }

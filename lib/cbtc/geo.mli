@@ -1,0 +1,27 @@
+(** Centralized geometric oracle for CBTC(alpha).
+
+    Computes, directly from node positions, exactly the converged
+    discovery state the distributed protocol reaches: each node grows its
+    power along the configured schedule until it has no [alpha]-gap or
+    hits maximum power (then it is a {e boundary node}).  The distributed
+    implementation ({!Distributed}) is cross-checked against this oracle
+    in the test suite.
+
+    With the [Exact] growth schedule this is the continuous-growth limit
+    and produces the paper's Table 1 topologies. *)
+
+(** [run config pathloss positions] runs the oracle for every node. *)
+val run :
+  Config.t -> Radio.Pathloss.t -> Geom.Vec2.t array -> Discovery.t
+
+(** [candidates pathloss positions u] lists the nodes physically within
+    range [R] of [u] (its [G_R] neighbors) as {!Neighbor.t} values with
+    true link powers and directions, sorted by increasing link power;
+    tags are set to the link power. *)
+val candidates :
+  Radio.Pathloss.t -> Geom.Vec2.t array -> int -> Neighbor.t list
+
+(** [max_power_graph pathloss positions] is [G_R]: the graph induced by
+    every node transmitting at maximum power. *)
+val max_power_graph :
+  Radio.Pathloss.t -> Geom.Vec2.t array -> Graphkit.Ugraph.t

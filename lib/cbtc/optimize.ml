@@ -1,0 +1,109 @@
+let shrink_neighbors ~alpha neighbors =
+  match neighbors with
+  | [] -> ([], None)
+  | _ :: _ ->
+      let full_cover =
+        Geom.Dirset.cover ~alpha (Neighbor.directions neighbors)
+      in
+      let tags =
+        List.sort_uniq Float.compare
+          (List.map (fun (nb : Neighbor.t) -> nb.tag) neighbors)
+      in
+      (* Minimal tag prefix with unchanged coverage (Section 3.1: remove
+         nodes tagged p_k, then p_{k-1}, ... while coverage persists). *)
+      let keep_up_to tag =
+        List.filter (fun (nb : Neighbor.t) -> nb.tag <= tag) neighbors
+      in
+      let rec first_sufficient = function
+        | [] -> assert false
+        | tag :: rest ->
+            let kept = keep_up_to tag in
+            let cover = Geom.Dirset.cover ~alpha (Neighbor.directions kept) in
+            if Geom.Arcset.equal cover full_cover then (kept, tag)
+            else first_sufficient rest
+      in
+      let kept, tag = first_sufficient tags in
+      (kept, Some tag)
+
+let shrink_back (d : Discovery.t) =
+  let alpha = d.config.Config.alpha in
+  let neighbors = Array.copy d.neighbors in
+  let power = Array.copy d.power in
+  for u = 0 to Discovery.nb_nodes d - 1 do
+    match shrink_neighbors ~alpha neighbors.(u) with
+    | kept, Some tag ->
+        neighbors.(u) <- kept;
+        power.(u) <- Float.min power.(u) tag
+    | _, None -> ()
+  done;
+  { d with neighbors; power }
+
+type pairwise_mode = [ `All | `Practical ]
+
+(* eid(u,v) = (d(u,v), max ID, min ID), compared lexicographically. *)
+let eid positions u v =
+  (Geom.Vec2.dist positions.(u) positions.(v), Stdlib.max u v, Stdlib.min u v)
+
+let eid_lt (d1, a1, b1) (d2, a2, b2) =
+  d1 < d2 || (d1 = d2 && (a1 < a2 || (a1 = a2 && b1 < b2)))
+
+(* Definition 3.5: (u,v) is redundant when some neighbor w of u satisfies
+   angle(v,u,w) < pi/3 and eid(u,w) < eid(u,v).  The strict inequality is
+   implemented with a small conservative margin: at exactly pi/3 (e.g. a
+   perfect equilateral triangle, up to float rounding) the edge is kept,
+   which is always safe. *)
+let angle_margin = 1e-9
+
+let redundant_from g positions u v =
+  let dir_v = Geom.Vec2.direction ~from:positions.(u) ~toward:positions.(v) in
+  let id_uv = eid positions u v in
+  List.exists
+    (fun w ->
+      w <> v
+      &&
+      let dir_w = Geom.Vec2.direction ~from:positions.(u) ~toward:positions.(w) in
+      Geom.Angle.diff dir_v dir_w < Geom.Angle.pi_three -. angle_margin
+      && eid_lt (eid positions u w) id_uv)
+    (Graphkit.Ugraph.neighbors g u)
+
+let redundant_edges ~positions g =
+  List.filter
+    (fun (u, v) ->
+      redundant_from g positions u v || redundant_from g positions v u)
+    (Graphkit.Ugraph.edges g)
+
+let pairwise ~positions ?(mode = `Practical) g =
+  let redundant = redundant_edges ~positions g in
+  let to_remove =
+    match mode with
+    | `All -> redundant
+    | `Practical ->
+        (* Longest non-redundant edge incident to each node; an edge is
+           removed only by a node from whose perspective it is redundant,
+           and only when doing so can lower that node's radius. *)
+        let module ESet = Set.Make (struct
+          type t = int * int
+
+          let compare = Stdlib.compare
+        end) in
+        let red_set = ESet.of_list redundant in
+        let n = Graphkit.Ugraph.nb_nodes g in
+        let longest_nr = Array.make n 0. in
+        Graphkit.Ugraph.iter_edges
+          (fun u v ->
+            if not (ESet.mem (u, v) red_set) then begin
+              let d = Geom.Vec2.dist positions.(u) positions.(v) in
+              if d > longest_nr.(u) then longest_nr.(u) <- d;
+              if d > longest_nr.(v) then longest_nr.(v) <- d
+            end)
+          g;
+        List.filter
+          (fun (u, v) ->
+            let d = Geom.Vec2.dist positions.(u) positions.(v) in
+            (redundant_from g positions u v && d > longest_nr.(u))
+            || (redundant_from g positions v u && d > longest_nr.(v)))
+          redundant
+  in
+  let g' = Graphkit.Ugraph.copy g in
+  List.iter (fun (u, v) -> Graphkit.Ugraph.remove_edge g' u v) to_remove;
+  g'

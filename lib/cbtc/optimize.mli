@@ -1,0 +1,56 @@
+(** The paper's three optimizations (Section 3), each proved there to
+    preserve connectivity.
+
+    - {!shrink_back} (op1, Theorem 3.1): every node drops its
+      highest-power-tagged discovered neighbors as long as its angular
+      coverage [cover_alpha] is unchanged, and lowers its broadcast power
+      accordingly.  For boundary nodes this undoes the futile growth to
+      maximum power; for overshooting growth schedules it also trims
+      non-boundary nodes.
+    - asymmetric edge removal (op2, Theorem 3.2, [alpha <= 2pi/3] only):
+      use [E-_alpha] (edges discovered in {e both} directions) instead of
+      the symmetric closure [E_alpha] — see {!Discovery.core}.
+    - {!pairwise} (op3, Theorem 3.6): remove {e redundant} edges — [(u,v)]
+      such that some neighbor [w] of [u] has [angle(v,u,w) < pi/3] and a
+      lexicographically smaller edge id [eid(u,w) < eid(u,v)], where
+      [eid(u,v) = (d(u,v), max(ID_u, ID_v), min(ID_u, ID_v))]. *)
+
+(** [shrink_back d] applies op1 to every node: keeps, per node, the
+    minimal power-tag prefix of its discovered neighbors whose coverage
+    equals the full discovered coverage, and lowers the node's power to
+    the largest kept tag.  Idempotent; never increases any neighbor set
+    or power. *)
+val shrink_back : Discovery.t -> Discovery.t
+
+(** [shrink_neighbors ~alpha neighbors] is the single-node core of
+    {!shrink_back}: the minimal power-tag prefix of [neighbors] whose
+    [cover_alpha] equals that of the whole list, paired with the largest
+    kept tag (the node's new sufficient power).  Returns [(\[\], None)]
+    on an empty list.  Also used by the reconfiguration rules for join
+    and aChange events (Section 4). *)
+val shrink_neighbors :
+  alpha:float -> Neighbor.t list -> Neighbor.t list * float option
+
+(** Which redundant edges {!pairwise} removes. *)
+type pairwise_mode =
+  [ `All  (** every redundant edge (the full Theorem 3.6 reduction) *)
+  | `Practical
+    (** only redundant edges longer than the longest non-redundant edge
+        at one of their endpoints — the paper's variant, which removes an
+        edge only when doing so can reduce a node's transmission radius *)
+  ]
+
+(** [pairwise ~positions ?mode g] removes redundant edges from [g]
+    (default mode [`Practical]).  Redundancy is evaluated with respect to
+    [g] itself, simultaneously for all edges, as in the proof of
+    Theorem 3.6. *)
+val pairwise :
+  positions:Geom.Vec2.t array ->
+  ?mode:pairwise_mode ->
+  Graphkit.Ugraph.t ->
+  Graphkit.Ugraph.t
+
+(** [redundant_edges ~positions g] lists the redundant edges of [g]
+    (each as [(u, v)] with [u < v]). *)
+val redundant_edges :
+  positions:Geom.Vec2.t array -> Graphkit.Ugraph.t -> (int * int) list

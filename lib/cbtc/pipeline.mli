@@ -1,0 +1,53 @@
+(** End-to-end CBTC configurations: discovery plus a choice of
+    optimizations, yielding a final topology.
+
+    The paper's Table 1 columns correspond to the presets:
+    {!basic}, {!with_shrink} (op1), {!shrink_asym} (op1+op2, requires
+    [alpha <= 2pi/3]), and {!all_ops} (op1 + op2-if-applicable + op3). *)
+
+type plan = {
+  config : Config.t;
+  shrink : bool;  (** apply the shrink-back operation (op1) *)
+  asym : bool;
+      (** build [E-_alpha] instead of [E_alpha] (op2; only sound — and
+          only accepted — when [Config.allows_asymmetric_removal]) *)
+  pairwise : [ `None | `Practical | `All ];  (** redundant-edge removal (op3) *)
+}
+
+val basic : Config.t -> plan
+
+val with_shrink : Config.t -> plan
+
+(** @raise Invalid_argument when [alpha > 2pi/3]. *)
+val shrink_asym : Config.t -> plan
+
+(** All applicable optimizations: shrink-back, asymmetric removal when
+    [alpha <= 2pi/3], practical pairwise removal. *)
+val all_ops : Config.t -> plan
+
+type t = {
+  plan : plan;
+  discovery : Discovery.t;  (** raw converged discovery state *)
+  shrunk : Discovery.t;  (** after op1 (equals [discovery] when disabled) *)
+  graph : Graphkit.Ugraph.t;  (** the final topology *)
+  radius : float array;
+      (** per-node transmission radius needed in [graph] *)
+  basic_radius : float array;
+      (** [rad_{u,alpha}]: radius needed in the {e unoptimized} [E_alpha];
+          Section 4 requires beacons at this power for reconfiguration
+          to remain correct under shrink-back / pairwise removal *)
+}
+
+(** [of_discovery d plan] applies [plan]'s optimizations to an existing
+    discovery state (e.g. one produced by the distributed protocol).
+    [plan.config] must equal [d.config].
+    @raise Invalid_argument on config mismatch or an inapplicable op2. *)
+val of_discovery : Discovery.t -> plan -> t
+
+(** [run_oracle pathloss positions plan] = oracle discovery + [plan]. *)
+val run_oracle : Radio.Pathloss.t -> Geom.Vec2.t array -> plan -> t
+
+(** [avg_degree t] and [avg_radius t]: the two quantities of Table 1. *)
+val avg_degree : t -> float
+
+val avg_radius : t -> float

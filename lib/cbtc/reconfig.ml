@@ -1,0 +1,377 @@
+module IMap = Map.Make (Int)
+
+type params = {
+  beacon_interval : float;
+  miss_limit : int;
+  dir_tolerance : float;
+  hello_repeats : int;
+}
+
+let default_params =
+  { beacon_interval = 10.; miss_limit = 3; dir_tolerance = 0.05;
+    hello_repeats = 1 }
+
+type event_kind = Join | Leave | Achange
+
+type event = { time : float; node : int; about : int; kind : event_kind }
+
+type msg = Hello | Ack | Beacon
+
+type nstate = {
+  id : int;
+  mutable growing : bool;
+  mutable power : float;  (* current data power (may shrink) *)
+  mutable basic_power : float;  (* last completed basic-growth power: beacon floor *)
+  mutable schedule : float list;
+  mutable neighbors : Neighbor.t IMap.t;
+  mutable last_heard : float IMap.t;
+  mutable acked : float IMap.t;
+  mutable boundary : bool;
+}
+
+type t = {
+  config : Config.t;
+  pathloss : Radio.Pathloss.t;
+  params : params;
+  channel : Dsim.Channel.t;
+  sim : Dsim.Sim.t;
+  net : msg Airnet.Net.t;
+  nodes : nstate array;
+  mutable events : event list;  (* newest first *)
+  mutable last_activity : float;
+  growth_factor : float;
+  p0 : float;
+}
+
+let nb_nodes t = Array.length t.nodes
+
+let now t = Dsim.Sim.now t.sim
+
+let alive t u = Airnet.Net.is_alive t.net u
+
+let positions t =
+  Array.init (nb_nodes t) (fun u -> Airnet.Net.position t.net u)
+
+let events t = List.rev t.events
+
+let quiescent t ~for_ = now t -. t.last_activity >= for_
+
+let touch t = t.last_activity <- now t
+
+let log_event t node about kind =
+  t.events <- { time = now t; node; about; kind } :: t.events;
+  touch t
+
+let growth_params (config : Config.t) =
+  match config.growth with
+  | Config.Exact ->
+      invalid_arg "Reconfig: Exact growth needs global knowledge; use Double \
+                   or Mult"
+  | Config.Double p0 -> (p0, 2.)
+  | Config.Mult { p0; factor } -> (p0, factor)
+
+let alpha t = t.config.Config.alpha
+
+let directions node =
+  IMap.fold (fun _ (nb : Neighbor.t) acc -> nb.dir :: acc) node.neighbors []
+
+let has_gap t node = Geom.Dirset.has_gap ~alpha:(alpha t) (directions node)
+
+let max_power t = Radio.Pathloss.max_power t.pathloss
+
+(* p(rad-_{u,alpha}): power to reach the farthest current N_alpha member. *)
+let out_reach_power node =
+  IMap.fold
+    (fun _ (nb : Neighbor.t) acc -> Float.max acc nb.link_power)
+    node.neighbors 0.
+
+(* Section 4: beacon with the basic-algorithm power joined with the power
+   needed to reach everyone we acked (the incoming E_alpha edges). *)
+let beacon_power t node =
+  let incoming = IMap.fold (fun _ p acc -> Float.max acc p) node.acked 0. in
+  Float.min (max_power t) (Float.max t.p0 (Float.max node.basic_power incoming))
+
+let eval_delay t =
+  (Stdlib.float_of_int t.params.hello_repeats
+  *. t.channel.Dsim.Channel.max_delay)
+  +. t.channel.Dsim.Channel.max_delay +. 0.5
+
+(* Stepped schedule from [start] (exclusive of powers below it) up to P. *)
+let schedule_from t ~start =
+  let p = Float.max t.p0 start in
+  let rec build acc power =
+    if power >= max_power t then List.rev (max_power t :: acc)
+    else build (power :: acc) (power *. t.growth_factor)
+  in
+  build [] p
+
+let rec growth_step t node =
+  match node.schedule with
+  | [] ->
+      node.growing <- false;
+      node.boundary <- true;
+      node.basic_power <- node.power;
+      touch t
+  | power :: rest ->
+      node.schedule <- rest;
+      node.power <- power;
+      for i = 0 to t.params.hello_repeats - 1 do
+        ignore
+          (Dsim.Sim.schedule t.sim
+             ~delay:(Stdlib.float_of_int i *. t.channel.Dsim.Channel.max_delay)
+             (fun () -> ignore (Airnet.Net.bcast t.net ~src:node.id ~power Hello)))
+      done;
+      ignore
+        (Dsim.Sim.schedule t.sim ~delay:(eval_delay t) (fun () ->
+             evaluate t node))
+
+and evaluate t node =
+  if node.growing then
+    if not (has_gap t node) then begin
+      node.growing <- false;
+      node.boundary <- false;
+      node.basic_power <- node.power;
+      touch t
+    end
+    else if node.schedule = [] then begin
+      node.growing <- false;
+      node.boundary <- true;
+      node.basic_power <- node.power;
+      touch t
+    end
+    else growth_step t node
+
+let trigger_growth t node ~start =
+  if (not node.growing) && alive t node.id then begin
+    node.growing <- true;
+    node.schedule <- schedule_from t ~start;
+    touch t;
+    growth_step t node
+  end
+
+(* Shrink-back pass used by join / aChange handling: trim farthest tags
+   while coverage is unchanged, and lower the data power accordingly. *)
+let shrink t node =
+  let listed = IMap.fold (fun _ nb acc -> nb :: acc) node.neighbors [] in
+  match Optimize.shrink_neighbors ~alpha:(alpha t) listed with
+  | kept, Some _ ->
+      node.neighbors <-
+        List.fold_left
+          (fun m (nb : Neighbor.t) -> IMap.add nb.id nb m)
+          IMap.empty kept;
+      let needed =
+        List.fold_left
+          (fun acc (nb : Neighbor.t) -> Float.max acc nb.link_power)
+          0. kept
+      in
+      node.power <- Float.max t.p0 (Float.min (max_power t) needed)
+  | _, None -> ()
+
+let heard t node src = node.last_heard <- IMap.add src (now t) node.last_heard
+
+let on_hello t (r : msg Airnet.Net.recv) =
+  let me = t.nodes.(r.dst) in
+  heard t me r.src;
+  let link_power =
+    Radio.Pathloss.estimate_link_power t.pathloss ~tx_power:r.tx_power
+      ~rx_power:r.rx_power
+  in
+  me.acked <- IMap.add r.src link_power me.acked;
+  ignore (Airnet.Net.send t.net ~src:r.dst ~dst:r.src ~power:link_power Ack)
+
+let on_ack t (r : msg Airnet.Net.recv) =
+  let me = t.nodes.(r.dst) in
+  heard t me r.src;
+  let link_power =
+    Radio.Pathloss.estimate_link_power t.pathloss ~tx_power:r.tx_power
+      ~rx_power:r.rx_power
+  in
+  let tag =
+    match IMap.find_opt r.src me.neighbors with
+    | Some old -> Float.min old.Neighbor.tag me.power
+    | None -> me.power
+  in
+  me.neighbors <-
+    IMap.add r.src
+      (Neighbor.make ~id:r.src ~dir:r.rx_dir ~link_power ~tag)
+      me.neighbors
+
+let ndp_timeout t =
+  Stdlib.float_of_int t.params.miss_limit *. t.params.beacon_interval
+
+(* NDP semantics (Section 4): a beacon from [v] is a join iff nothing was
+   heard from [v] during the previous timeout interval — not merely "[v]
+   is not currently a selected neighbor", which would make every beacon
+   from a shrunk-away node a fresh join. *)
+let on_beacon t (r : msg Airnet.Net.recv) =
+  let me = t.nodes.(r.dst) in
+  let is_join =
+    match IMap.find_opt r.src me.last_heard with
+    | None -> true
+    | Some when_ -> now t -. when_ > ndp_timeout t
+  in
+  heard t me r.src;
+  let link_power =
+    Radio.Pathloss.estimate_link_power t.pathloss ~tx_power:r.tx_power
+      ~rx_power:r.rx_power
+  in
+  if is_join then begin
+    log_event t r.dst r.src Join;
+    me.neighbors <-
+      IMap.add r.src
+        (Neighbor.make ~id:r.src ~dir:r.rx_dir ~link_power ~tag:link_power)
+        me.neighbors;
+    shrink t me
+  end
+  else
+    match IMap.find_opt r.src me.neighbors with
+    | None -> ()
+    | Some nb ->
+        if Geom.Angle.diff nb.Neighbor.dir r.rx_dir > t.params.dir_tolerance
+        then begin
+          log_event t r.dst r.src Achange;
+          me.neighbors <-
+            IMap.add r.src
+              (Neighbor.make ~id:r.src ~dir:r.rx_dir ~link_power
+                 ~tag:(Float.min nb.Neighbor.tag link_power))
+              me.neighbors;
+          if has_gap t me then
+            trigger_growth t me ~start:(out_reach_power me)
+          else shrink t me
+        end
+
+let on_recv t (r : msg Airnet.Net.recv) =
+  match r.payload with
+  | Hello -> on_hello t r
+  | Ack -> on_ack t r
+  | Beacon -> on_beacon t r
+
+let expire t node =
+  let timeout = ndp_timeout t in
+  let stale src =
+    match IMap.find_opt src node.last_heard with
+    | Some when_ -> now t -. when_ > timeout
+    | None -> true
+  in
+  let left = IMap.filter (fun src _ -> stale src) node.neighbors in
+  if not (IMap.is_empty left) then begin
+    IMap.iter (fun src _ -> log_event t node.id src Leave) left;
+    node.neighbors <- IMap.filter (fun src _ -> not (stale src)) node.neighbors;
+    if has_gap t node then trigger_growth t node ~start:(out_reach_power node)
+  end;
+  node.acked <- IMap.filter (fun src _ -> not (stale src)) node.acked;
+  (* Drop stale liveness records so a re-appearing node counts as a join. *)
+  node.last_heard <-
+    IMap.filter (fun _ when_ -> now t -. when_ <= timeout) node.last_heard
+
+(* A node's NDP timers: beacon every interval, expire-check offset by
+   half an interval.  Both stop themselves when the node crashes. *)
+let start_ndp t node =
+  let rec beacon = lazy
+    (Dsim.Periodic.start t.sim ~initial_delay:0.
+       ~interval:t.params.beacon_interval (fun () ->
+         if alive t node.id then
+           ignore
+             (Airnet.Net.bcast t.net ~src:node.id
+                ~power:(beacon_power t node) Beacon)
+         else Dsim.Periodic.stop (Lazy.force beacon)))
+  in
+  let rec expire_timer = lazy
+    (Dsim.Periodic.start t.sim
+       ~initial_delay:(t.params.beacon_interval /. 2.)
+       ~interval:t.params.beacon_interval (fun () ->
+         if alive t node.id then expire t node
+         else Dsim.Periodic.stop (Lazy.force expire_timer)))
+  in
+  ignore (Lazy.force beacon);
+  ignore (Lazy.force expire_timer)
+
+let create ?(channel = Dsim.Channel.reliable) ?(seed = 1)
+    ?(params = default_params) config pathloss positions =
+  let p0, growth_factor = growth_params config in
+  if params.beacon_interval <= 0. || params.miss_limit < 1
+     || params.hello_repeats < 1
+  then invalid_arg "Reconfig.create: bad params";
+  let sim = Dsim.Sim.create () in
+  let prng = Prng.create ~seed in
+  let net =
+    Airnet.Net.create ~sim ~pathloss ~channel ~prng:(Prng.split prng)
+      ~positions
+  in
+  let nodes =
+    Array.init (Array.length positions) (fun id ->
+        {
+          id;
+          growing = false;
+          power = p0;
+          basic_power = p0;
+          schedule = [];
+          neighbors = IMap.empty;
+          last_heard = IMap.empty;
+          acked = IMap.empty;
+          boundary = false;
+        })
+  in
+  let t =
+    {
+      config;
+      pathloss;
+      params;
+      channel;
+      sim;
+      net;
+      nodes;
+      events = [];
+      last_activity = 0.;
+      growth_factor;
+      p0;
+    }
+  in
+  Array.iteri (fun u _ -> Airnet.Net.set_handler net u (on_recv t)) nodes;
+  (* Initial CBTC(alpha) run to convergence, then start the NDP. *)
+  Array.iter (fun node -> trigger_growth t node ~start:t.p0) nodes;
+  ignore (Dsim.Sim.run sim);
+  let t0 = now t in
+  Array.iter
+    (fun node ->
+      node.last_heard <- IMap.map (fun _ -> t0) node.last_heard;
+      start_ndp t node)
+    nodes;
+  t.last_activity <- t0;
+  t
+
+let run_for t ~duration =
+  if duration < 0. then invalid_arg "Reconfig.run_for: negative duration";
+  ignore (Dsim.Sim.run_until t.sim ~time:(now t +. duration))
+
+let set_position t u p = Airnet.Net.set_position t.net u p
+
+let crash t u = Airnet.Net.crash t.net u
+
+let neighbor_list t node =
+  if not (alive t node.id) then []
+  else
+    IMap.fold
+      (fun _ nb acc -> if alive t nb.Neighbor.id then nb :: acc else acc)
+      node.neighbors []
+    |> List.sort Neighbor.compare_by_link_power
+
+let topology t =
+  let g = Graphkit.Ugraph.create (nb_nodes t) in
+  Array.iter
+    (fun node ->
+      List.iter
+        (fun (nb : Neighbor.t) -> Graphkit.Ugraph.add_edge g node.id nb.id)
+        (neighbor_list t node))
+    t.nodes;
+  g
+
+let discovery t =
+  {
+    Discovery.config = t.config;
+    pathloss = t.pathloss;
+    positions = positions t;
+    neighbors = Array.map (neighbor_list t) t.nodes;
+    power = Array.map (fun node -> node.power) t.nodes;
+    boundary = Array.map (fun node -> node.boundary) t.nodes;
+  }

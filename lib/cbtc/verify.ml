@@ -1,0 +1,63 @@
+let run ?(complete = false) ?(minimal = false) (d : Discovery.t) =
+  let n = Discovery.nb_nodes d in
+  let alpha = d.config.Config.alpha in
+  let pathloss = d.pathloss in
+  let max_power = Radio.Pathloss.max_power pathloss in
+  let fail fmt = Fmt.kstr failwith fmt in
+  let eps = 1e-9 in
+  for u = 0 to n - 1 do
+    let pos_u = d.positions.(u) in
+    let power = d.power.(u) in
+    let true_dir (nb : Neighbor.t) =
+      Geom.Vec2.direction ~from:pos_u ~toward:d.positions.(nb.id)
+    in
+    List.iter
+      (fun (nb : Neighbor.t) ->
+        let dist = Geom.Vec2.dist pos_u d.positions.(nb.id) in
+        if not (Radio.Pathloss.in_range pathloss ~dist) then
+          fail "Verify: node %d lists out-of-range neighbor %d (d=%g)" u nb.id
+            dist;
+        if not (Radio.Pathloss.reaches pathloss ~power ~dist) then
+          fail "Verify: node %d cannot reach neighbor %d at power %g" u nb.id
+            power;
+        if nb.tag > power *. (1. +. eps) +. eps then
+          fail "Verify: node %d neighbor %d tagged %g above power %g" u nb.id
+            nb.tag power)
+      d.neighbors.(u);
+    let dirs = List.map true_dir d.neighbors.(u) in
+    if d.boundary.(u) then begin
+      if power < max_power *. (1. -. 1e-9) then
+        fail "Verify: boundary node %d converged below max power (%g < %g)" u
+          power max_power
+    end
+    else if Geom.Dirset.has_gap ~alpha dirs then
+      fail "Verify: non-boundary node %d has a true geometric %g-gap" u alpha;
+    if complete then
+      for v = 0 to n - 1 do
+        if
+          v <> u
+          && Radio.Pathloss.reaches pathloss ~power
+               ~dist:(Geom.Vec2.dist pos_u d.positions.(v))
+          && not
+               (List.exists (fun (nb : Neighbor.t) -> nb.id = v) d.neighbors.(u))
+        then
+          fail "Verify: node %d should have discovered reachable node %d" u v
+      done;
+    if minimal && not d.boundary.(u) then begin
+      (* Exact growth: the strictly-closer prefix must still have a gap,
+         otherwise the node could have stopped earlier. *)
+      let strictly_below =
+        List.filter
+          (fun (nb : Neighbor.t) ->
+            Radio.Pathloss.power_for_distance pathloss
+              (Geom.Vec2.dist pos_u d.positions.(nb.id))
+            < power *. (1. -. 1e-12))
+          d.neighbors.(u)
+      in
+      if
+        List.length strictly_below < List.length d.neighbors.(u)
+        && not
+             (Geom.Dirset.has_gap ~alpha (List.map true_dir strictly_below))
+      then fail "Verify: node %d converged above the minimal power" u
+    end
+  done

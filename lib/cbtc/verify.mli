@@ -1,0 +1,22 @@
+(** Independent verification of a converged CBTC state.
+
+    Recomputes everything from node positions — deliberately not trusting
+    the directions, link powers, or gap flags stored in the
+    {!Discovery.t} — and checks the algorithm's defining guarantees.
+    Used by the test suite for differential verification of both the
+    oracle and the distributed protocol. *)
+
+(** [run ?complete ?minimal d] raises [Failure] describing the first
+    violated guarantee:
+
+    - every discovered neighbor lies within radio range and within the
+      node's converged power (tags never exceed the final power);
+    - every non-boundary node's {e true geometric} neighbor directions
+      leave no [alpha]-gap;
+    - every boundary node converged at maximum power;
+    - with [complete = true] (oracle / reliable-channel outcomes): every
+      node physically reachable at the converged power was discovered;
+    - with [minimal = true] (exact growth only): the converged power is
+      minimal — the neighbors strictly below the final power do not by
+      themselves cover the circle for non-boundary nodes. *)
+val run : ?complete:bool -> ?minimal:bool -> Discovery.t -> unit

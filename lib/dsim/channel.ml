@@ -1,0 +1,32 @@
+type t = {
+  loss : float;
+  duplicate : float;
+  min_delay : float;
+  max_delay : float;
+}
+
+let reliable = { loss = 0.; duplicate = 0.; min_delay = 1.; max_delay = 1. }
+
+let make ?(loss = 0.) ?(duplicate = 0.) ?(min_delay = 1.) ?(max_delay = 1.) () =
+  if loss < 0. || loss >= 1. then invalid_arg "Channel.make: loss out of [0,1)";
+  if duplicate < 0. || duplicate > 1. then
+    invalid_arg "Channel.make: duplicate out of [0,1]";
+  if min_delay < 0. || max_delay < min_delay then
+    invalid_arg "Channel.make: bad delay range";
+  { loss; duplicate; min_delay; max_delay }
+
+let random_delay t prng =
+  if t.max_delay = t.min_delay then t.min_delay
+  else Prng.uniform prng ~lo:t.min_delay ~hi:t.max_delay
+
+let deliver t sim prng f =
+  let copies = ref 0 in
+  let attempt () =
+    if not (Prng.bool prng ~p:t.loss) then begin
+      incr copies;
+      ignore (Sim.schedule sim ~delay:(random_delay t prng) f)
+    end
+  in
+  attempt ();
+  if t.duplicate > 0. && Prng.bool prng ~p:t.duplicate then attempt ();
+  !copies

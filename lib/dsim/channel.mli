@@ -1,0 +1,34 @@
+(** Channel fault models.
+
+    Section 4 of the paper relaxes the reliable synchronous channel to an
+    asynchronous one where messages may be lost or duplicated.  A channel
+    configuration describes per-delivery behaviour; {!deliver} turns one
+    logical transmission into zero or more scheduled receive events. *)
+
+type t = {
+  loss : float;  (** independent probability a copy is dropped *)
+  duplicate : float;  (** probability an extra copy is delivered *)
+  min_delay : float;  (** lower bound on propagation + processing delay *)
+  max_delay : float;  (** upper bound (uniform between the bounds) *)
+}
+
+(** Lossless, duplicate-free, unit delay — the paper's synchronous model. *)
+val reliable : t
+
+(** [make ?loss ?duplicate ?min_delay ?max_delay ()] with defaults equal
+    to {!reliable}.
+    @raise Invalid_argument on probabilities outside [0, 1) for loss /
+    [0, 1\] for duplicate, or an empty or negative delay range. *)
+val make :
+  ?loss:float ->
+  ?duplicate:float ->
+  ?min_delay:float ->
+  ?max_delay:float ->
+  unit ->
+  t
+
+(** [deliver t sim prng f] schedules [f] for each surviving copy of one
+    transmission: the primary copy survives with probability [1 - loss];
+    an extra duplicate is delivered with probability [duplicate] (also
+    subject to loss).  Returns the number of copies scheduled. *)
+val deliver : t -> Sim.t -> Prng.t -> (unit -> unit) -> int

@@ -1,0 +1,21 @@
+(** Pending-event queue for the simulator: a binary min-heap ordered by
+    (time, insertion sequence), so simultaneous events fire in FIFO
+    order — a determinism requirement for reproducible runs. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+(** [push t ~time v] enqueues [v] at [time]. *)
+val push : 'a t -> time:float -> 'a -> unit
+
+(** [pop t] removes and returns the earliest event as [(time, v)].
+    @raise Not_found when empty. *)
+val pop : 'a t -> float * 'a
+
+(** [peek_time t] is the time of the earliest event without removing it. *)
+val peek_time : 'a t -> float option

@@ -1,0 +1,21 @@
+type t = { mutable enabled : bool; mutable entries : (float * string) list }
+
+let create ?(enabled = true) () = { enabled; entries = [] }
+
+let enabled t = t.enabled
+
+let set_enabled t flag = t.enabled <- flag
+
+let record t ~time fmt =
+  Format.kasprintf
+    (fun s -> if t.enabled then t.entries <- (time, s) :: t.entries)
+    fmt
+
+let entries t = List.rev t.entries
+
+let length t = List.length t.entries
+
+let clear t = t.entries <- []
+
+let pp ppf t =
+  List.iter (fun (time, s) -> Fmt.pf ppf "[%10.3f] %s@." time s) (entries t)

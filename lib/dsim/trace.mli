@@ -1,0 +1,24 @@
+(** Lightweight event traces for debugging and assertions in tests.
+
+    A trace records timestamped strings; recording is O(1) per entry and
+    disabled traces cost nothing. *)
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+
+(** [record t ~time fmt ...] appends an entry when enabled. *)
+val record : t -> time:float -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+(** [entries t] in chronological (recording) order. *)
+val entries : t -> (float * string) list
+
+val length : t -> int
+
+val clear : t -> unit
+
+val pp : t Fmt.t

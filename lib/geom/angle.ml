@@ -1,0 +1,29 @@
+let pi = Float.pi
+
+let two_pi = 2. *. pi
+
+let five_pi_six = 5. *. pi /. 6.
+
+let two_pi_three = 2. *. pi /. 3.
+
+let pi_three = pi /. 3.
+
+let normalize a =
+  let r = Float.rem a two_pi in
+  if r < 0. then r +. two_pi else if r >= two_pi then 0. else r
+
+let ccw_delta a b = normalize (b -. a)
+
+let diff a b =
+  let d = ccw_delta a b in
+  if d > pi then two_pi -. d else d
+
+let within a b ~half_width = diff a b <= half_width
+
+let of_degrees d = d *. pi /. 180.
+
+let to_degrees r = r *. 180. /. pi
+
+let equal ?(eps = 1e-9) a b = diff a b <= eps
+
+let pp ppf a = Fmt.pf ppf "%.4f rad (%.1f deg)" a (to_degrees a)

@@ -1,0 +1,36 @@
+type t = { center : Vec2.t; radius : float }
+
+let make ~center ~radius =
+  if radius < 0. then invalid_arg "Circle.make: negative radius";
+  { center; radius }
+
+let contains ?(eps = 1e-9) c p = Vec2.dist c.center p <= c.radius +. eps
+
+let on_boundary ?(eps = 1e-9) c p =
+  Float.abs (Vec2.dist c.center p -. c.radius) <= eps
+
+let point_at c theta = Vec2.add c.center (Vec2.of_polar ~r:c.radius ~theta)
+
+let intersect a b =
+  let d = Vec2.dist a.center b.center in
+  if d = 0. then []
+  else if d > a.radius +. b.radius then []
+  else if d < Float.abs (a.radius -. b.radius) then []
+  else
+    (* Distance from [a.center] to the chord's foot along the center line. *)
+    let x =
+      ((d *. d) +. (a.radius *. a.radius) -. (b.radius *. b.radius)) /. (2. *. d)
+    in
+    let h2 = (a.radius *. a.radius) -. (x *. x) in
+    let axis = Vec2.direction ~from:a.center ~toward:b.center in
+    let foot = Vec2.add a.center (Vec2.of_polar ~r:x ~theta:axis) in
+    if h2 <= 0. then [ foot ]
+    else
+      let h = sqrt h2 in
+      let perp = axis +. (Float.pi /. 2.) in
+      let p1 = Vec2.add foot (Vec2.of_polar ~r:h ~theta:perp) in
+      let p2 = Vec2.add foot (Vec2.of_polar ~r:(-.h) ~theta:perp) in
+      let ang p = Vec2.direction ~from:a.center ~toward:p in
+      if ang p1 <= ang p2 then [ p1; p2 ] else [ p2; p1 ]
+
+let pp ppf c = Fmt.pf ppf "circle(%a, r=%g)" Vec2.pp c.center c.radius

@@ -1,0 +1,28 @@
+(** Circles in the plane.
+
+    Used by the Theorem 2.4 counterexample construction (intersection
+    points [s], [s'] of the two radius-R circles in Figure 5) and by
+    visualization. *)
+
+type t = { center : Vec2.t; radius : float }
+
+val make : center:Vec2.t -> radius:float -> t
+
+(** [contains ?eps c p] holds when [p] is inside or on [c]. *)
+val contains : ?eps:float -> t -> Vec2.t -> bool
+
+(** [on_boundary ?eps c p] holds when [p] is at distance [radius] from the
+    center, within [eps]. *)
+val on_boundary : ?eps:float -> t -> Vec2.t -> bool
+
+(** [intersect a b] is the list of intersection points of the two circle
+    boundaries: [\[\]] (disjoint or one inside the other, or identical),
+    one point (tangency), or two points.  Two points are returned in
+    order of increasing angle from [a]'s center. *)
+val intersect : t -> t -> Vec2.t list
+
+(** [point_at c theta] is the boundary point of [c] in direction [theta]
+    from its center. *)
+val point_at : t -> float -> Vec2.t
+
+val pp : t Fmt.t

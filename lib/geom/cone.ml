@@ -1,0 +1,21 @@
+type t = { apex : Vec2.t; alpha : float; axis : float }
+
+let of_axis ~apex ~alpha ~axis =
+  if alpha < 0. then invalid_arg "Cone: negative alpha";
+  { apex; alpha; axis = Angle.normalize axis }
+
+let make ~apex ~alpha ~toward =
+  if Vec2.equal ~eps:0. apex toward then
+    invalid_arg "Cone.make: axis point coincides with apex";
+  of_axis ~apex ~alpha ~axis:(Vec2.direction ~from:apex ~toward)
+
+let mem_dir ?(eps = 1e-9) t theta =
+  Angle.diff t.axis theta <= (t.alpha /. 2.) +. eps
+
+let mem ?eps t p =
+  (not (Vec2.equal ~eps:0. t.apex p))
+  && mem_dir ?eps t (Vec2.direction ~from:t.apex ~toward:p)
+
+let pp ppf t =
+  Fmt.pf ppf "cone(apex=%a, alpha=%a, axis=%a)" Vec2.pp t.apex Angle.pp t.alpha
+    Angle.pp t.axis

@@ -1,0 +1,25 @@
+(** Cones in the plane, as used throughout the paper's proofs.
+
+    [cone(u, alpha, v)] is the cone of degree [alpha] with apex [u],
+    bisected by the ray from [u] through [v] (Figure 3 of the paper). *)
+
+type t = { apex : Vec2.t; alpha : float; axis : float }
+
+(** [make ~apex ~alpha ~toward] is the cone of degree [alpha] at [apex]
+    bisected by the ray toward the point [toward].
+    @raise Invalid_argument if [toward] coincides with [apex]. *)
+val make : apex:Vec2.t -> alpha:float -> toward:Vec2.t -> t
+
+(** [of_axis ~apex ~alpha ~axis] builds a cone directly from an axis
+    direction. *)
+val of_axis : apex:Vec2.t -> alpha:float -> axis:float -> t
+
+(** [mem ?eps cone p] holds when [p] lies inside the (closed) cone.  The
+    apex itself is not a member. *)
+val mem : ?eps:float -> t -> Vec2.t -> bool
+
+(** [mem_dir ?eps cone theta] holds when direction [theta] from the apex
+    lies within the cone's angular extent. *)
+val mem_dir : ?eps:float -> t -> float -> bool
+
+val pp : t Fmt.t

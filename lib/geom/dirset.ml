@@ -1,0 +1,38 @@
+let sort_directions dirs =
+  List.sort_uniq Float.compare (List.map Angle.normalize dirs)
+
+let gaps_of_sorted sorted =
+  match sorted with
+  | [] -> []
+  | first :: _ ->
+      let rec consecutive acc = function
+        | [] -> List.rev acc
+        | [ last ] -> List.rev ((last, Angle.ccw_delta last first) :: acc)
+        | a :: (b :: _ as rest) -> consecutive ((a, b -. a) :: acc) rest
+      in
+      consecutive [] sorted
+
+let max_gap dirs =
+  match sort_directions dirs with
+  | [] | [ _ ] -> Angle.two_pi
+  | sorted ->
+      List.fold_left (fun acc (_, g) -> Float.max acc g) 0. (gaps_of_sorted sorted)
+
+let widest_gap dirs =
+  match sort_directions dirs with
+  | [] -> None
+  | [ d ] -> Some (d, Angle.two_pi)
+  | sorted ->
+      let best =
+        List.fold_left
+          (fun (bs, bg) (s, g) -> if g > bg then (s, g) else (bs, bg))
+          (0., -1.) (gaps_of_sorted sorted)
+      in
+      Some best
+
+let has_gap ?(eps = 1e-9) ~alpha dirs = max_gap dirs > alpha +. eps
+
+let cover ~alpha dirs = Arcset.of_directions ~alpha dirs
+
+let covers_circle ?eps ~alpha dirs =
+  match dirs with [] -> false | _ :: _ -> not (has_gap ?eps ~alpha dirs)

@@ -1,0 +1,36 @@
+(** Sets of directions and the CBTC gap test.
+
+    A node running CBTC(alpha) accumulates the directions of its discovered
+    neighbors; the algorithm keeps growing power while there is an
+    {e alpha-gap} — a maximal circular gap between consecutive directions
+    strictly greater than [alpha], which is equivalent to the existence of
+    a cone of degree [alpha] containing no neighbor (Section 2 of the
+    paper). *)
+
+(** [max_gap dirs] is the largest circular gap between consecutive
+    directions of [dirs].  It is [2pi] when [dirs] has fewer than two
+    distinct directions (the empty set and singletons leave the whole
+    circle uncovered). *)
+val max_gap : float list -> float
+
+(** [has_gap ?eps ~alpha dirs] holds when [dirs] leaves some cone of degree
+    [alpha] empty, i.e. when [max_gap dirs > alpha + eps].  The tolerance
+    [eps] (default [1e-9]) makes exact-boundary constructions, where the
+    widest gap equals [alpha], deterministically gap-free as in the paper's
+    strict inequality. *)
+val has_gap : ?eps:float -> alpha:float -> float list -> bool
+
+(** [widest_gap dirs] is [Some (start, width)] for the widest gap, where
+    [start] is the direction at which the gap begins (going
+    counterclockwise), or [None] when [dirs] is empty. *)
+val widest_gap : float list -> (float * float) option
+
+(** [cover ~alpha dirs] is the paper's coverage operator
+    [cover_alpha(dirs)]: the set of directions within [alpha/2] of some
+    member of [dirs]. *)
+val cover : alpha:float -> float list -> Arcset.t
+
+(** [covers_circle ?eps ~alpha dirs] holds when [cover ~alpha dirs] is the
+    full circle; equivalent to [not (has_gap ~alpha dirs)] for nonempty
+    [dirs]. *)
+val covers_circle : ?eps:float -> alpha:float -> float list -> bool

@@ -1,0 +1,69 @@
+(* Andrew's monotone chain over index arrays, so both entry points share
+   one implementation. *)
+
+let cross_of positions o a b =
+  Vec2.cross (Vec2.sub positions.(a) positions.(o)) (Vec2.sub positions.(b) positions.(o))
+
+let hull_indices positions =
+  let n = Array.length positions in
+  if n = 0 then []
+  else begin
+    let order = Array.init n Fun.id in
+    Array.sort
+      (fun a b ->
+        Stdlib.compare
+          (positions.(a).Vec2.x, positions.(a).Vec2.y)
+          (positions.(b).Vec2.x, positions.(b).Vec2.y))
+      order;
+    (* drop duplicate points *)
+    let distinct =
+      Array.to_list order
+      |> List.fold_left
+           (fun acc i ->
+             match acc with
+             | j :: _ when Vec2.equal ~eps:0. positions.(i) positions.(j) -> acc
+             | _ -> i :: acc)
+           []
+      |> List.rev
+    in
+    match distinct with
+    | [] | [ _ ] | [ _; _ ] -> distinct
+    | _ ->
+        let half direction =
+          List.fold_left
+            (fun acc p ->
+              let rec pop = function
+                | a :: (b :: _ as rest)
+                  when direction *. cross_of positions b a p <= 0. ->
+                    pop rest
+                | acc -> acc
+              in
+              p :: pop acc)
+            [] distinct
+          |> List.rev
+        in
+        let lower = half 1. in
+        let upper = half (-1.) in
+        (* each half includes both endpoints; drop the last of each *)
+        let trim l = List.filteri (fun i _ -> i < List.length l - 1) l in
+        trim lower @ trim (List.rev upper)
+  end
+
+let convex_hull points =
+  let arr = Array.of_list points in
+  List.map (fun i -> arr.(i)) (hull_indices arr)
+
+let contains hull p =
+  match hull with
+  | [] -> false
+  | [ q ] -> Vec2.equal ~eps:1e-9 p q
+  | _ ->
+      let rec edges = function
+        | a :: (b :: _ as rest) ->
+            Vec2.cross (Vec2.sub b a) (Vec2.sub p a) >= -1e-9 && edges rest
+        | [ last ] ->
+            let first = List.hd hull in
+            Vec2.cross (Vec2.sub first last) (Vec2.sub p last) >= -1e-9
+        | [] -> true
+      in
+      edges hull

@@ -1,0 +1,20 @@
+(** Convex hulls (Andrew's monotone chain).
+
+    Used to analyze {e boundary nodes}: a CBTC node that ends at maximum
+    power with a cone gap is typically near the deployment's edge, and
+    the convex hull makes that notion precise. *)
+
+(** [convex_hull points] is the hull in counterclockwise order starting
+    from the lowest-leftmost point, without repeating the first point.
+    Collinear points on hull edges are excluded.  Degenerate inputs
+    (fewer than 3 distinct points, or all collinear) return the extreme
+    points found. *)
+val convex_hull : Vec2.t list -> Vec2.t list
+
+(** [hull_indices points] is the same computation returning indices into
+    the input array. *)
+val hull_indices : Vec2.t array -> int list
+
+(** [contains hull p] — point-in-convex-polygon for a CCW hull (boundary
+    counts as inside). *)
+val contains : Vec2.t list -> Vec2.t -> bool

@@ -1,0 +1,86 @@
+(* Iterative Tarjan lowlink: [disc] is the DFS discovery index, [low] the
+   smallest discovery index reachable through the subtree plus one back
+   edge.  A non-root is a cut vertex when some child's [low] cannot reach
+   above it; a root is one when it has two or more DFS children. *)
+
+type dfs_state = {
+  disc : int array;
+  low : int array;
+  parent : int array;
+  mutable time : int;
+  mutable articulation : bool array;
+  mutable bridge_acc : (int * int) list;
+}
+
+let dfs g st root =
+  let children_of_root = ref 0 in
+  (* Explicit stack of (node, remaining neighbor list). *)
+  let stack = ref [ (root, Ugraph.neighbors g root) ] in
+  st.disc.(root) <- st.time;
+  st.low.(root) <- st.time;
+  st.time <- st.time + 1;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (u, neighbors) :: rest -> (
+        match neighbors with
+        | [] ->
+            stack := rest;
+            (* post-visit: propagate low to the parent *)
+            let p = st.parent.(u) in
+            if p >= 0 then begin
+              if st.low.(u) < st.low.(p) then st.low.(p) <- st.low.(u);
+              if st.low.(u) >= st.disc.(p) && st.parent.(p) >= 0 then
+                st.articulation.(p) <- true;
+              if st.low.(u) > st.disc.(p) then
+                st.bridge_acc <-
+                  (Stdlib.min u p, Stdlib.max u p) :: st.bridge_acc
+            end
+        | v :: more ->
+            stack := (u, more) :: rest;
+            if st.disc.(v) < 0 then begin
+              st.parent.(v) <- u;
+              if u = root then incr children_of_root;
+              st.disc.(v) <- st.time;
+              st.low.(v) <- st.time;
+              st.time <- st.time + 1;
+              stack := (v, Ugraph.neighbors g v) :: !stack
+            end
+            else if v <> st.parent.(u) && st.disc.(v) < st.low.(u) then
+              st.low.(u) <- st.disc.(v))
+  done;
+  if !children_of_root >= 2 then st.articulation.(root) <- true
+
+let analyze g =
+  let n = Ugraph.nb_nodes g in
+  let st =
+    {
+      disc = Array.make n (-1);
+      low = Array.make n 0;
+      parent = Array.make n (-1);
+      time = 0;
+      articulation = Array.make n false;
+      bridge_acc = [];
+    }
+  in
+  for root = 0 to n - 1 do
+    if st.disc.(root) < 0 then dfs g st root
+  done;
+  st
+
+let articulation_points g =
+  let st = analyze g in
+  let acc = ref [] in
+  for u = Ugraph.nb_nodes g - 1 downto 0 do
+    if st.articulation.(u) then acc := u :: !acc
+  done;
+  !acc
+
+let bridges g =
+  let st = analyze g in
+  List.sort Stdlib.compare st.bridge_acc
+
+let is_biconnected g =
+  Ugraph.nb_nodes g >= 3
+  && Traversal.is_connected g
+  && articulation_points g = []

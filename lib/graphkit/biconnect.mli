@@ -1,0 +1,16 @@
+(** Articulation points and bridges (Tarjan lowlink).
+
+    Topology control trades redundancy for power: a sparser graph has
+    more cut vertices.  Ramanathan and Rosales-Hain (cited by the paper)
+    optimize for biconnectivity outright; these functions measure how far
+    a controlled topology is from that ideal. *)
+
+(** [articulation_points g] lists the cut vertices in increasing order. *)
+val articulation_points : Ugraph.t -> int list
+
+(** [bridges g] lists the cut edges as [(u, v)] with [u < v]. *)
+val bridges : Ugraph.t -> (int * int) list
+
+(** [is_biconnected g] holds when [g] is connected, has at least three
+    nodes, and has no articulation point. *)
+val is_biconnected : Ugraph.t -> bool

@@ -1,0 +1,65 @@
+type 'a t = {
+  mutable keys : float array;
+  mutable vals : 'a option array;
+  mutable size : int;
+}
+
+let create () = { keys = Array.make 16 0.; vals = Array.make 16 None; size = 0 }
+
+let is_empty t = t.size = 0
+
+let size t = t.size
+
+let grow t =
+  let cap = Array.length t.keys in
+  let keys = Array.make (2 * cap) 0. in
+  let vals = Array.make (2 * cap) None in
+  Array.blit t.keys 0 keys 0 cap;
+  Array.blit t.vals 0 vals 0 cap;
+  t.keys <- keys;
+  t.vals <- vals
+
+let swap t i j =
+  let k = t.keys.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.keys.(j) <- k;
+  let v = t.vals.(i) in
+  t.vals.(i) <- t.vals.(j);
+  t.vals.(j) <- v
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.keys.(i) < t.keys.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.keys.(l) < t.keys.(!smallest) then smallest := l;
+  if r < t.size && t.keys.(r) < t.keys.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t key value =
+  if t.size = Array.length t.keys then grow t;
+  t.keys.(t.size) <- key;
+  t.vals.(t.size) <- Some value;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop_min t =
+  if t.size = 0 then raise Not_found;
+  let key = t.keys.(0) in
+  let value = match t.vals.(0) with Some v -> v | None -> assert false in
+  t.size <- t.size - 1;
+  t.keys.(0) <- t.keys.(t.size);
+  t.vals.(0) <- t.vals.(t.size);
+  t.vals.(t.size) <- None;
+  if t.size > 0 then sift_down t 0;
+  (key, value)

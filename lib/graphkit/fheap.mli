@@ -1,0 +1,19 @@
+(** Minimal binary min-heap keyed by floats, supporting lazy deletion.
+
+    Shared by Dijkstra and Prim.  Entries are [(key, value)]; duplicates
+    of a value with stale keys are tolerated (callers skip settled
+    values). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+
+(** [pop_min t] removes and returns the entry with the smallest key.
+    @raise Not_found when empty. *)
+val pop_min : 'a t -> float * 'a

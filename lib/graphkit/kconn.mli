@@ -1,0 +1,17 @@
+(** Small-k vertex connectivity.
+
+    [k = 1] is plain connectivity, [k = 2] biconnectivity; for higher [k]
+    we check by brute force that no set of [k - 1] vertices disconnects
+    the graph — exponential in [k] but entirely adequate for the
+    fault-tolerance experiments (k <= 3, n <= a few hundred). *)
+
+(** [is_k_connected g ~k] — vertex connectivity at least [k].  Follows
+    the usual convention that a graph with [n <= k] vertices is not
+    [k]-connected (except the complete graph criterion for tiny cases is
+    not needed here).
+    @raise Invalid_argument for [k < 1] or [k > 3]. *)
+val is_k_connected : Ugraph.t -> k:int -> bool
+
+(** [survives_node_removal g ~removed] — the graph restricted to the
+    other vertices is still connected (and non-empty). *)
+val survives_node_removal : Ugraph.t -> removed:int list -> bool

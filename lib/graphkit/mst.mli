@@ -1,0 +1,13 @@
+(** Minimum spanning forests (Prim with a float-keyed heap).
+
+    Used by the Euclidean-MST baseline: the sparsest connected subgraph of
+    [G_R], a natural lower bound on the average degree any
+    connectivity-preserving topology control can reach. *)
+
+(** [spanning_forest g ~weight] is the list of forest edges [(u, v)] with
+    [u < v].  Each connected component of [g] contributes its minimum
+    spanning tree. *)
+val spanning_forest : Ugraph.t -> weight:(int -> int -> float) -> (int * int) list
+
+(** [forest_graph g ~weight] is the same forest as a graph. *)
+val forest_graph : Ugraph.t -> weight:(int -> int -> float) -> Ugraph.t

@@ -1,0 +1,23 @@
+(** Breadth-first traversal, components, and hop distances. *)
+
+(** [components g] labels each node with a component id in
+    [0 .. nb_components - 1]; ids are assigned in order of the smallest
+    node of each component. *)
+val components : Ugraph.t -> int array
+
+val nb_components : Ugraph.t -> int
+
+val is_connected : Ugraph.t -> bool
+
+(** [same_component g u v]. *)
+val same_component : Ugraph.t -> int -> int -> bool
+
+(** [same_partition a b] holds when the two graphs (on the same node set)
+    induce exactly the same partition into connected components.  This is
+    the paper's connectivity-preservation criterion: [u] and [v] are
+    connected in [G_alpha] iff they are connected in [G_R]. *)
+val same_partition : Ugraph.t -> Ugraph.t -> bool
+
+(** [hop_distances g src] is the array of BFS hop counts from [src];
+    [max_int] for unreachable nodes. *)
+val hop_distances : Ugraph.t -> int -> int array

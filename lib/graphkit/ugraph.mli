@@ -1,0 +1,44 @@
+(** Mutable undirected simple graphs over dense integer node ids.
+
+    The topologies produced by CBTC and its optimizations ([G_alpha],
+    [Gs_alpha], [G-_alpha], the pairwise-reduced graph) are values of
+    this type. *)
+
+type t
+
+val create : int -> t
+
+val nb_nodes : t -> int
+
+val nb_edges : t -> int
+
+(** [add_edge g u v] adds the undirected edge [{u, v}]; idempotent.
+    Self-loops are rejected with [Invalid_argument]. *)
+val add_edge : t -> int -> int -> unit
+
+val remove_edge : t -> int -> int -> unit
+
+val mem_edge : t -> int -> int -> bool
+
+(** [neighbors g u] in increasing id order. *)
+val neighbors : t -> int -> int list
+
+val degree : t -> int -> int
+
+(** [edges g] lists each edge once as [(u, v)] with [u < v],
+    lexicographically. *)
+val edges : t -> (int * int) list
+
+val iter_edges : (int -> int -> unit) -> t -> unit
+
+val of_edges : int -> (int * int) list -> t
+
+val copy : t -> t
+
+(** [is_subgraph a b] holds when every edge of [a] is an edge of [b]
+    (node counts must agree). *)
+val is_subgraph : t -> t -> bool
+
+val equal : t -> t -> bool
+
+val pp : t Fmt.t

@@ -1,0 +1,32 @@
+type t = { parent : int array; rank : int array; mutable nb_sets : int }
+
+let create n =
+  if n < 0 then invalid_arg "Unionfind.create: negative size";
+  { parent = Array.init n Fun.id; rank = Array.make n 0; nb_sets = n }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx = ry then false
+  else begin
+    t.nb_sets <- t.nb_sets - 1;
+    if t.rank.(rx) < t.rank.(ry) then t.parent.(rx) <- ry
+    else if t.rank.(rx) > t.rank.(ry) then t.parent.(ry) <- rx
+    else begin
+      t.parent.(ry) <- rx;
+      t.rank.(rx) <- t.rank.(rx) + 1
+    end;
+    true
+  end
+
+let same t x y = find t x = find t y
+
+let nb_sets t = t.nb_sets

@@ -1,0 +1,21 @@
+(** Disjoint-set forests with union by rank and path compression.
+
+    Used by the connectivity-preservation checks (comparing the components
+    of a control topology against those of the max-power graph [G_R]) and
+    by Kruskal-style constructions. *)
+
+type t
+
+val create : int -> t
+
+(** [find t x] is the canonical representative of [x]'s set. *)
+val find : t -> int -> int
+
+(** [union t x y] merges the sets of [x] and [y]; returns [true] when the
+    sets were previously distinct. *)
+val union : t -> int -> int -> bool
+
+val same : t -> int -> int -> bool
+
+(** [nb_sets t] is the current number of disjoint sets. *)
+val nb_sets : t -> int

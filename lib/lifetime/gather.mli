@@ -1,0 +1,70 @@
+(** Network-lifetime simulation under many-to-one data gathering.
+
+    The model follows the paper's framing: a node owns {e one} configured
+    transmission power — enough to reach its farthest topology neighbor
+    (its per-node radius; the full range [R] when no topology control is
+    used).  Every round, each live node sends one packet to a sink along
+    the cheapest route in the current topology, where forwarding a packet
+    costs the transmitter [p(radius) + tx_overhead] and the receiver
+    [rx_overhead]; optionally, every other live node inside the
+    transmitter's disk also pays [rx_overhead] ({e overhearing} — the
+    interference cost that makes large radii so expensive).  When a
+    battery empties the node crash-stops and the topology is rebuilt over
+    the survivors at the next round boundary.
+
+    The outcome records the classic lifetime milestones: first death,
+    half dead, and sink partition (more than half of the live non-sink
+    nodes unable to reach the sink).  Comparing topologies through this
+    harness realizes the paper's lifetime and interference arguments
+    quantitatively. *)
+
+(** A controlled topology: the graph plus each node's configured
+    transmission radius (0 for isolated or dead nodes). *)
+type control = { graph : Graphkit.Ugraph.t; radius : float array }
+
+(** [builder ~alive positions] must return a control on the full node
+    set in which dead nodes are isolated with radius 0. *)
+type topology_builder = alive:bool array -> Geom.Vec2.t array -> control
+
+(** [cbtc_builder plan pathloss] reruns the CBTC pipeline over the live
+    nodes. *)
+val cbtc_builder : Cbtc.Pipeline.plan -> Radio.Pathloss.t -> topology_builder
+
+(** [max_power_builder pathloss] is the no-topology-control baseline:
+    [G_R] over the live nodes, every node at radius [R]. *)
+val max_power_builder : Radio.Pathloss.t -> topology_builder
+
+type params = {
+  capacity : float;  (** initial battery per node *)
+  tx_overhead : float;  (** fixed energy per transmission *)
+  rx_overhead : float;  (** fixed energy per reception *)
+  overhearing : bool;  (** charge bystanders inside the tx disk *)
+  max_rounds : int;
+}
+
+val default_params : params
+
+type outcome = {
+  first_death : int option;  (** round index (1-based) of the first death *)
+  half_dead : int option;
+  sink_partition : int option;
+  rounds_completed : int;
+  packets_delivered : int;
+  packets_dropped : int;
+  deaths : (int * int) list;  (** (round, node), chronological *)
+}
+
+(** [run ?params pathloss positions ~sink ~topology] simulates until
+    [max_rounds], total death of the non-sink population, or sink
+    partition.  The sink has infinite energy (it is the collection
+    point).
+    @raise Invalid_argument on a bad sink index. *)
+val run :
+  ?params:params ->
+  Radio.Pathloss.t ->
+  Geom.Vec2.t array ->
+  sink:int ->
+  topology:topology_builder ->
+  outcome
+
+val pp_outcome : outcome Fmt.t

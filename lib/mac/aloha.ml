@@ -1,0 +1,66 @@
+type params = { attempt_prob : float; slots : int }
+
+let default_params = { attempt_prob = 0.05; slots = 2000 }
+
+type result = {
+  offered : int;
+  delivered : int;
+  collisions : int;
+  busy_receiver : int;
+  goodput : float;
+}
+
+let run prng positions ~radius ~graph params =
+  let n = Array.length positions in
+  if Array.length radius <> n || Graphkit.Ugraph.nb_nodes graph <> n then
+    invalid_arg "Aloha.run: size mismatch";
+  if params.attempt_prob < 0. || params.attempt_prob > 1. then
+    invalid_arg "Aloha.run: attempt_prob out of [0,1]";
+  if params.slots < 0 then invalid_arg "Aloha.run: negative slots";
+  let neighbors = Array.init n (fun u -> Array.of_list (Graphkit.Ugraph.neighbors graph u)) in
+  let offered = ref 0 in
+  let delivered = ref 0 in
+  let collisions = ref 0 in
+  let busy_receiver = ref 0 in
+  (* per-slot scratch: the transmission each node makes, if any *)
+  let tx = Array.make n (-1) in
+  for _slot = 1 to params.slots do
+    for u = 0 to n - 1 do
+      tx.(u) <-
+        (if
+           Array.length neighbors.(u) > 0
+           && Prng.bool prng ~p:params.attempt_prob
+         then begin
+           incr offered;
+           Prng.choose prng neighbors.(u)
+         end
+         else -1)
+    done;
+    for u = 0 to n - 1 do
+      let dst = tx.(u) in
+      if dst >= 0 then
+        if tx.(dst) >= 0 then incr busy_receiver
+        else begin
+          (* interference: any other transmitter whose disk covers dst *)
+          let jammed = ref false in
+          for w = 0 to n - 1 do
+            if
+              (not !jammed) && w <> u && tx.(w) >= 0
+              && Geom.Vec2.dist positions.(w) positions.(dst) <= radius.(w)
+            then jammed := true
+          done;
+          if !jammed then incr collisions else incr delivered
+        end
+    done
+  done;
+  {
+    offered = !offered;
+    delivered = !delivered;
+    collisions = !collisions;
+    busy_receiver = !busy_receiver;
+    goodput =
+      (if n = 0 || params.slots = 0 then 0.
+       else
+         Stdlib.float_of_int !delivered
+         /. Stdlib.float_of_int (n * params.slots));
+  }

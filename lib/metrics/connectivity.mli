@@ -1,0 +1,20 @@
+(** Connectivity-preservation checks — the paper's core correctness
+    criterion (Theorem 2.1): two nodes are connected in the control
+    topology iff they are connected in the max-power graph [G_R]. *)
+
+(** [preserves ~reference g] holds when [g] induces exactly the same
+    connected-component partition as [reference]. *)
+val preserves : reference:Graphkit.Ugraph.t -> Graphkit.Ugraph.t -> bool
+
+(** [broken_pairs ~reference g] counts unordered node pairs connected in
+    [reference] but not in [g] — 0 iff no connectivity is lost.  (Pairs
+    gained cannot occur when [g] is a subgraph of [reference].) *)
+val broken_pairs : reference:Graphkit.Ugraph.t -> Graphkit.Ugraph.t -> int
+
+val nb_components : Graphkit.Ugraph.t -> int
+
+(** [isolated g] counts degree-0 nodes. *)
+val isolated : Graphkit.Ugraph.t -> int
+
+(** [giant_component_size g] is the size of the largest component. *)
+val giant_component_size : Graphkit.Ugraph.t -> int

@@ -1,0 +1,25 @@
+type t = { avg_coverage : float; max_coverage : int; total_coverage : int }
+
+let coverage positions ~radius =
+  let n = Array.length positions in
+  if Array.length radius <> n then
+    invalid_arg "Interference.coverage: length mismatch";
+  let max_coverage = ref 0 in
+  let total = ref 0 in
+  for u = 0 to n - 1 do
+    if radius.(u) > 0. then begin
+      let covered = ref 0 in
+      for v = 0 to n - 1 do
+        if v <> u && Geom.Vec2.dist positions.(u) positions.(v) <= radius.(u)
+        then incr covered
+      done;
+      total := !total + !covered;
+      if !covered > !max_coverage then max_coverage := !covered
+    end
+  done;
+  {
+    avg_coverage =
+      (if n = 0 then 0. else Stdlib.float_of_int !total /. Stdlib.float_of_int n);
+    max_coverage = !max_coverage;
+    total_coverage = !total;
+  }

@@ -1,0 +1,20 @@
+(** Interference proxy.
+
+    The paper's second motivation for topology control: "the greater the
+    power with which a node transmits, the greater the likelihood of the
+    transmission interfering with other transmissions".  The standard
+    receiver-centric proxy is {e coverage}: how many other nodes fall
+    inside a node's transmission disk, i.e. are disturbed whenever it
+    transmits. *)
+
+type t = {
+  avg_coverage : float;  (** mean nodes-per-transmission-disk *)
+  max_coverage : int;  (** most-disturbing node *)
+  total_coverage : int;
+}
+
+(** [coverage positions ~radius] computes the proxy for per-node
+    transmission radii (a node with radius [0.] — isolated — disturbs
+    nobody).
+    @raise Invalid_argument on array length mismatch. *)
+val coverage : Geom.Vec2.t array -> radius:float array -> t

@@ -1,0 +1,38 @@
+type row = Cells of string list | Rule
+
+type t = { columns : string list; mutable rows : row list }
+
+let create ~columns = { columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let widths t =
+  let rows = List.rev t.rows in
+  let update acc cells =
+    List.map2 (fun w c -> Stdlib.max w (String.length c)) acc cells
+  in
+  List.fold_left
+    (fun acc -> function Cells cells -> update acc cells | Rule -> acc)
+    (List.map String.length t.columns)
+    rows
+
+let pad width s = s ^ String.make (width - String.length s) ' '
+
+let pp ppf t =
+  let ws = widths t in
+  let render cells = String.concat "  " (List.map2 pad ws cells) in
+  let rule = String.concat "--" (List.map (fun w -> String.make w '-') ws) in
+  Fmt.pf ppf "%s@." (render t.columns);
+  Fmt.pf ppf "%s@." rule;
+  List.iter
+    (function
+      | Cells cells -> Fmt.pf ppf "%s@." (render cells)
+      | Rule -> Fmt.pf ppf "%s@." rule)
+    (List.rev t.rows)
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,18 @@
+(** Plain-text aligned tables, used by the benchmark harness to print the
+    Table 1 reproduction. *)
+
+type t
+
+(** [create ~columns] starts a table with the given header. *)
+val create : columns:string list -> t
+
+(** [add_row t cells] appends a row.
+    @raise Invalid_argument when the arity differs from the header. *)
+val add_row : t -> string list -> unit
+
+(** [add_rule t] appends a horizontal rule. *)
+val add_rule : t -> unit
+
+val pp : t Fmt.t
+
+val to_string : t -> string

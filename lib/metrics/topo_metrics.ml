@@ -1,0 +1,36 @@
+let degrees g =
+  Array.init (Graphkit.Ugraph.nb_nodes g) (fun u ->
+      Stdlib.float_of_int (Graphkit.Ugraph.degree g u))
+
+let avg_degree g =
+  let n = Graphkit.Ugraph.nb_nodes g in
+  if n = 0 then 0.
+  else
+    2.
+    *. Stdlib.float_of_int (Graphkit.Ugraph.nb_edges g)
+    /. Stdlib.float_of_int n
+
+let avg_radius radius =
+  let n = Array.length radius in
+  if n = 0 then 0. else Array.fold_left ( +. ) 0. radius /. Stdlib.float_of_int n
+
+let avg_power pathloss radius =
+  let n = Array.length radius in
+  if n = 0 then 0.
+  else
+    Array.fold_left
+      (fun acc r ->
+        acc +. if r = 0. then 0. else Radio.Pathloss.power_for_distance pathloss r)
+      0. radius
+    /. Stdlib.float_of_int n
+
+let total_edge_length positions g =
+  let total = ref 0. in
+  Graphkit.Ugraph.iter_edges
+    (fun u v -> total := !total +. Geom.Vec2.dist positions.(u) positions.(v))
+    g;
+  !total
+
+let degree_summary g = Stats.Summary.of_array (degrees g)
+
+let radius_summary radius = Stats.Summary.of_array radius

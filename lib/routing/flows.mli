@@ -1,0 +1,27 @@
+(** Congestion proxy: load concentration under many concurrent flows.
+
+    The paper's discussion warns that removing edges "may result in more
+    congestion and hence worse throughput".  This module quantifies that:
+    route a batch of unicast flows over a topology (minimum-hop or
+    minimum-energy paths) and measure how load concentrates on nodes and
+    links. *)
+
+type policy = Min_hop | Min_energy of Radio.Energy.t
+
+type load = {
+  flows_routed : int;  (** flows whose endpoints were connected *)
+  flows_failed : int;
+  max_node_load : int;  (** relayed+terminated flows at the busiest node *)
+  avg_node_load : float;
+  max_link_load : int;  (** flows through the busiest link *)
+  total_hops : int;
+}
+
+(** [measure ?policy positions g ~pairs] routes every pair and aggregates
+    the per-node and per-link flow counts.  Default policy [Min_hop]. *)
+val measure :
+  ?policy:policy ->
+  Geom.Vec2.t array ->
+  Graphkit.Ugraph.t ->
+  pairs:(int * int) list ->
+  load

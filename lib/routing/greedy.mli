@@ -1,0 +1,32 @@
+(** Greedy geographic forwarding.
+
+    Each hop forwards to the neighbor strictly closest to the destination
+    (closer than the current node); the route fails at a {e local
+    minimum} — a node with no closer neighbor.  Greedy routing is the
+    standard stateless routing companion of topology control, and its
+    success rate is a quality measure for a controlled topology. *)
+
+type result =
+  | Delivered of int list  (** full path, source and destination inclusive *)
+  | Stuck of { at : int; path : int list }
+      (** local minimum reached at [at]; [path] is the prefix walked *)
+
+(** [route g positions ~src ~dst] runs greedy forwarding on topology [g].
+    Terminates: each hop strictly decreases distance to [dst]. *)
+val route : Graphkit.Ugraph.t -> Geom.Vec2.t array -> src:int -> dst:int -> result
+
+type stats = {
+  attempts : int;
+  delivered : int;
+  avg_hops : float;  (** over delivered routes *)
+  avg_length_ratio : float;
+      (** delivered route length over straight-line distance *)
+}
+
+(** [evaluate g positions ~pairs] routes each (src, dst) pair and
+    aggregates. *)
+val evaluate :
+  Graphkit.Ugraph.t -> Geom.Vec2.t array -> pairs:(int * int) list -> stats
+
+(** [random_pairs prng ~n ~count] draws distinct random pairs. *)
+val random_pairs : Prng.t -> n:int -> count:int -> (int * int) list

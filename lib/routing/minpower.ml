@@ -1,0 +1,18 @@
+let link_cost energy positions u v =
+  Radio.Energy.link_cost energy (Geom.Vec2.dist positions.(u) positions.(v))
+
+let tree energy positions g ~src =
+  Graphkit.Shortest.dijkstra_tree g ~cost:(link_cost energy positions) ~src
+
+let route energy positions g ~src ~dst =
+  let dist, prev = tree energy positions g ~src in
+  match Graphkit.Shortest.path_to ~prev ~src dst with
+  | None -> None
+  | Some path -> Some (path, dist.(dst))
+
+let path_cost energy positions path =
+  let rec go acc = function
+    | a :: (b :: _ as rest) -> go (acc +. link_cost energy positions a b) rest
+    | [ _ ] | [] -> acc
+  in
+  go 0. path

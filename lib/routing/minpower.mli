@@ -1,0 +1,30 @@
+(** Minimum-energy routing over a controlled topology.
+
+    Routes along least-total-energy paths (Dijkstra with
+    [Radio.Energy.link_cost] edge weights), the routing model under which
+    the paper's power-stretch competitiveness statement is made. *)
+
+(** [route energy positions g ~src ~dst] is the least-energy path from
+    [src] to [dst] in [g] with its total cost, or [None] when
+    disconnected. *)
+val route :
+  Radio.Energy.t ->
+  Geom.Vec2.t array ->
+  Graphkit.Ugraph.t ->
+  src:int ->
+  dst:int ->
+  (int list * float) option
+
+(** [tree energy positions g ~src] is the least-energy route tree rooted
+    at [src]: per-node cost and predecessor arrays (see
+    {!Graphkit.Shortest.dijkstra_tree}).  Useful for many-to-one traffic
+    (data gathering toward a sink). *)
+val tree :
+  Radio.Energy.t ->
+  Geom.Vec2.t array ->
+  Graphkit.Ugraph.t ->
+  src:int ->
+  float array * int array
+
+(** [path_cost energy positions path] sums link costs along a node path. *)
+val path_cost : Radio.Energy.t -> Geom.Vec2.t array -> int list -> float

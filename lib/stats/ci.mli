@@ -1,0 +1,21 @@
+(** Confidence intervals for sample means (Student's t).
+
+    Used by the benchmark harness to report Table 1 aggregates with 95%
+    intervals instead of bare standard deviations. *)
+
+type t = { mean : float; lo : float; hi : float; half_width : float }
+
+(** [t95 ~df] is the two-sided 97.5% Student-t quantile for [df] degrees
+    of freedom (exact table for small [df], normal approximation past
+    120).
+    @raise Invalid_argument for [df < 1]. *)
+val t95 : df:int -> float
+
+(** [mean_ci95 xs] is the 95% confidence interval of the mean of [xs].
+    @raise Invalid_argument for samples of fewer than 2 points. *)
+val mean_ci95 : float array -> t
+
+(** [of_welford acc] computes the interval from an accumulator. *)
+val of_welford : Welford.t -> t
+
+val pp : t Fmt.t

@@ -1,0 +1,48 @@
+type t = {
+  lo : float;
+  hi : float;
+  bins : int;
+  counts : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if hi <= lo then invalid_arg "Histogram.create: empty range";
+  if bins <= 0 then invalid_arg "Histogram.create: non-positive bins";
+  { lo; hi; bins; counts = Array.make bins 0; underflow = 0; overflow = 0; total = 0 }
+
+let add t x =
+  t.total <- t.total + 1;
+  if x < t.lo then t.underflow <- t.underflow + 1
+  else if x >= t.hi then t.overflow <- t.overflow + 1
+  else
+    let width = (t.hi -. t.lo) /. Stdlib.float_of_int t.bins in
+    let i =
+      Stdlib.min (t.bins - 1) (Stdlib.int_of_float ((x -. t.lo) /. width))
+    in
+    t.counts.(i) <- t.counts.(i) + 1
+
+let count t = t.total
+
+let counts t = Array.copy t.counts
+
+let underflow t = t.underflow
+
+let overflow t = t.overflow
+
+let bucket_bounds t i =
+  if i < 0 || i >= t.bins then invalid_arg "Histogram.bucket_bounds";
+  let width = (t.hi -. t.lo) /. Stdlib.float_of_int t.bins in
+  (t.lo +. (Stdlib.float_of_int i *. width), t.lo +. (Stdlib.float_of_int (i + 1) *. width))
+
+let pp ?(width = 40) () ppf t =
+  let peak = Array.fold_left Stdlib.max 1 t.counts in
+  for i = 0 to t.bins - 1 do
+    let lo, hi = bucket_bounds t i in
+    let bar = t.counts.(i) * width / peak in
+    Fmt.pf ppf "[%8.1f, %8.1f) %6d %s@." lo hi t.counts.(i) (String.make bar '#')
+  done;
+  if t.underflow > 0 then Fmt.pf ppf "underflow %d@." t.underflow;
+  if t.overflow > 0 then Fmt.pf ppf "overflow %d@." t.overflow

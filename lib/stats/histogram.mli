@@ -1,0 +1,26 @@
+(** Fixed-width histograms with an ASCII rendering, used by the CLI and
+    examples to show degree/radius distributions. *)
+
+type t
+
+(** [create ~lo ~hi ~bins] covers [\[lo, hi)] with [bins] equal-width
+    buckets plus implicit underflow/overflow buckets.
+    @raise Invalid_argument when [hi <= lo] or [bins <= 0]. *)
+val create : lo:float -> hi:float -> bins:int -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+(** [counts t] is the per-bucket counts, excluding under/overflow. *)
+val counts : t -> int array
+
+val underflow : t -> int
+
+val overflow : t -> int
+
+(** [bucket_bounds t i] is the half-open interval covered by bucket [i]. *)
+val bucket_bounds : t -> int -> float * float
+
+(** [pp ?width] renders horizontal bars scaled to [width] (default 40). *)
+val pp : ?width:int -> unit -> t Fmt.t

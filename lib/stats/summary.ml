@@ -1,0 +1,66 @@
+type t = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p05 : float;
+  p25 : float;
+  p75 : float;
+  p95 : float;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Summary.percentile: empty sample";
+  if p < 0. || p > 100. then invalid_arg "Summary.percentile: out of range";
+  if n = 1 then sorted.(0)
+  else
+    let rank = p /. 100. *. Stdlib.float_of_int (n - 1) in
+    let lo = Stdlib.int_of_float (Float.floor rank) in
+    let hi = Stdlib.int_of_float (Float.ceil rank) in
+    if lo = hi then sorted.(lo)
+    else
+      let frac = rank -. Stdlib.float_of_int lo in
+      ((1. -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+
+let of_array xs =
+  let n = Array.length xs in
+  if n = 0 then
+    {
+      n = 0;
+      mean = Float.nan;
+      stddev = Float.nan;
+      min = Float.nan;
+      max = Float.nan;
+      median = Float.nan;
+      p05 = Float.nan;
+      p25 = Float.nan;
+      p75 = Float.nan;
+      p95 = Float.nan;
+    }
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort Float.compare sorted;
+    let acc = Welford.create () in
+    Array.iter (Welford.add acc) xs;
+    {
+      n;
+      mean = Welford.mean acc;
+      stddev = (if n < 2 then 0. else Welford.stddev acc);
+      min = sorted.(0);
+      max = sorted.(n - 1);
+      median = percentile sorted 50.;
+      p05 = percentile sorted 5.;
+      p25 = percentile sorted 25.;
+      p75 = percentile sorted 75.;
+      p95 = percentile sorted 95.;
+    }
+  end
+
+let of_list xs = of_array (Array.of_list xs)
+
+let pp ppf t =
+  Fmt.pf ppf "n=%d mean=%.3f sd=%.3f min=%.3f p25=%.3f med=%.3f p75=%.3f max=%.3f"
+    t.n t.mean t.stddev t.min t.p25 t.median t.p75 t.max

@@ -1,0 +1,28 @@
+(** Batch summaries of float samples: mean, spread, and percentiles. *)
+
+type t = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p05 : float;
+  p25 : float;
+  p75 : float;
+  p95 : float;
+}
+
+(** [of_list xs] / [of_array xs] summarize a sample.  All fields are [nan]
+    when the sample is empty ([n = 0]). *)
+val of_list : float list -> t
+
+val of_array : float array -> t
+
+(** [percentile sorted p] is the [p]-th percentile ([0 <= p <= 100]) of a
+    sample that is already sorted ascending, with linear interpolation
+    between order statistics.
+    @raise Invalid_argument when the sample is empty or [p] out of range. *)
+val percentile : float array -> float -> float
+
+val pp : t Fmt.t

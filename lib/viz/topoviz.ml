@@ -1,0 +1,94 @@
+type style = {
+  canvas : float;
+  margin : float;
+  node_radius : float;
+  show_labels : bool;
+  title : string option;
+}
+
+let default_style =
+  { canvas = 600.; margin = 20.; node_radius = 3.; show_labels = false;
+    title = None }
+
+let style ?(canvas = 600.) ?(margin = 20.) ?(node_radius = 3.)
+    ?(show_labels = false) ?title () =
+  { canvas; margin; node_radius; show_labels; title }
+
+let scaler style ~field_width ~field_height =
+  let usable = style.canvas -. (2. *. style.margin) in
+  let sx = usable /. field_width and sy = usable /. field_height in
+  let s = Float.min sx sy in
+  fun (p : Geom.Vec2.t) ->
+    (* SVG y grows downward; flip so the rendering matches the plane. *)
+    ( style.margin +. (p.Geom.Vec2.x *. s),
+      style.canvas -. style.margin -. (p.Geom.Vec2.y *. s) )
+
+let to_svg ?(style = default_style) ~field_width ~field_height positions g =
+  let scale = scaler style ~field_width ~field_height in
+  let shapes = ref [] in
+  let push s = shapes := s :: !shapes in
+  push
+    (Svg.rect ~fill:"white" ~stroke:"#cccccc" ~x:0. ~y:0. ~w:style.canvas
+       ~h:style.canvas ());
+  Graphkit.Ugraph.iter_edges
+    (fun u v ->
+      let x1, y1 = scale positions.(u) and x2, y2 = scale positions.(v) in
+      push (Svg.line ~stroke:"#4a6fa5" ~stroke_width:0.8 ~x1 ~y1 ~x2 ~y2 ()))
+    g;
+  Array.iteri
+    (fun u p ->
+      let cx, cy = scale p in
+      push (Svg.circle ~fill:"#222222" ~cx ~cy ~r:style.node_radius ());
+      if style.show_labels then
+        push
+          (Svg.text ~fill:"#666666" ~size:(3. *. style.node_radius)
+             ~x:(cx +. style.node_radius) ~y:(cy -. style.node_radius)
+             (string_of_int u)))
+    positions;
+  (match style.title with
+  | None -> ()
+  | Some title ->
+      push (Svg.text ~fill:"#000000" ~size:14. ~x:style.margin ~y:14. title));
+  Svg.document ~width:style.canvas ~height:style.canvas (List.rev !shapes)
+
+let write_svg ?style path ~field_width ~field_height positions g =
+  let doc = to_svg ?style ~field_width ~field_height positions g in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc doc)
+
+let to_ascii ?(cols = 72) ?(rows = 36) ~field_width ~field_height positions g =
+  if cols <= 1 || rows <= 1 then invalid_arg "Topoviz.to_ascii: grid too small";
+  let grid = Array.make_matrix rows cols ' ' in
+  let cell (p : Geom.Vec2.t) =
+    let c =
+      Stdlib.min (cols - 1)
+        (Stdlib.int_of_float (p.Geom.Vec2.x /. field_width *. Stdlib.float_of_int cols))
+    in
+    let r =
+      Stdlib.min (rows - 1)
+        (Stdlib.int_of_float (p.Geom.Vec2.y /. field_height *. Stdlib.float_of_int rows))
+    in
+    (rows - 1 - r, c)
+  in
+  (* Edges first so node markers overwrite them. *)
+  Graphkit.Ugraph.iter_edges
+    (fun u v ->
+      let r1, c1 = cell positions.(u) and r2, c2 = cell positions.(v) in
+      let steps = Stdlib.max (abs (r2 - r1)) (abs (c2 - c1)) in
+      for i = 1 to steps - 1 do
+        let t = Stdlib.float_of_int i /. Stdlib.float_of_int steps in
+        let r = r1 + Stdlib.int_of_float (t *. Stdlib.float_of_int (r2 - r1)) in
+        let c = c1 + Stdlib.int_of_float (t *. Stdlib.float_of_int (c2 - c1)) in
+        if grid.(r).(c) = ' ' then grid.(r).(c) <- '.'
+      done)
+    g;
+  Array.iter (fun p -> let r, c = cell p in grid.(r).(c) <- 'o') positions;
+  let buf = Buffer.create (rows * (cols + 1)) in
+  Array.iter
+    (fun row ->
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.contents buf

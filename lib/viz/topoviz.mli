@@ -1,0 +1,49 @@
+(** Topology rendering: the Figure 6 panels of the paper.
+
+    Renders node positions and an undirected edge set to SVG (or a coarse
+    ASCII grid for terminals), scaled to fit a square canvas. *)
+
+type style = {
+  canvas : float;  (** output square side, px *)
+  margin : float;
+  node_radius : float;
+  show_labels : bool;
+  title : string option;
+}
+
+val default_style : style
+
+val style :
+  ?canvas:float -> ?margin:float -> ?node_radius:float -> ?show_labels:bool ->
+  ?title:string -> unit -> style
+
+(** [to_svg ?style ~field_width ~field_height positions g] renders the
+    graph to an SVG document string. *)
+val to_svg :
+  ?style:style ->
+  field_width:float ->
+  field_height:float ->
+  Geom.Vec2.t array ->
+  Graphkit.Ugraph.t ->
+  string
+
+(** [write_svg ?style path ~field_width ~field_height positions g]. *)
+val write_svg :
+  ?style:style ->
+  string ->
+  field_width:float ->
+  field_height:float ->
+  Geom.Vec2.t array ->
+  Graphkit.Ugraph.t ->
+  unit
+
+(** [to_ascii ?cols ?rows ~field_width ~field_height positions g] renders
+    nodes ['o'] and edges ['.'] on a character grid. *)
+val to_ascii :
+  ?cols:int ->
+  ?rows:int ->
+  field_width:float ->
+  field_height:float ->
+  Geom.Vec2.t array ->
+  Graphkit.Ugraph.t ->
+  string

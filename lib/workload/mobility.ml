@@ -1,0 +1,176 @@
+type params = { speed_lo : float; speed_hi : float; pause : float }
+
+let default_params = { speed_lo = 5.; speed_hi = 20.; pause = 2. }
+
+type node = {
+  mutable pos : Geom.Vec2.t;
+  mutable waypoint : Geom.Vec2.t;
+  mutable speed : float;
+  mutable pausing : float;
+}
+
+type t = {
+  prng : Prng.t;
+  field : Placement.field;
+  params : params;
+  nodes : node array;
+  mutable frozen : bool;
+}
+
+let draw_waypoint t =
+  Geom.Vec2.make
+    (Prng.float t.prng t.field.Placement.width)
+    (Prng.float t.prng t.field.Placement.height)
+
+let draw_speed t =
+  if t.params.speed_hi = t.params.speed_lo then t.params.speed_lo
+  else Prng.uniform t.prng ~lo:t.params.speed_lo ~hi:t.params.speed_hi
+
+let create prng ~field ~params positions =
+  if params.speed_lo <= 0. || params.speed_hi < params.speed_lo then
+    invalid_arg "Mobility.create: bad speed range";
+  if params.pause < 0. then invalid_arg "Mobility.create: negative pause";
+  let t =
+    {
+      prng;
+      field;
+      params;
+      nodes =
+        Array.map
+          (fun p -> { pos = p; waypoint = p; speed = 0.; pausing = 0. })
+          positions;
+      frozen = false;
+    }
+  in
+  Array.iter
+    (fun node ->
+      node.waypoint <- draw_waypoint t;
+      node.speed <- draw_speed t)
+    t.nodes;
+  t
+
+let step_node t node ~dt =
+  let rec advance budget =
+    if budget > 0. then
+      if node.pausing > 0. then begin
+        let used = Float.min node.pausing budget in
+        node.pausing <- node.pausing -. used;
+        if node.pausing <= 0. then begin
+          node.waypoint <- draw_waypoint t;
+          node.speed <- draw_speed t
+        end;
+        advance (budget -. used)
+      end
+      else begin
+        let to_go = Geom.Vec2.dist node.pos node.waypoint in
+        let reach = node.speed *. budget in
+        if reach >= to_go then begin
+          node.pos <- node.waypoint;
+          node.pausing <- Float.max t.params.pause 1e-9;
+          advance (budget -. (if node.speed > 0. then to_go /. node.speed else budget))
+        end
+        else
+          node.pos <-
+            Geom.Vec2.lerp node.pos node.waypoint (reach /. to_go)
+      end
+  in
+  advance dt
+
+let step t ~dt =
+  if dt < 0. then invalid_arg "Mobility.step: negative dt";
+  if not t.frozen then Array.iter (fun node -> step_node t node ~dt) t.nodes
+
+let positions t = Array.map (fun node -> node.pos) t.nodes
+
+let position t u = t.nodes.(u).pos
+
+let freeze t = t.frozen <- true
+
+module Direction = struct
+  type dnode = {
+    mutable pos : Geom.Vec2.t;
+    mutable heading : float;
+    mutable speed : float;
+    mutable pausing : float;
+  }
+
+  type nonrec t = {
+    prng : Prng.t;
+    field : Placement.field;
+    params : params;
+    nodes : dnode array;
+    mutable frozen : bool;
+  }
+
+  let draw_heading t = Prng.float t.prng Geom.Angle.two_pi
+
+  let draw_speed t =
+    if t.params.speed_hi = t.params.speed_lo then t.params.speed_lo
+    else Prng.uniform t.prng ~lo:t.params.speed_lo ~hi:t.params.speed_hi
+
+  let create prng ~field ~params positions =
+    if params.speed_lo <= 0. || params.speed_hi < params.speed_lo then
+      invalid_arg "Mobility.Direction.create: bad speed range";
+    let t =
+      {
+        prng;
+        field;
+        params;
+        nodes =
+          Array.map
+            (fun p -> { pos = p; heading = 0.; speed = 0.; pausing = 0. })
+            positions;
+        frozen = false;
+      }
+    in
+    Array.iter
+      (fun node ->
+        node.heading <- draw_heading t;
+        node.speed <- draw_speed t)
+      t.nodes;
+    t
+
+  (* Advance one node by [dt], reflecting at the field border with a
+     fresh heading and a pause. *)
+  let step_node t node ~dt =
+    let w = t.field.Placement.width and h = t.field.Placement.height in
+    let rec advance budget =
+      if budget > 1e-12 then
+        if node.pausing > 0. then begin
+          let used = Float.min node.pausing budget in
+          node.pausing <- node.pausing -. used;
+          advance (budget -. used)
+        end
+        else begin
+          let step_vec =
+            Geom.Vec2.of_polar ~r:(node.speed *. budget) ~theta:node.heading
+          in
+          let target = Geom.Vec2.add node.pos step_vec in
+          let inside p =
+            p.Geom.Vec2.x >= 0. && p.Geom.Vec2.x <= w && p.Geom.Vec2.y >= 0.
+            && p.Geom.Vec2.y <= h
+          in
+          if inside target then node.pos <- target
+          else begin
+            (* move to the border along the heading, then bounce *)
+            let clamp v lo hi = Float.max lo (Float.min hi v) in
+            node.pos <-
+              Geom.Vec2.make
+                (clamp target.Geom.Vec2.x 0. w)
+                (clamp target.Geom.Vec2.y 0. h);
+            node.heading <- draw_heading t;
+            node.speed <- draw_speed t;
+            node.pausing <- t.params.pause
+          end
+        end
+    in
+    advance dt
+
+  let step t ~dt =
+    if dt < 0. then invalid_arg "Mobility.Direction.step: negative dt";
+    if not t.frozen then Array.iter (fun node -> step_node t node ~dt) t.nodes
+
+  let positions t = Array.map (fun node -> node.pos) t.nodes
+
+  let freeze t = t.frozen <- true
+end

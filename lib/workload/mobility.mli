@@ -1,0 +1,54 @@
+(** Random-waypoint mobility, driving the reconfiguration experiments
+    (Section 4 of the paper: join/leave/aChange events are caused by node
+    motion and failure). *)
+
+type params = {
+  speed_lo : float;  (** minimum speed (per time unit) *)
+  speed_hi : float;
+  pause : float;  (** pause duration at each waypoint *)
+}
+
+val default_params : params
+
+type t
+
+(** [create prng ~field ~params positions] starts each node at its given
+    position with a fresh waypoint. *)
+val create :
+  Prng.t -> field:Placement.field -> params:params -> Geom.Vec2.t array -> t
+
+(** [step t ~dt] advances every node by [dt] time units: move toward the
+    waypoint at the node's speed; on arrival, pause, then draw a new
+    uniform waypoint and speed. *)
+val step : t -> dt:float -> unit
+
+(** [positions t] is a snapshot (copy) of current positions. *)
+val positions : t -> Geom.Vec2.t array
+
+(** [position t u]. *)
+val position : t -> int -> Geom.Vec2.t
+
+(** [freeze t] stops all motion permanently (nodes hold position), letting
+    reconfiguration tests reach a stable final topology. *)
+val freeze : t -> unit
+
+(** {1 Random direction}
+
+    The random-direction model avoids random-waypoint's center-density
+    bias: each node walks in a heading until it hits the field border,
+    then reflects with a fresh random heading. *)
+
+module Direction : sig
+  type t
+
+  (** [create prng ~field ~params positions] — [params.pause] applies at
+      each reflection. *)
+  val create :
+    Prng.t -> field:Placement.field -> params:params -> Geom.Vec2.t array -> t
+
+  val step : t -> dt:float -> unit
+
+  val positions : t -> Geom.Vec2.t array
+
+  val freeze : t -> unit
+end

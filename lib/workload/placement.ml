@@ -1,0 +1,39 @@
+type field = { width : float; height : float }
+
+let field ~width ~height =
+  if width <= 0. || height <= 0. then invalid_arg "Placement.field";
+  { width; height }
+
+let clamp lo hi x = Float.max lo (Float.min hi x)
+
+let uniform prng ~field ~n =
+  if n < 0 then invalid_arg "Placement.uniform: negative n";
+  Array.init n (fun _ ->
+      Geom.Vec2.make (Prng.float prng field.width) (Prng.float prng field.height))
+
+let clustered prng ~field ~clusters ~n ~sigma =
+  if clusters <= 0 then invalid_arg "Placement.clustered: no clusters";
+  if sigma <= 0. then invalid_arg "Placement.clustered: non-positive sigma";
+  let centers = uniform prng ~field ~n:clusters in
+  Array.init n (fun _ ->
+      let c = Prng.choose prng centers in
+      let x = clamp 0. field.width (Prng.gaussian prng ~mu:c.Geom.Vec2.x ~sigma) in
+      let y = clamp 0. field.height (Prng.gaussian prng ~mu:c.Geom.Vec2.y ~sigma) in
+      Geom.Vec2.make x y)
+
+let grid_jitter prng ~field ~rows ~cols ~jitter =
+  if rows <= 0 || cols <= 0 then invalid_arg "Placement.grid_jitter";
+  if jitter < 0. then invalid_arg "Placement.grid_jitter: negative jitter";
+  let cell_w = field.width /. Stdlib.float_of_int cols in
+  let cell_h = field.height /. Stdlib.float_of_int rows in
+  Array.init (rows * cols) (fun i ->
+      let r = i / cols and c = i mod cols in
+      let cx = (Stdlib.float_of_int c +. 0.5) *. cell_w in
+      let cy = (Stdlib.float_of_int r +. 0.5) *. cell_h in
+      let draw () =
+        if jitter = 0. then 0. else Prng.uniform prng ~lo:(-.jitter) ~hi:jitter
+      in
+      let dx = draw () in
+      let dy = draw () in
+      Geom.Vec2.make (clamp 0. field.width (cx +. dx))
+        (clamp 0. field.height (cy +. dy)))

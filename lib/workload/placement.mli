@@ -1,0 +1,27 @@
+(** Node placement generators.
+
+    The paper's evaluation places 100 nodes uniformly at random in a
+    1500 x 1500 region ({!uniform}); {!clustered} and {!grid_jitter}
+    provide the denser/sparser regimes used by the examples and
+    ablations. *)
+
+type field = { width : float; height : float }
+
+val field : width:float -> height:float -> field
+
+(** [uniform prng ~field ~n] draws [n] i.i.d. uniform positions. *)
+val uniform : Prng.t -> field:field -> n:int -> Geom.Vec2.t array
+
+(** [clustered prng ~field ~clusters ~n ~sigma] places cluster centers
+    uniformly, then draws each node from a Gaussian around a uniformly
+    chosen center, clamped to the field. *)
+val clustered :
+  Prng.t -> field:field -> clusters:int -> n:int -> sigma:float ->
+  Geom.Vec2.t array
+
+(** [grid_jitter prng ~field ~rows ~cols ~jitter] places one node per grid
+    cell center, perturbed uniformly by up to [jitter] in each
+    coordinate (clamped to the field). *)
+val grid_jitter :
+  Prng.t -> field:field -> rows:int -> cols:int -> jitter:float ->
+  Geom.Vec2.t array

@@ -1,0 +1,28 @@
+type t = {
+  n : int;
+  field : Placement.field;
+  max_range : float;
+  exponent : float;
+  seed : int;
+}
+
+let make ?(n = 100) ?(width = 1500.) ?(height = 1500.) ?(max_range = 500.)
+    ?(exponent = 2.) ~seed () =
+  if n <= 0 then invalid_arg "Scenario.make: non-positive n";
+  if max_range <= 0. then invalid_arg "Scenario.make: non-positive range";
+  { n; field = Placement.field ~width ~height; max_range; exponent; seed }
+
+let paper ~seed = make ~seed ()
+
+let pathloss t = Radio.Pathloss.make ~exponent:t.exponent ~max_range:t.max_range ()
+
+let prng t = Prng.create ~seed:t.seed
+
+let positions t = Placement.uniform (prng t) ~field:t.field ~n:t.n
+
+let seeds ~base ~count = List.init count (fun i -> base + (i * 7919))
+
+let pp ppf t =
+  Fmt.pf ppf "scenario(n=%d, %gx%g, R=%g, n_exp=%g, seed=%d)" t.n
+    t.field.Placement.width t.field.Placement.height t.max_range t.exponent
+    t.seed

@@ -1,0 +1,42 @@
+(** Experiment scenarios: the bundle (node count, field, radio range,
+    seed) the evaluation iterates over.
+
+    {!paper} is the paper's setup: 100 nodes, 1500 x 1500 field, maximum
+    transmission radius 500, quadratic path loss. *)
+
+type t = {
+  n : int;
+  field : Placement.field;
+  max_range : float;
+  exponent : float;
+  seed : int;
+}
+
+val make :
+  ?n:int ->
+  ?width:float ->
+  ?height:float ->
+  ?max_range:float ->
+  ?exponent:float ->
+  seed:int ->
+  unit ->
+  t
+
+(** [paper ~seed] is the paper's Section 5 setup with the given seed. *)
+val paper : seed:int -> t
+
+val pathloss : t -> Radio.Pathloss.t
+
+(** [positions t] draws the node positions (uniform placement,
+    deterministic in [t.seed]). *)
+val positions : t -> Geom.Vec2.t array
+
+(** [prng t] is the scenario's root PRNG (same stream that seeds
+    {!positions}; split it for independent uses). *)
+val prng : t -> Prng.t
+
+(** [seeds ~base ~count] enumerates [count] scenario seeds derived from
+    [base] (the paper uses 100 random networks). *)
+val seeds : base:int -> count:int -> int list
+
+val pp : t Fmt.t

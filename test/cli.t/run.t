@@ -1,0 +1,21 @@
+The CLI's deterministic subcommands produce stable output (seeded PRNG).
+
+  $ cbtc_cli theory
+  Example 2.1: (v,u0) in N = true, (u0,v) in N = false (asymmetric: true)
+  Theorem 2.4: GR connected = true, G(5pi/6+eps) connected = false
+  $ cbtc_cli run --n 30 --seed 5 --opts all
+  scenario: scenario(n=30, 1500x1500, R=500, n_exp=2, seed=5)
+  config:   CBTC(alpha=2.6180 rad (150.0 deg), growth=exact)
+  edges:    42 (GR has 149)
+  degree:   2.80 (GR 9.93)
+  radius:   236.6 (max power 500)
+  degree distribution: n=30 mean=2.800 sd=1.270 min=1.000 p25=2.000 med=3.000 p75=3.000 max=6.000
+  connectivity preserved: true
+  $ cbtc_cli sweep --n 30 --seed 5 --count 3 --opts none
+  alpha  avg degree  avg radius  preserved
+  ----------------------------------------
+  pi/3   8.7         460.0       3/3      
+  pi/2   8.6         459.3       3/3      
+  2pi/3  8.1         453.7       3/3      
+  3pi/4  7.8         450.2       3/3      
+  5pi/6  7.4         446.4       3/3      

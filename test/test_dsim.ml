@@ -1,0 +1,246 @@
+(* Tests for the discrete-event simulation engine: event ordering, FIFO
+   tie-breaking, cancellation, bounded runs, channel fault models, and
+   traces. *)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* ---------- Eventq ---------- *)
+
+let test_eventq_order () =
+  let q = Dsim.Eventq.create () in
+  List.iter (fun (t, v) -> Dsim.Eventq.push q ~time:t v)
+    [ (3., "c"); (1., "a"); (2., "b") ];
+  Alcotest.(check (option (float 0.))) "peek" (Some 1.) (Dsim.Eventq.peek_time q);
+  let order = List.init 3 (fun _ -> snd (Dsim.Eventq.pop q)) in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] order;
+  Alcotest.(check bool) "empty" true (Dsim.Eventq.is_empty q)
+
+let test_eventq_fifo_ties () =
+  let q = Dsim.Eventq.create () in
+  List.iter (fun v -> Dsim.Eventq.push q ~time:5. v) [ 1; 2; 3; 4; 5 ];
+  let order = List.init 5 (fun _ -> snd (Dsim.Eventq.pop q)) in
+  Alcotest.(check (list int)) "FIFO on equal times" [ 1; 2; 3; 4; 5 ] order
+
+let test_eventq_many () =
+  (* Force several heap growths and verify global ordering. *)
+  let q = Dsim.Eventq.create () in
+  let prng = Prng.create ~seed:99 in
+  for i = 0 to 999 do
+    Dsim.Eventq.push q ~time:(Prng.float prng 100.) i
+  done;
+  Alcotest.(check int) "size" 1000 (Dsim.Eventq.size q);
+  let last = ref neg_infinity in
+  for _ = 1 to 1000 do
+    let t, _ = Dsim.Eventq.pop q in
+    if t < !last then Alcotest.fail "times decreased";
+    last := t
+  done
+
+(* ---------- Sim ---------- *)
+
+let test_sim_runs_in_order () =
+  let sim = Dsim.Sim.create () in
+  let log = ref [] in
+  let note tag () = log := (tag, Dsim.Sim.now sim) :: !log in
+  ignore (Dsim.Sim.schedule sim ~delay:2. (note "b"));
+  ignore (Dsim.Sim.schedule sim ~delay:1. (note "a"));
+  ignore (Dsim.Sim.schedule sim ~delay:3. (note "c"));
+  let fired = Dsim.Sim.run sim in
+  Alcotest.(check int) "fired" 3 fired;
+  Alcotest.(check (list (pair string (float 0.)))) "order and clock"
+    [ ("a", 1.); ("b", 2.); ("c", 3.) ]
+    (List.rev !log);
+  check_float "clock at end" 3. (Dsim.Sim.now sim)
+
+let test_sim_nested_scheduling () =
+  let sim = Dsim.Sim.create () in
+  let count = ref 0 in
+  let rec chain n () =
+    incr count;
+    if n > 0 then ignore (Dsim.Sim.schedule sim ~delay:1. (chain (n - 1)))
+  in
+  ignore (Dsim.Sim.schedule sim ~delay:0. (chain 9));
+  ignore (Dsim.Sim.run sim);
+  Alcotest.(check int) "chain length" 10 !count;
+  check_float "final time" 9. (Dsim.Sim.now sim)
+
+let test_sim_cancel () =
+  let sim = Dsim.Sim.create () in
+  let fired = ref false in
+  let h = Dsim.Sim.schedule sim ~delay:1. (fun () -> fired := true) in
+  Dsim.Sim.cancel h;
+  ignore (Dsim.Sim.run sim);
+  Alcotest.(check bool) "cancelled did not fire" false !fired;
+  Alcotest.(check int) "events_fired" 0 (Dsim.Sim.events_fired sim)
+
+let test_sim_run_until () =
+  let sim = Dsim.Sim.create () in
+  let log = ref [] in
+  List.iter
+    (fun d -> ignore (Dsim.Sim.schedule sim ~delay:d (fun () -> log := d :: !log)))
+    [ 1.; 2.; 5.; 10. ];
+  let fired = Dsim.Sim.run_until sim ~time:5. in
+  Alcotest.(check int) "fired up to 5" 3 fired;
+  check_float "clock advanced to bound" 5. (Dsim.Sim.now sim);
+  Alcotest.(check int) "pending" 1 (Dsim.Sim.pending sim);
+  ignore (Dsim.Sim.run sim);
+  Alcotest.(check (list (float 0.))) "all fired" [ 10.; 5.; 2.; 1. ] !log
+
+let test_sim_invalid () =
+  let sim = Dsim.Sim.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Sim.schedule: negative delay") (fun () ->
+      ignore (Dsim.Sim.schedule sim ~delay:(-1.) (fun () -> ())));
+  ignore (Dsim.Sim.schedule sim ~delay:5. (fun () -> ()));
+  ignore (Dsim.Sim.run sim);
+  Alcotest.check_raises "past time"
+    (Invalid_argument "Sim.schedule_at: time in the past") (fun () ->
+      ignore (Dsim.Sim.schedule_at sim ~time:1. (fun () -> ())))
+
+(* ---------- Channel ---------- *)
+
+let test_channel_reliable () =
+  let sim = Dsim.Sim.create () in
+  let prng = Prng.create ~seed:1 in
+  let got = ref 0 in
+  for _ = 1 to 100 do
+    ignore (Dsim.Channel.deliver Dsim.Channel.reliable sim prng (fun () -> incr got))
+  done;
+  ignore (Dsim.Sim.run sim);
+  Alcotest.(check int) "all delivered" 100 !got;
+  check_float "unit delay" 1. (Dsim.Sim.now sim)
+
+let test_channel_lossy_statistics () =
+  let sim = Dsim.Sim.create () in
+  let prng = Prng.create ~seed:2 in
+  let ch = Dsim.Channel.make ~loss:0.3 () in
+  let got = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    ignore (Dsim.Channel.deliver ch sim prng (fun () -> incr got))
+  done;
+  ignore (Dsim.Sim.run sim);
+  let rate = Stdlib.float_of_int !got /. Stdlib.float_of_int n in
+  if rate < 0.67 || rate > 0.73 then
+    Alcotest.failf "delivery rate %.3f too far from 0.7" rate
+
+let test_channel_duplication () =
+  let sim = Dsim.Sim.create () in
+  let prng = Prng.create ~seed:3 in
+  let ch = Dsim.Channel.make ~duplicate:1.0 () in
+  let got = ref 0 in
+  ignore (Dsim.Channel.deliver ch sim prng (fun () -> incr got));
+  ignore (Dsim.Sim.run sim);
+  Alcotest.(check int) "always duplicated" 2 !got
+
+let test_channel_delay_range () =
+  let sim = Dsim.Sim.create () in
+  let prng = Prng.create ~seed:4 in
+  let ch = Dsim.Channel.make ~min_delay:2. ~max_delay:5. () in
+  let times = ref [] in
+  for _ = 1 to 200 do
+    ignore
+      (Dsim.Channel.deliver ch sim prng (fun () ->
+           times := Dsim.Sim.now sim :: !times))
+  done;
+  ignore (Dsim.Sim.run sim);
+  List.iter
+    (fun t -> if t < 2. || t > 5. then Alcotest.failf "delay %g out of [2,5]" t)
+    !times
+
+let test_channel_invalid () =
+  Alcotest.check_raises "loss = 1" (Invalid_argument "Channel.make: loss out of [0,1)")
+    (fun () -> ignore (Dsim.Channel.make ~loss:1. ()));
+  Alcotest.check_raises "delays" (Invalid_argument "Channel.make: bad delay range")
+    (fun () -> ignore (Dsim.Channel.make ~min_delay:5. ~max_delay:1. ()))
+
+(* ---------- Periodic ---------- *)
+
+let test_periodic_fires_on_schedule () =
+  let sim = Dsim.Sim.create () in
+  let times = ref [] in
+  let timer =
+    Dsim.Periodic.start sim ~interval:5. (fun () ->
+        times := Dsim.Sim.now sim :: !times)
+  in
+  ignore (Dsim.Sim.run_until sim ~time:22.);
+  Alcotest.(check (list (float 0.))) "five-step cadence" [ 5.; 10.; 15.; 20. ]
+    (List.rev !times);
+  Alcotest.(check int) "fires" 4 (Dsim.Periodic.fires timer);
+  Dsim.Periodic.stop timer;
+  ignore (Dsim.Sim.run sim);
+  Alcotest.(check int) "no fire after stop" 4 (Dsim.Periodic.fires timer);
+  Alcotest.(check bool) "inactive" false (Dsim.Periodic.is_active timer)
+
+let test_periodic_initial_delay_and_self_stop () =
+  let sim = Dsim.Sim.create () in
+  let count = ref 0 in
+  let rec timer = lazy
+    (Dsim.Periodic.start sim ~initial_delay:0. ~interval:1. (fun () ->
+         incr count;
+         if !count = 3 then Dsim.Periodic.stop (Lazy.force timer)))
+  in
+  ignore (Lazy.force timer);
+  ignore (Dsim.Sim.run sim);
+  Alcotest.(check int) "self stop after 3" 3 !count
+
+let test_periodic_validation () =
+  let sim = Dsim.Sim.create () in
+  Alcotest.check_raises "interval" (Invalid_argument "Periodic.start: non-positive interval")
+    (fun () -> ignore (Dsim.Periodic.start sim ~interval:0. (fun () -> ())));
+  Alcotest.check_raises "initial" (Invalid_argument "Periodic.start: negative initial delay")
+    (fun () ->
+      ignore (Dsim.Periodic.start sim ~initial_delay:(-1.) ~interval:1. (fun () -> ())))
+
+(* ---------- Trace ---------- *)
+
+let test_trace () =
+  let tr = Dsim.Trace.create () in
+  Dsim.Trace.record tr ~time:1. "first %d" 1;
+  Dsim.Trace.record tr ~time:2. "second";
+  Alcotest.(check int) "length" 2 (Dsim.Trace.length tr);
+  Alcotest.(check (list (pair (float 0.) string))) "entries"
+    [ (1., "first 1"); (2., "second") ]
+    (Dsim.Trace.entries tr);
+  Dsim.Trace.set_enabled tr false;
+  Dsim.Trace.record tr ~time:3. "ignored";
+  Alcotest.(check int) "disabled" 2 (Dsim.Trace.length tr);
+  Dsim.Trace.clear tr;
+  Alcotest.(check int) "cleared" 0 (Dsim.Trace.length tr)
+
+let () =
+  Alcotest.run "dsim"
+    [
+      ( "eventq",
+        [
+          Alcotest.test_case "ordering" `Quick test_eventq_order;
+          Alcotest.test_case "FIFO ties" `Quick test_eventq_fifo_ties;
+          Alcotest.test_case "many events" `Quick test_eventq_many;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "runs in order" `Quick test_sim_runs_in_order;
+          Alcotest.test_case "nested scheduling" `Quick test_sim_nested_scheduling;
+          Alcotest.test_case "cancel" `Quick test_sim_cancel;
+          Alcotest.test_case "run_until" `Quick test_sim_run_until;
+          Alcotest.test_case "invalid" `Quick test_sim_invalid;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "reliable" `Quick test_channel_reliable;
+          Alcotest.test_case "lossy statistics" `Quick test_channel_lossy_statistics;
+          Alcotest.test_case "duplication" `Quick test_channel_duplication;
+          Alcotest.test_case "delay range" `Quick test_channel_delay_range;
+          Alcotest.test_case "invalid" `Quick test_channel_invalid;
+        ] );
+      ( "periodic",
+        [
+          Alcotest.test_case "fires on schedule" `Quick test_periodic_fires_on_schedule;
+          Alcotest.test_case "initial delay and self stop" `Quick
+            test_periodic_initial_delay_and_self_stop;
+          Alcotest.test_case "validation" `Quick test_periodic_validation;
+        ] );
+      ("trace", [ Alcotest.test_case "recording" `Quick test_trace ]);
+    ]

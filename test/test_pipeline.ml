@@ -1,0 +1,182 @@
+(* Tests for the end-to-end pipeline: the paper's Table 1 configurations,
+   inclusion relations among the produced graphs, radius semantics, and
+   golden values on a fixed seed. *)
+
+let alpha56 = Geom.Angle.five_pi_six
+
+let alpha23 = Geom.Angle.two_pi_three
+
+let c56 = Cbtc.Config.make alpha56
+
+let c23 = Cbtc.Config.make alpha23
+
+let scenario seed =
+  let sc = Workload.Scenario.paper ~seed in
+  (Workload.Scenario.pathloss sc, Workload.Scenario.positions sc)
+
+let test_presets () =
+  let b = Cbtc.Pipeline.basic c56 in
+  Alcotest.(check bool) "basic plain" true
+    ((not b.Cbtc.Pipeline.shrink) && (not b.Cbtc.Pipeline.asym)
+    && b.Cbtc.Pipeline.pairwise = `None);
+  let s = Cbtc.Pipeline.with_shrink c56 in
+  Alcotest.(check bool) "shrink set" true s.Cbtc.Pipeline.shrink;
+  let a = Cbtc.Pipeline.all_ops c23 in
+  Alcotest.(check bool) "all ops at 2pi/3 includes asym" true a.Cbtc.Pipeline.asym;
+  let a56 = Cbtc.Pipeline.all_ops c56 in
+  Alcotest.(check bool) "all ops at 5pi/6 excludes asym" false a56.Cbtc.Pipeline.asym;
+  Alcotest.(check bool) "all ops pairwise practical" true
+    (a.Cbtc.Pipeline.pairwise = `Practical)
+
+let test_asym_guard () =
+  Alcotest.check_raises "shrink_asym at 5pi/6"
+    (Invalid_argument "Pipeline: asymmetric edge removal requires alpha <= 2pi/3")
+    (fun () -> ignore (Cbtc.Pipeline.shrink_asym c56));
+  let pl, positions = scenario 1 in
+  Alcotest.check_raises "of_discovery with bad plan"
+    (Invalid_argument "Pipeline: asymmetric edge removal requires alpha <= 2pi/3")
+    (fun () ->
+      let d = Cbtc.Geo.run c56 pl positions in
+      ignore
+        (Cbtc.Pipeline.of_discovery d
+           { (Cbtc.Pipeline.basic c56) with Cbtc.Pipeline.asym = true }))
+
+let test_config_mismatch_guard () =
+  let pl, positions = scenario 1 in
+  let d = Cbtc.Geo.run c56 pl positions in
+  Alcotest.check_raises "config mismatch"
+    (Invalid_argument "Pipeline.of_discovery: config mismatch") (fun () ->
+      ignore (Cbtc.Pipeline.of_discovery d (Cbtc.Pipeline.basic c23)))
+
+let test_graph_inclusions () =
+  let pl, positions = scenario 3 in
+  let basic = Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.basic c23) in
+  let shrunk = Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.with_shrink c23) in
+  let asym = Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.shrink_asym c23) in
+  let all = Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.all_ops c23) in
+  let sub a b =
+    Graphkit.Ugraph.is_subgraph a.Cbtc.Pipeline.graph b.Cbtc.Pipeline.graph
+  in
+  Alcotest.(check bool) "shrunk subset of basic" true (sub shrunk basic);
+  Alcotest.(check bool) "asym subset of shrunk" true (sub asym shrunk);
+  Alcotest.(check bool) "all subset of asym" true (sub all asym);
+  (* every stage preserves the GR partition *)
+  let gr = Cbtc.Geo.max_power_graph pl positions in
+  List.iter
+    (fun (name, r) ->
+      Alcotest.(check bool) (name ^ " preserves") true
+        (Metrics.Connectivity.preserves ~reference:gr r.Cbtc.Pipeline.graph))
+    [ ("basic", basic); ("shrunk", shrunk); ("asym", asym); ("all", all) ]
+
+let test_radius_semantics () =
+  let pl, positions = scenario 4 in
+  let r = Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.all_ops c56) in
+  let n = Array.length positions in
+  for u = 0 to n - 1 do
+    (* radius covers exactly the farthest kept neighbor *)
+    let expected =
+      List.fold_left
+        (fun acc v -> Float.max acc (Geom.Vec2.dist positions.(u) positions.(v)))
+        0.
+        (Graphkit.Ugraph.neighbors r.Cbtc.Pipeline.graph u)
+    in
+    if Float.abs (expected -. r.Cbtc.Pipeline.radius.(u)) > 1e-9 then
+      Alcotest.failf "radius(%d): %g vs %g" u expected r.Cbtc.Pipeline.radius.(u);
+    (* the Section 4 beacon radius dominates the data radius and stays
+       within the radio range *)
+    if r.Cbtc.Pipeline.basic_radius.(u) > 500.0 +. 1e-9 then
+      Alcotest.failf "basic radius exceeds R at %d" u;
+    if r.Cbtc.Pipeline.basic_radius.(u) < r.Cbtc.Pipeline.radius.(u) -. 1e-9 then
+      Alcotest.failf "beacon radius below data radius at %d" u
+  done
+
+let test_avg_metrics_consistency () =
+  let pl, positions = scenario 5 in
+  let r = Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.basic c56) in
+  let deg = Cbtc.Pipeline.avg_degree r in
+  Alcotest.(check (float 1e-9)) "avg degree matches metrics lib" deg
+    (Metrics.Topo_metrics.avg_degree r.Cbtc.Pipeline.graph);
+  let rad = Cbtc.Pipeline.avg_radius r in
+  Alcotest.(check (float 1e-9)) "avg radius matches metrics lib" rad
+    (Metrics.Topo_metrics.avg_radius r.Cbtc.Pipeline.radius)
+
+(* Golden values: the paper's scenario at seed 42.  These pin down the
+   deterministic pipeline; table-level agreement with the paper is
+   checked (more loosely) in the benchmark harness. *)
+let test_golden_seed_42 () =
+  let pl, positions = scenario 42 in
+  let check name plan (deg_lo, deg_hi) (rad_lo, rad_hi) =
+    let r = Cbtc.Pipeline.run_oracle pl positions plan in
+    let deg = Cbtc.Pipeline.avg_degree r and rad = Cbtc.Pipeline.avg_radius r in
+    if deg < deg_lo || deg > deg_hi then
+      Alcotest.failf "%s degree %g outside [%g, %g]" name deg deg_lo deg_hi;
+    if rad < rad_lo || rad > rad_hi then
+      Alcotest.failf "%s radius %g outside [%g, %g]" name rad rad_lo rad_hi
+  in
+  (* generous envelopes around the paper's Table 1 values *)
+  check "basic 5pi/6" (Cbtc.Pipeline.basic c56) (10., 15.) (400., 470.);
+  check "basic 2pi/3" (Cbtc.Pipeline.basic c23) (13., 18.) (420., 490.);
+  check "all 5pi/6" (Cbtc.Pipeline.all_ops c56) (2.5, 4.5) (130., 190.);
+  check "all 2pi/3" (Cbtc.Pipeline.all_ops c23) (2.5, 4.5) (130., 200.)
+
+let test_stepped_pipeline () =
+  (* The pipeline also runs on stepped-growth discoveries (as produced by
+     the distributed protocol) and still preserves connectivity. *)
+  let pl, positions = scenario 6 in
+  let config = Cbtc.Config.make ~growth:(Cbtc.Config.Double 100.) alpha56 in
+  let outcome = Cbtc.Distributed.run config pl positions in
+  let r =
+    Cbtc.Pipeline.of_discovery outcome.Cbtc.Distributed.discovery
+      (Cbtc.Pipeline.all_ops config)
+  in
+  let gr = Cbtc.Geo.max_power_graph pl positions in
+  Alcotest.(check bool) "distributed + all ops preserves" true
+    (Metrics.Connectivity.preserves ~reference:gr r.Cbtc.Pipeline.graph)
+
+let positions_gen =
+  QCheck.Gen.(
+    int_range 2 30 >>= fun n ->
+    list_repeat n (pair (float_bound_exclusive 1000.) (float_bound_exclusive 1000.))
+    >|= fun pts -> Array.of_list (List.map (fun (x, y) -> Geom.Vec2.make x y) pts))
+
+let prop_all_plans_preserve =
+  QCheck.Test.make ~count:40
+    ~name:"every preset preserves connectivity on random scenarios"
+    (QCheck.make positions_gen)
+    (fun positions ->
+      let pl = Radio.Pathloss.make ~max_range:300. () in
+      let gr = Cbtc.Geo.max_power_graph pl positions in
+      List.for_all
+        (fun plan ->
+          let r = Cbtc.Pipeline.run_oracle pl positions plan in
+          Metrics.Connectivity.preserves ~reference:gr r.Cbtc.Pipeline.graph)
+        [
+          Cbtc.Pipeline.basic c56;
+          Cbtc.Pipeline.with_shrink c56;
+          Cbtc.Pipeline.all_ops c56;
+          Cbtc.Pipeline.basic c23;
+          Cbtc.Pipeline.shrink_asym c23;
+          Cbtc.Pipeline.all_ops c23;
+        ])
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "plans",
+        [
+          Alcotest.test_case "presets" `Quick test_presets;
+          Alcotest.test_case "asym guard" `Quick test_asym_guard;
+          Alcotest.test_case "config mismatch guard" `Quick test_config_mismatch_guard;
+        ] );
+      ( "results",
+        [
+          Alcotest.test_case "graph inclusions" `Quick test_graph_inclusions;
+          Alcotest.test_case "radius semantics" `Quick test_radius_semantics;
+          Alcotest.test_case "avg metrics consistency" `Quick test_avg_metrics_consistency;
+          Alcotest.test_case "golden seed 42" `Quick test_golden_seed_42;
+          Alcotest.test_case "stepped pipeline" `Quick test_stepped_pipeline;
+        ] );
+      ("properties", qsuite [ prop_all_plans_preserve ]);
+    ]

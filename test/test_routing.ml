@@ -1,0 +1,218 @@
+(* Tests for routing: greedy geographic forwarding, minimum-energy
+   routing, and the congestion (flow-load) measurements. *)
+
+module U = Graphkit.Ugraph
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let pl = Radio.Pathloss.make ~max_range:100. ()
+
+(* ---------- greedy ---------- *)
+
+let line_positions =
+  [| Geom.Vec2.zero; Geom.Vec2.make 50. 0.; Geom.Vec2.make 100. 0.;
+     Geom.Vec2.make 150. 0. |]
+
+let line = U.of_edges 4 [ (0, 1); (1, 2); (2, 3) ]
+
+let test_greedy_delivers_on_line () =
+  match Routing.Greedy.route line line_positions ~src:0 ~dst:3 with
+  | Routing.Greedy.Delivered path ->
+      Alcotest.(check (list int)) "hop by hop" [ 0; 1; 2; 3 ] path
+  | Routing.Greedy.Stuck _ -> Alcotest.fail "should deliver"
+
+let test_greedy_trivial () =
+  match Routing.Greedy.route line line_positions ~src:2 ~dst:2 with
+  | Routing.Greedy.Delivered path -> Alcotest.(check (list int)) "self" [ 2 ] path
+  | Routing.Greedy.Stuck _ -> Alcotest.fail "self route"
+
+let test_greedy_local_minimum () =
+  (* A dead end: 1 is closer to 3 than 0 is, but 1's only other neighbor
+     2 is farther from 3 than 1.  Greedy gets stuck at 1. *)
+  let positions =
+    [| Geom.Vec2.zero; Geom.Vec2.make 50. 0.; Geom.Vec2.make 50. 60.;
+       Geom.Vec2.make 90. 0. |]
+  in
+  let g = U.of_edges 4 [ (0, 1); (1, 2) ] in
+  match Routing.Greedy.route g positions ~src:0 ~dst:3 with
+  | Routing.Greedy.Stuck { at; path } ->
+      Alcotest.(check int) "stuck at 1" 1 at;
+      Alcotest.(check (list int)) "prefix" [ 0; 1 ] path
+  | Routing.Greedy.Delivered _ -> Alcotest.fail "cannot deliver: 3 is isolated"
+
+let test_greedy_evaluate () =
+  let stats =
+    Routing.Greedy.evaluate line line_positions ~pairs:[ (0, 3); (3, 0); (1, 2) ]
+  in
+  Alcotest.(check int) "attempts" 3 stats.Routing.Greedy.attempts;
+  Alcotest.(check int) "delivered" 3 stats.Routing.Greedy.delivered;
+  check_float "avg hops" (7. /. 3.) stats.Routing.Greedy.avg_hops;
+  check_float "length ratio straight line" 1. stats.Routing.Greedy.avg_length_ratio
+
+let test_greedy_random_pairs () =
+  let prng = Prng.create ~seed:3 in
+  let pairs = Routing.Greedy.random_pairs prng ~n:10 ~count:50 in
+  Alcotest.(check int) "count" 50 (List.length pairs);
+  Alcotest.(check bool) "no self pairs" true
+    (List.for_all (fun (a, b) -> a <> b) pairs)
+
+(* Greedy always succeeds on a CBTC topology of a connected network?  No
+   such theorem — but it should succeed often; sanity-check a healthy
+   success rate on a random connected scenario. *)
+let test_greedy_on_cbtc () =
+  let sc = Workload.Scenario.paper ~seed:8 in
+  let pl = Workload.Scenario.pathloss sc in
+  let positions = Workload.Scenario.positions sc in
+  let config = Cbtc.Config.make Geom.Angle.five_pi_six in
+  let r =
+    Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.basic config)
+  in
+  let prng = Prng.create ~seed:4 in
+  let pairs = Routing.Greedy.random_pairs prng ~n:100 ~count:200 in
+  let stats = Routing.Greedy.evaluate r.Cbtc.Pipeline.graph positions ~pairs in
+  if stats.Routing.Greedy.delivered * 100 / stats.Routing.Greedy.attempts < 70
+  then
+    Alcotest.failf "greedy success rate suspiciously low: %d/%d"
+      stats.Routing.Greedy.delivered stats.Routing.Greedy.attempts
+
+(* ---------- minpower ---------- *)
+
+let test_minpower_route () =
+  let energy = Radio.Energy.make pl in
+  (* p(d) = d^2: relaying beats the direct 100-unit edge *)
+  let g = U.of_edges 3 [ (0, 1); (1, 2); (0, 2) ] in
+  let positions =
+    [| Geom.Vec2.zero; Geom.Vec2.make 50. 0.; Geom.Vec2.make 100. 0. |]
+  in
+  match Routing.Minpower.route energy positions g ~src:0 ~dst:2 with
+  | Some (path, cost) ->
+      Alcotest.(check (list int)) "relayed" [ 0; 1; 2 ] path;
+      check_float "cost" 5000. cost;
+      check_float "path_cost agrees" cost
+        (Routing.Minpower.path_cost energy positions path)
+  | None -> Alcotest.fail "connected"
+
+let test_minpower_disconnected () =
+  let energy = Radio.Energy.make pl in
+  let g = U.of_edges 3 [ (0, 1) ] in
+  let positions =
+    [| Geom.Vec2.zero; Geom.Vec2.make 10. 0.; Geom.Vec2.make 20. 0. |]
+  in
+  Alcotest.(check bool) "no route" true
+    (Routing.Minpower.route energy positions g ~src:0 ~dst:2 = None)
+
+let test_minpower_overhead_changes_route () =
+  let g = U.of_edges 3 [ (0, 1); (1, 2); (0, 2) ] in
+  let positions =
+    [| Geom.Vec2.zero; Geom.Vec2.make 50. 0.; Geom.Vec2.make 100. 0. |]
+  in
+  (* big per-hop overhead makes the direct edge cheaper *)
+  let expensive = Radio.Energy.make ~rx_overhead:6000. pl in
+  match Routing.Minpower.route expensive positions g ~src:0 ~dst:2 with
+  | Some (path, _) -> Alcotest.(check (list int)) "direct" [ 0; 2 ] path
+  | None -> Alcotest.fail "connected"
+
+(* ---------- flows / congestion ---------- *)
+
+let test_flows_min_hop () =
+  let positions = line_positions in
+  let load =
+    Routing.Flows.measure positions line ~pairs:[ (0, 3); (1, 3); (0, 2) ]
+  in
+  Alcotest.(check int) "routed" 3 load.Routing.Flows.flows_routed;
+  Alcotest.(check int) "failed" 0 load.Routing.Flows.flows_failed;
+  Alcotest.(check int) "total hops" 7 load.Routing.Flows.total_hops;
+  (* nodes 1 and 2 relay everything *)
+  Alcotest.(check int) "max node load" 3 load.Routing.Flows.max_node_load;
+  Alcotest.(check int) "max link load" 3 load.Routing.Flows.max_link_load
+
+let test_flows_failures_counted () =
+  let g = U.of_edges 4 [ (0, 1) ] in
+  let load =
+    Routing.Flows.measure line_positions g ~pairs:[ (0, 1); (0, 3) ]
+  in
+  Alcotest.(check int) "routed" 1 load.Routing.Flows.flows_routed;
+  Alcotest.(check int) "failed" 1 load.Routing.Flows.flows_failed
+
+let test_flows_min_energy_policy () =
+  let energy = Radio.Energy.make pl in
+  let g = U.of_edges 3 [ (0, 1); (1, 2); (0, 2) ] in
+  let positions =
+    [| Geom.Vec2.zero; Geom.Vec2.make 50. 0.; Geom.Vec2.make 100. 0. |]
+  in
+  (* min-hop uses the direct edge; min-energy relays through 1 *)
+  let hop = Routing.Flows.measure positions g ~pairs:[ (0, 2) ] in
+  let nrg =
+    Routing.Flows.measure ~policy:(Routing.Flows.Min_energy energy) positions g
+      ~pairs:[ (0, 2) ]
+  in
+  Alcotest.(check int) "min-hop: 1 hop" 1 hop.Routing.Flows.total_hops;
+  Alcotest.(check int) "min-energy: 2 hops" 2 nrg.Routing.Flows.total_hops
+
+(* Sparser topologies concentrate load: the paper's congestion caveat. *)
+let test_congestion_increases_with_sparsity () =
+  let sc = Workload.Scenario.paper ~seed:12 in
+  let pl = Workload.Scenario.pathloss sc in
+  let positions = Workload.Scenario.positions sc in
+  let gr = Baselines.Proximity.max_power pl positions in
+  let config = Cbtc.Config.make Geom.Angle.five_pi_six in
+  let sparse =
+    (Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.all_ops config)).graph
+  in
+  let prng = Prng.create ~seed:5 in
+  let pairs = Routing.Greedy.random_pairs prng ~n:100 ~count:300 in
+  let full = Routing.Flows.measure positions gr ~pairs in
+  let thin = Routing.Flows.measure positions sparse ~pairs in
+  Alcotest.(check bool) "sparser topology carries more load per link" true
+    (thin.Routing.Flows.max_link_load > full.Routing.Flows.max_link_load);
+  Alcotest.(check bool) "and needs more hops" true
+    (thin.Routing.Flows.total_hops > full.Routing.Flows.total_hops)
+
+(* ---------- shortest-path tree plumbing ---------- *)
+
+let test_dijkstra_tree_paths () =
+  let g = U.of_edges 5 [ (0, 1); (1, 2); (2, 3); (0, 4); (4, 3) ] in
+  let cost _ _ = 1. in
+  let dist, prev = Graphkit.Shortest.dijkstra_tree g ~cost ~src:0 in
+  check_float "dist to 3" 2. dist.(3);
+  (match Graphkit.Shortest.path_to ~prev ~src:0 3 with
+  | Some [ 0; 4; 3 ] -> ()
+  | Some p ->
+      Alcotest.failf "unexpected path [%s]"
+        (String.concat ";" (List.map string_of_int p))
+  | None -> Alcotest.fail "reachable");
+  Alcotest.(check bool) "self path" true
+    (Graphkit.Shortest.path_to ~prev ~src:0 0 = Some [ 0 ])
+
+let () =
+  Alcotest.run "routing"
+    [
+      ( "greedy",
+        [
+          Alcotest.test_case "delivers on a line" `Quick test_greedy_delivers_on_line;
+          Alcotest.test_case "trivial route" `Quick test_greedy_trivial;
+          Alcotest.test_case "local minimum" `Quick test_greedy_local_minimum;
+          Alcotest.test_case "evaluate" `Quick test_greedy_evaluate;
+          Alcotest.test_case "random pairs" `Quick test_greedy_random_pairs;
+          Alcotest.test_case "on CBTC topology" `Quick test_greedy_on_cbtc;
+        ] );
+      ( "minpower",
+        [
+          Alcotest.test_case "relaying beats direct" `Quick test_minpower_route;
+          Alcotest.test_case "disconnected" `Quick test_minpower_disconnected;
+          Alcotest.test_case "overhead changes route" `Quick
+            test_minpower_overhead_changes_route;
+        ] );
+      ( "flows",
+        [
+          Alcotest.test_case "min hop loads" `Quick test_flows_min_hop;
+          Alcotest.test_case "failures counted" `Quick test_flows_failures_counted;
+          Alcotest.test_case "min energy policy" `Quick test_flows_min_energy_policy;
+          Alcotest.test_case "congestion vs sparsity" `Quick
+            test_congestion_increases_with_sparsity;
+        ] );
+      ( "tree",
+        [ Alcotest.test_case "dijkstra tree paths" `Quick test_dijkstra_tree_paths ] );
+    ]

@@ -1,0 +1,164 @@
+(* Tests for workload generation: placements, scenarios, and the
+   random-waypoint mobility model. *)
+
+let field = Workload.Placement.field ~width:1000. ~height:500.
+
+let in_field (p : Geom.Vec2.t) =
+  p.Geom.Vec2.x >= 0. && p.Geom.Vec2.x <= 1000. && p.Geom.Vec2.y >= 0.
+  && p.Geom.Vec2.y <= 500.
+
+let test_uniform () =
+  let prng = Prng.create ~seed:1 in
+  let pts = Workload.Placement.uniform prng ~field ~n:500 in
+  Alcotest.(check int) "count" 500 (Array.length pts);
+  Alcotest.(check bool) "in field" true (Array.for_all in_field pts);
+  (* deterministic per seed *)
+  let again = Workload.Placement.uniform (Prng.create ~seed:1) ~field ~n:500 in
+  Alcotest.(check bool) "deterministic" true (pts = again);
+  let other = Workload.Placement.uniform (Prng.create ~seed:2) ~field ~n:500 in
+  Alcotest.(check bool) "seed-sensitive" true (pts <> other)
+
+let test_clustered () =
+  let prng = Prng.create ~seed:3 in
+  let pts =
+    Workload.Placement.clustered prng ~field ~clusters:3 ~n:300 ~sigma:20.
+  in
+  Alcotest.(check int) "count" 300 (Array.length pts);
+  Alcotest.(check bool) "clamped to field" true (Array.for_all in_field pts);
+  Alcotest.check_raises "no clusters"
+    (Invalid_argument "Placement.clustered: no clusters") (fun () ->
+      ignore (Workload.Placement.clustered prng ~field ~clusters:0 ~n:5 ~sigma:1.))
+
+let test_grid_jitter () =
+  let prng = Prng.create ~seed:4 in
+  let pts = Workload.Placement.grid_jitter prng ~field ~rows:4 ~cols:5 ~jitter:10. in
+  Alcotest.(check int) "rows*cols" 20 (Array.length pts);
+  Alcotest.(check bool) "in field" true (Array.for_all in_field pts);
+  (* zero jitter puts nodes exactly at cell centers *)
+  let exact = Workload.Placement.grid_jitter prng ~field ~rows:2 ~cols:2 ~jitter:0. in
+  Alcotest.(check bool) "first cell center" true
+    (Geom.Vec2.equal exact.(0) (Geom.Vec2.make 250. 125.))
+
+let test_scenario () =
+  let sc = Workload.Scenario.paper ~seed:5 in
+  Alcotest.(check int) "n" 100 sc.Workload.Scenario.n;
+  let pl = Workload.Scenario.pathloss sc in
+  Alcotest.(check (float 1e-9)) "R" 500. (Radio.Pathloss.max_range pl);
+  let pts = Workload.Scenario.positions sc in
+  Alcotest.(check int) "positions" 100 (Array.length pts);
+  Alcotest.(check bool) "reproducible" true (pts = Workload.Scenario.positions sc);
+  let seeds = Workload.Scenario.seeds ~base:7 ~count:100 in
+  Alcotest.(check int) "seed count" 100 (List.length seeds);
+  Alcotest.(check int) "distinct" 100
+    (List.length (List.sort_uniq Int.compare seeds))
+
+let test_mobility_bounds_and_speed () =
+  let prng = Prng.create ~seed:6 in
+  let start = Workload.Placement.uniform (Prng.create ~seed:7) ~field ~n:50 in
+  let params = { Workload.Mobility.speed_lo = 5.; speed_hi = 20.; pause = 1. } in
+  let m = Workload.Mobility.create prng ~field ~params start in
+  let prev = ref (Workload.Mobility.positions m) in
+  for _ = 1 to 100 do
+    Workload.Mobility.step m ~dt:1.;
+    let cur = Workload.Mobility.positions m in
+    Array.iteri
+      (fun i p ->
+        if not (in_field p) then Alcotest.fail "left the field";
+        let moved = Geom.Vec2.dist !prev.(i) p in
+        if moved > 20. +. 1e-6 then
+          Alcotest.failf "node %d moved %g > max speed" i moved)
+      cur;
+    prev := cur
+  done
+
+let test_mobility_moves_and_freezes () =
+  let prng = Prng.create ~seed:8 in
+  let start = Workload.Placement.uniform (Prng.create ~seed:9) ~field ~n:20 in
+  let m =
+    Workload.Mobility.create prng ~field
+      ~params:Workload.Mobility.default_params start
+  in
+  Workload.Mobility.step m ~dt:10.;
+  let moved = Workload.Mobility.positions m in
+  Alcotest.(check bool) "someone moved" true
+    (Array.exists2 (fun a b -> not (Geom.Vec2.equal a b)) start moved);
+  Workload.Mobility.freeze m;
+  Workload.Mobility.step m ~dt:10.;
+  Alcotest.(check bool) "frozen" true (moved = Workload.Mobility.positions m)
+
+let test_mobility_waypoint_progress () =
+  (* With a long enough run, every node passes through at least one pause
+     (reaches a waypoint). *)
+  let prng = Prng.create ~seed:10 in
+  let start = Workload.Placement.uniform (Prng.create ~seed:11) ~field ~n:5 in
+  let params = { Workload.Mobility.speed_lo = 50.; speed_hi = 50.; pause = 0.5 } in
+  let m = Workload.Mobility.create prng ~field ~params start in
+  for _ = 1 to 200 do
+    Workload.Mobility.step m ~dt:1.
+  done;
+  (* positions remain valid and nodes are not all stuck at start *)
+  Alcotest.(check bool) "moved far" true
+    (Array.exists2
+       (fun a b -> Geom.Vec2.dist a b > 100.)
+       start
+       (Workload.Mobility.positions m))
+
+let test_direction_model () =
+  let prng = Prng.create ~seed:13 in
+  let start = Workload.Placement.uniform (Prng.create ~seed:14) ~field ~n:30 in
+  let params = { Workload.Mobility.speed_lo = 10.; speed_hi = 30.; pause = 1. } in
+  let m = Workload.Mobility.Direction.create prng ~field ~params start in
+  for _ = 1 to 200 do
+    Workload.Mobility.Direction.step m ~dt:1.;
+    Array.iter
+      (fun p -> if not (in_field p) then Alcotest.fail "left the field")
+      (Workload.Mobility.Direction.positions m)
+  done;
+  let final = Workload.Mobility.Direction.positions m in
+  Alcotest.(check bool) "nodes moved" true
+    (Array.exists2 (fun a b -> Geom.Vec2.dist a b > 50.) start final);
+  Workload.Mobility.Direction.freeze m;
+  Workload.Mobility.Direction.step m ~dt:5.;
+  Alcotest.(check bool) "frozen" true
+    (final = Workload.Mobility.Direction.positions m);
+  Alcotest.check_raises "bad speeds"
+    (Invalid_argument "Mobility.Direction.create: bad speed range") (fun () ->
+      ignore
+        (Workload.Mobility.Direction.create prng ~field
+           ~params:{ Workload.Mobility.speed_lo = 0.; speed_hi = 1.; pause = 0. }
+           [| Geom.Vec2.zero |]))
+
+let test_mobility_validation () =
+  let prng = Prng.create ~seed:1 in
+  Alcotest.check_raises "bad speeds" (Invalid_argument "Mobility.create: bad speed range")
+    (fun () ->
+      ignore
+        (Workload.Mobility.create prng ~field
+           ~params:{ Workload.Mobility.speed_lo = 0.; speed_hi = 1.; pause = 0. }
+           [| Geom.Vec2.zero |]));
+  let m =
+    Workload.Mobility.create prng ~field
+      ~params:Workload.Mobility.default_params [| Geom.Vec2.zero |]
+  in
+  Alcotest.check_raises "negative dt" (Invalid_argument "Mobility.step: negative dt")
+    (fun () -> Workload.Mobility.step m ~dt:(-1.))
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "placement",
+        [
+          Alcotest.test_case "uniform" `Quick test_uniform;
+          Alcotest.test_case "clustered" `Quick test_clustered;
+          Alcotest.test_case "grid jitter" `Quick test_grid_jitter;
+        ] );
+      ("scenario", [ Alcotest.test_case "paper setup" `Quick test_scenario ]);
+      ( "mobility",
+        [
+          Alcotest.test_case "bounds and speed" `Quick test_mobility_bounds_and_speed;
+          Alcotest.test_case "moves and freezes" `Quick test_mobility_moves_and_freezes;
+          Alcotest.test_case "waypoint progress" `Quick test_mobility_waypoint_progress;
+          Alcotest.test_case "random direction model" `Quick test_direction_model;
+          Alcotest.test_case "validation" `Quick test_mobility_validation;
+        ] );
+    ]
