@@ -7,8 +7,9 @@
    - Figure 2 (Example 2.1: N_alpha asymmetry);
    - Figure 5 (Theorem 2.4: disconnection for alpha > 5pi/6);
    - Figure 6 (one network rendered under eight configurations, as SVG);
-   plus connectivity sweeps, ablations of our own, and Bechamel
-   microbenchmarks of the computational kernels.
+   plus connectivity sweeps, ablations of our own, Bechamel
+   microbenchmarks of the computational kernels, and a spatial-grid vs
+   brute-force scaling comparison (writes <out>/perf.json).
 
    Usage: main.exe [--seeds N] [--fast] [--out DIR] [section ...]
    Sections: table1 figures figure6 connectivity ablations extensions
@@ -716,7 +717,130 @@ let run_series ~seeds ~out_dir =
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
-let run_perf () =
+(* Wall-clock comparison of the Geom.Grid-backed hot paths against the
+   brute-force O(n²) references, at constant density (the field scales
+   with n so the average degree stays at the paper's ~25.6).  Results go
+   to stdout and, machine-readable, to <out>/perf.json so successive PRs
+   can track the perf trajectory. *)
+
+let time_best ~reps f =
+  let best = ref Float.infinity in
+  for _ = 1 to Stdlib.max 1 reps do
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+type perf_row = {
+  bench : string;
+  n : int;
+  grid_s : float;
+  brute_s : float option;
+}
+
+let brute_coverage positions ~radius =
+  (* inline reference for Metrics.Interference.coverage *)
+  let n = Array.length positions in
+  let total = ref 0 in
+  for u = 0 to n - 1 do
+    if radius.(u) > 0. then
+      for v = 0 to n - 1 do
+        if v <> u && Geom.Vec2.dist positions.(u) positions.(v) <= radius.(u)
+        then incr total
+      done
+  done;
+  !total
+
+let perf_json_write path rows =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc "{\n  \"schema\": 1,\n  \"unit\": \"seconds\",\n";
+      output_string oc
+        "  \"note\": \"best-of-reps wall clock; constant-density fields \
+         (avg degree ~25.6); brute_s null when the brute-force run was \
+         skipped as too slow\",\n";
+      output_string oc "  \"results\": [\n";
+      List.iteri
+        (fun i r ->
+          let speedup =
+            match r.brute_s with
+            | Some b when r.grid_s > 0. ->
+                Fmt.str "%.2f" (b /. r.grid_s)
+            | _ -> "null"
+          in
+          let brute =
+            match r.brute_s with
+            | Some b -> Fmt.str "%.6f" b
+            | None -> "null"
+          in
+          output_string oc
+            (Fmt.str
+               "    {\"bench\": %S, \"n\": %d, \"brute_s\": %s, \"grid_s\": \
+                %.6f, \"speedup\": %s}%s\n"
+               r.bench r.n brute r.grid_s speedup
+               (if i = List.length rows - 1 then "" else ",")))
+        rows;
+      output_string oc "  ]\n}\n")
+
+let run_perf_scaling ~fast ~out_dir =
+  section "Spatial grid vs brute force (wall clock, constant density)";
+  if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+  let sizes = if fast then [ 100; 400 ] else [ 100; 1000; 10000 ] in
+  let table =
+    Metrics.Table.create
+      ~columns:[ "benchmark"; "n"; "brute (s)"; "grid (s)"; "speedup" ]
+  in
+  let rows = ref [] in
+  let record bench n ~brute ~grid ~reps =
+    let grid_s = time_best ~reps grid in
+    let brute_s = Option.map (fun f -> time_best ~reps f) brute in
+    rows := { bench; n; grid_s; brute_s } :: !rows;
+    Metrics.Table.add_row table
+      [
+        bench;
+        string_of_int n;
+        (match brute_s with Some b -> Fmt.str "%.4f" b | None -> "skipped");
+        Fmt.str "%.4f" grid_s;
+        (match brute_s with
+        | Some b when grid_s > 0. -> Fmt.str "%.1fx" (b /. grid_s)
+        | _ -> "-");
+      ]
+  in
+  List.iter
+    (fun n ->
+      let side = 1500. *. Float.sqrt (Stdlib.float_of_int n /. 100.) in
+      let sc = Workload.Scenario.make ~n ~width:side ~height:side ~seed:42 () in
+      let pl = Workload.Scenario.pathloss sc in
+      let positions = Workload.Scenario.positions sc in
+      let reps = if n <= 100 then 10 else if n <= 1000 then 3 else 1 in
+      let big = n > 1000 in
+      record "discovery (oracle CBTC 5pi/6)" n ~reps
+        ~grid:(fun () -> Cbtc.Geo.run c56 pl positions)
+        ~brute:(Some (fun () -> Cbtc.Geo.Brute.run c56 pl positions));
+      record "max-power graph (G_R)" n ~reps
+        ~grid:(fun () -> Cbtc.Geo.max_power_graph pl positions)
+        ~brute:(Some (fun () -> Cbtc.Geo.Brute.max_power_graph pl positions));
+      record "Yao k=6" n ~reps
+        ~grid:(fun () -> Baselines.Yao.yao pl positions ~k:6)
+        ~brute:(Some (fun () -> Baselines.Yao.Brute.yao pl positions ~k:6));
+      record "RNG baseline" n ~reps
+        ~grid:(fun () -> Baselines.Proximity.rng pl positions)
+        ~brute:
+          (if big then None
+           else Some (fun () -> Baselines.Proximity.Brute.rng pl positions));
+      let radius = Array.make n (Radio.Pathloss.max_range pl) in
+      record "interference coverage" n ~reps
+        ~grid:(fun () -> Metrics.Interference.coverage positions ~radius)
+        ~brute:(Some (fun () -> brute_coverage positions ~radius)))
+    sizes;
+  Fmt.pr "%a@." Metrics.Table.pp table;
+  let path = Filename.concat out_dir "perf.json" in
+  perf_json_write path (List.rev !rows);
+  Fmt.pr "wrote %s@." path
+
+let run_perf ~fast () =
   section "Microbenchmarks (Bechamel, monotonic clock)";
   let open Bechamel in
   let open Toolkit in
@@ -748,7 +872,10 @@ let run_perf () =
         (Staged.stage (fun () -> Graphkit.Traversal.components closure));
     ]
   in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
+  let cfg =
+    if fast then Benchmark.cfg ~limit:50 ~quota:(Time.second 0.05) ()
+    else Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ()
+  in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
@@ -775,6 +902,7 @@ let run_perf () =
 let () =
   let seeds_count = ref 100 in
   let out_dir = ref "bench_out" in
+  let fast = ref false in
   let sections = ref [] in
   let rec parse = function
     | [] -> ()
@@ -782,10 +910,14 @@ let () =
         seeds_count := int_of_string v;
         parse rest
     | "--out" :: v :: rest ->
+        if String.trim v = "" then (
+          Fmt.epr "main.exe: --out requires a non-empty directory@.";
+          exit 2);
         out_dir := v;
         parse rest
     | "--fast" :: rest ->
         seeds_count := 10;
+        fast := true;
         parse rest
     | s :: rest ->
         sections := s :: !sections;
@@ -805,5 +937,8 @@ let () =
   if want "ablations" then run_ablations ~seeds;
   if want "extensions" then run_extensions ~seeds;
   if want "series" then run_series ~seeds ~out_dir:!out_dir;
-  if want "perf" then run_perf ();
+  if want "perf" then begin
+    run_perf_scaling ~fast:!fast ~out_dir:!out_dir;
+    run_perf ~fast:!fast ()
+  end;
   Fmt.pr "@.done.@."

@@ -15,6 +15,7 @@ type 'msg t = {
   channel : Dsim.Channel.t;
   prng : Prng.t;
   positions : Geom.Vec2.t array;
+  grid : Geom.Grid.t;  (* spatial index over [positions]; kept in sync *)
   alive : bool array;
   handlers : 'msg handler option array;
   energy : float array;
@@ -30,6 +31,8 @@ let create ~sim ~pathloss ~channel ~prng ~positions =
     channel;
     prng;
     positions = Array.copy positions;
+    grid =
+      Geom.Grid.create ~range:(Radio.Pathloss.max_range pathloss) positions;
     alive = Array.make n true;
     handlers = Array.make n None;
     energy = Array.make n 0.;
@@ -52,7 +55,8 @@ let position t u =
 
 let set_position t u p =
   check t u;
-  t.positions.(u) <- p
+  t.positions.(u) <- p;
+  Geom.Grid.move t.grid u p
 
 let distance t u v =
   check t u;
@@ -106,23 +110,30 @@ let radiate t ~src ~power =
   t.transmissions <- t.transmissions + 1;
   t.energy.(src) <- t.energy.(src) +. power
 
+(* The spatial index prefilters receivers; the exact [reaches] test below
+   decides, so the audience is identical to a full scan.  Deliveries are
+   issued in increasing node id (as the full scan did): the channel model
+   draws from the PRNG per delivery, so ordering is part of determinism. *)
 let bcast t ~src ~power msg =
   check t src;
   check_power t power;
   if not t.alive.(src) then 0
   else begin
     radiate t ~src ~power;
-    let reached = ref 0 in
-    for dst = 0 to nb_nodes t - 1 do
-      if
-        dst <> src && t.alive.(dst)
-        && Radio.Pathloss.reaches t.pathloss ~power ~dist:(distance t src dst)
-      then begin
-        incr reached;
-        deliver_to t ~src ~dst ~power msg
-      end
-    done;
-    !reached
+    let reach = Radio.Pathloss.reach_distance t.pathloss ~power in
+    let audience =
+      Geom.Grid.fold_in_range t.grid t.positions.(src) ~dist:reach ~init:[]
+        ~f:(fun acc dst ->
+          if
+            dst <> src && t.alive.(dst)
+            && Radio.Pathloss.reaches t.pathloss ~power
+                 ~dist:(distance t src dst)
+          then dst :: acc
+          else acc)
+    in
+    let audience = List.sort Int.compare audience in
+    List.iter (fun dst -> deliver_to t ~src ~dst ~power msg) audience;
+    List.length audience
   end
 
 let send t ~src ~dst ~power msg =

@@ -45,6 +45,10 @@ val pathloss : 'msg t -> Radio.Pathloss.t
 
 val position : 'msg t -> int -> Geom.Vec2.t
 
+(** [set_position t u p] moves [u] to [p], keeping the network's spatial
+    index (used by {!bcast} to find the audience without scanning every
+    node) in sync, so mobility and reconfiguration scenarios stay
+    correct. *)
 val set_position : 'msg t -> int -> Geom.Vec2.t -> unit
 
 val distance : 'msg t -> int -> int -> float

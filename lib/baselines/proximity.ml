@@ -2,56 +2,58 @@ let in_range pathloss positions u v =
   Radio.Pathloss.in_range pathloss
     ~dist:(Geom.Vec2.dist positions.(u) positions.(v))
 
-let max_power pathloss positions =
+let make_grid pathloss positions =
+  Geom.Grid.create ~range:(Radio.Pathloss.max_range pathloss) positions
+
+let max_reach pathloss =
+  Radio.Pathloss.reach_distance pathloss
+    ~power:(Radio.Pathloss.max_power pathloss)
+
+(* [G_R] edges via the spatial index: probe each node's neighborhood and
+   keep [v > u] so every pair is examined once, as the brute-force
+   triangular loop does. *)
+let filter_gr ?grid pathloss positions ~keep =
   let n = Array.length positions in
   let g = Graphkit.Ugraph.create n in
+  let grid =
+    match grid with Some g -> g | None -> make_grid pathloss positions
+  in
+  let reach = max_reach pathloss in
   for u = 0 to n - 1 do
-    for v = u + 1 to n - 1 do
-      if in_range pathloss positions u v then Graphkit.Ugraph.add_edge g u v
-    done
+    Geom.Grid.iter_in_range grid positions.(u) ~dist:reach (fun v ->
+        if v > u && in_range pathloss positions u v && keep u v then
+          Graphkit.Ugraph.add_edge g u v)
   done;
   g
 
-let filter_gr pathloss positions ~keep =
-  let n = Array.length positions in
-  let g = Graphkit.Ugraph.create n in
-  for u = 0 to n - 1 do
-    for v = u + 1 to n - 1 do
-      if in_range pathloss positions u v && keep u v then
-        Graphkit.Ugraph.add_edge g u v
-    done
-  done;
-  g
+let max_power pathloss positions =
+  filter_gr pathloss positions ~keep:(fun _ _ -> true)
 
 let rng pathloss positions =
-  let n = Array.length positions in
+  let grid = make_grid pathloss positions in
   let dist u v = Geom.Vec2.dist positions.(u) positions.(v) in
+  (* a lune witness w has max(d(u,w), d(v,w)) < d(u,v), so it lies within
+     d(u,v) of u: probe only that disk *)
   let keep u v =
     let duv = dist u v in
-    let blocked = ref false in
-    for w = 0 to n - 1 do
-      if (not !blocked) && w <> u && w <> v
-         && Float.max (dist u w) (dist v w) < duv
-      then blocked := true
-    done;
-    not !blocked
+    not
+      (Geom.Grid.exists_in_range grid positions.(u) ~dist:duv (fun w ->
+           w <> u && w <> v && Float.max (dist u w) (dist v w) < duv))
   in
-  filter_gr pathloss positions ~keep
+  filter_gr ~grid pathloss positions ~keep
 
 let gabriel pathloss positions =
-  let n = Array.length positions in
+  let grid = make_grid pathloss positions in
   let dist2 u v = Geom.Vec2.dist2 positions.(u) positions.(v) in
+  (* w inside the circle with diameter uv satisfies d(u,w) < d(u,v) *)
   let keep u v =
     let d2uv = dist2 u v in
-    let blocked = ref false in
-    for w = 0 to n - 1 do
-      if (not !blocked) && w <> u && w <> v
-         && dist2 u w +. dist2 v w < d2uv
-      then blocked := true
-    done;
-    not !blocked
+    not
+      (Geom.Grid.exists_in_range grid positions.(u)
+         ~dist:(Float.sqrt d2uv)
+         (fun w -> w <> u && w <> v && dist2 u w +. dist2 v w < d2uv))
   in
-  filter_gr pathloss positions ~keep
+  filter_gr ~grid pathloss positions ~keep
 
 let euclidean_mst pathloss positions =
   let gr = max_power pathloss positions in
@@ -62,13 +64,17 @@ let knn pathloss positions ~k =
   if k <= 0 then invalid_arg "Proximity.knn: non-positive k";
   let n = Array.length positions in
   let g = Graphkit.Ugraph.create n in
+  let grid = make_grid pathloss positions in
+  let reach = max_reach pathloss in
   for u = 0 to n - 1 do
-    let in_reach = ref [] in
-    for v = 0 to n - 1 do
-      if v <> u && in_range pathloss positions u v then
-        in_reach := (Geom.Vec2.dist positions.(u) positions.(v), v) :: !in_reach
-    done;
-    let sorted = List.sort Stdlib.compare !in_reach in
+    let in_reach =
+      Geom.Grid.fold_in_range grid positions.(u) ~dist:reach ~init:[]
+        ~f:(fun acc v ->
+          if v <> u && in_range pathloss positions u v then
+            (Geom.Vec2.dist positions.(u) positions.(v), v) :: acc
+          else acc)
+    in
+    let sorted = List.sort Stdlib.compare in_reach in
     List.iteri
       (fun i (_, v) -> if i < k then Graphkit.Ugraph.add_edge g u v)
       sorted
@@ -86,3 +92,67 @@ let radius_of ?(full_power = false) pathloss positions g =
           0.
           (Graphkit.Ugraph.neighbors g u))
       positions
+
+module Brute = struct
+  let filter_gr pathloss positions ~keep =
+    let n = Array.length positions in
+    let g = Graphkit.Ugraph.create n in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if in_range pathloss positions u v && keep u v then
+          Graphkit.Ugraph.add_edge g u v
+      done
+    done;
+    g
+
+  let max_power pathloss positions =
+    filter_gr pathloss positions ~keep:(fun _ _ -> true)
+
+  let rng pathloss positions =
+    let n = Array.length positions in
+    let dist u v = Geom.Vec2.dist positions.(u) positions.(v) in
+    let keep u v =
+      let duv = dist u v in
+      let blocked = ref false in
+      for w = 0 to n - 1 do
+        if (not !blocked) && w <> u && w <> v
+           && Float.max (dist u w) (dist v w) < duv
+        then blocked := true
+      done;
+      not !blocked
+    in
+    filter_gr pathloss positions ~keep
+
+  let gabriel pathloss positions =
+    let n = Array.length positions in
+    let dist2 u v = Geom.Vec2.dist2 positions.(u) positions.(v) in
+    let keep u v =
+      let d2uv = dist2 u v in
+      let blocked = ref false in
+      for w = 0 to n - 1 do
+        if (not !blocked) && w <> u && w <> v
+           && dist2 u w +. dist2 v w < d2uv
+        then blocked := true
+      done;
+      not !blocked
+    in
+    filter_gr pathloss positions ~keep
+
+  let knn pathloss positions ~k =
+    if k <= 0 then invalid_arg "Proximity.knn: non-positive k";
+    let n = Array.length positions in
+    let g = Graphkit.Ugraph.create n in
+    for u = 0 to n - 1 do
+      let in_reach = ref [] in
+      for v = 0 to n - 1 do
+        if v <> u && in_range pathloss positions u v then
+          in_reach :=
+            (Geom.Vec2.dist positions.(u) positions.(v), v) :: !in_reach
+      done;
+      let sorted = List.sort Stdlib.compare !in_reach in
+      List.iteri
+        (fun i (_, v) -> if i < k then Graphkit.Ugraph.add_edge g u v)
+        sorted
+    done;
+    g
+end

@@ -6,7 +6,12 @@
     related-work structures the paper cites (Toussaint; Jaromczyk and
     Toussaint) and serve as reference points in the examples and
     ablations.  All are restricted to edges of [G_R] (pairs within radio
-    range), so they are implementable topologies. *)
+    range), so they are implementable topologies.
+
+    Constructions are accelerated by a [Geom.Grid] spatial index (range
+    and witness queries probe only nearby cells); the brute-force
+    reference implementations live in {!Brute} and are property-tested
+    to produce identical graphs. *)
 
 (** [max_power pathloss positions] is [G_R]. *)
 val max_power :
@@ -42,3 +47,18 @@ val radius_of :
   Geom.Vec2.t array ->
   Graphkit.Ugraph.t ->
   float array
+
+(** Brute-force O(n²)/O(n³) reference implementations with results
+    identical to the grid-backed ones above; kept for differential tests
+    and as the [perf] benchmark baseline. *)
+module Brute : sig
+  val max_power :
+    Radio.Pathloss.t -> Geom.Vec2.t array -> Graphkit.Ugraph.t
+
+  val rng : Radio.Pathloss.t -> Geom.Vec2.t array -> Graphkit.Ugraph.t
+
+  val gabriel : Radio.Pathloss.t -> Geom.Vec2.t array -> Graphkit.Ugraph.t
+
+  val knn :
+    Radio.Pathloss.t -> Geom.Vec2.t array -> k:int -> Graphkit.Ugraph.t
+end

@@ -1,18 +1,17 @@
 let yao_out_degree_bound ~k = k
 
-let yao pathloss positions ~k =
-  if k < 3 then invalid_arg "Yao.yao: k < 3";
-  let n = Array.length positions in
-  let sector_width = Geom.Angle.two_pi /. Stdlib.float_of_int k in
-  let g = Graphkit.Ugraph.create n in
-  for u = 0 to n - 1 do
-    (* nearest in-range neighbor per sector *)
-    let best = Array.make k None in
-    for v = 0 to n - 1 do
+(* Per-sector selection for one node over a candidate id list.  Ties on
+   distance keep the lowest-id node: candidates are examined in
+   increasing id, matching the brute-force scan's order. *)
+let select_sectors pathloss positions u ~k ~sector_width best candidates =
+  List.iter
+    (fun v ->
       if v <> u then begin
         let dist = Geom.Vec2.dist positions.(u) positions.(v) in
         if Radio.Pathloss.in_range pathloss ~dist then begin
-          let dir = Geom.Vec2.direction ~from:positions.(u) ~toward:positions.(v) in
+          let dir =
+            Geom.Vec2.direction ~from:positions.(u) ~toward:positions.(v)
+          in
           let sector =
             Stdlib.min (k - 1) (Stdlib.int_of_float (dir /. sector_width))
           in
@@ -20,10 +19,39 @@ let yao pathloss positions ~k =
           | Some (d, _) when d <= dist -> ()
           | Some _ | None -> best.(sector) <- Some (dist, v)
         end
-      end
-    done;
+      end)
+    candidates
+
+let build pathloss positions ~k ~candidates_of =
+  if k < 3 then invalid_arg "Yao.yao: k < 3";
+  let n = Array.length positions in
+  let sector_width = Geom.Angle.two_pi /. Stdlib.float_of_int k in
+  let g = Graphkit.Ugraph.create n in
+  for u = 0 to n - 1 do
+    let best = Array.make k None in
+    select_sectors pathloss positions u ~k ~sector_width best
+      (candidates_of u);
     Array.iter
       (function Some (_, v) -> Graphkit.Ugraph.add_edge g u v | None -> ())
       best
   done;
   g
+
+let yao pathloss positions ~k =
+  let grid =
+    Geom.Grid.create ~range:(Radio.Pathloss.max_range pathloss) positions
+  in
+  let reach =
+    Radio.Pathloss.reach_distance pathloss
+      ~power:(Radio.Pathloss.max_power pathloss)
+  in
+  build pathloss positions ~k ~candidates_of:(fun u ->
+      List.sort Int.compare
+        (Geom.Grid.fold_in_range grid positions.(u) ~dist:reach ~init:[]
+           ~f:(fun acc v -> if v = u then acc else v :: acc)))
+
+module Brute = struct
+  let yao pathloss positions ~k =
+    let all = List.init (Array.length positions) Fun.id in
+    build pathloss positions ~k ~candidates_of:(fun _ -> all)
+end

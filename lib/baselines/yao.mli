@@ -19,3 +19,11 @@ val yao :
 (** [yao_out_degree_bound ~k] is the out-degree bound [k] (each sector
     contributes at most one selected edge) — exported for tests. *)
 val yao_out_degree_bound : k:int -> int
+
+(** Brute-force O(n²) reference with results identical to the
+    grid-backed {!yao} (distance ties resolve to the lowest id on both
+    paths); kept for differential tests and benchmarking. *)
+module Brute : sig
+  val yao :
+    Radio.Pathloss.t -> Geom.Vec2.t array -> k:int -> Graphkit.Ugraph.t
+end

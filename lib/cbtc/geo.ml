@@ -1,34 +1,68 @@
-let candidates pathloss positions u =
-  let n = Array.length positions in
-  if u < 0 || u >= n then invalid_arg "Geo.candidates: node out of range";
-  let acc = ref [] in
-  for v = 0 to n - 1 do
-    if v <> u then begin
-      let dist = Geom.Vec2.dist positions.(u) positions.(v) in
-      if Radio.Pathloss.in_range pathloss ~dist then begin
-        let link_power = Radio.Pathloss.power_for_distance pathloss dist in
-        let dir = Geom.Vec2.direction ~from:positions.(u) ~toward:positions.(v) in
-        acc := Neighbor.make ~id:v ~dir ~link_power ~tag:link_power :: !acc
-      end
+(* Shared candidate test: [consider u v acc] conses v's Neighbor.t onto
+   [acc] when v is a distinct node physically within range of u.  Both
+   the brute-force scans and the grid probes funnel through this, so the
+   two paths examine different pair sets but accept identical ones. *)
+let consider pathloss positions u v acc =
+  if v = u then acc
+  else begin
+    let dist = Geom.Vec2.dist positions.(u) positions.(v) in
+    if Radio.Pathloss.in_range pathloss ~dist then begin
+      let link_power = Radio.Pathloss.power_for_distance pathloss dist in
+      let dir = Geom.Vec2.direction ~from:positions.(u) ~toward:positions.(v) in
+      Neighbor.make ~id:v ~dir ~link_power ~tag:link_power :: acc
     end
-  done;
-  List.sort Neighbor.compare_by_link_power !acc
+    else acc
+  end
+
+let check_node positions u =
+  if u < 0 || u >= Array.length positions then
+    invalid_arg "Geo.candidates: node out of range"
+
+let max_reach pathloss =
+  Radio.Pathloss.reach_distance pathloss
+    ~power:(Radio.Pathloss.max_power pathloss)
+
+let candidates ?grid pathloss positions u =
+  check_node positions u;
+  let acc =
+    match grid with
+    | Some grid ->
+        Geom.Grid.fold_in_range grid positions.(u) ~dist:(max_reach pathloss)
+          ~init:[]
+          ~f:(fun acc v -> consider pathloss positions u v acc)
+    | None ->
+        let acc = ref [] in
+        for v = 0 to Array.length positions - 1 do
+          acc := consider pathloss positions u v !acc
+        done;
+        !acc
+  in
+  List.sort Neighbor.compare_by_link_power acc
+
+let make_grid pathloss positions =
+  Geom.Grid.create ~range:(Radio.Pathloss.max_range pathloss) positions
 
 let max_power_graph pathloss positions =
   let n = Array.length positions in
   let g = Graphkit.Ugraph.create n in
+  let grid = make_grid pathloss positions in
+  let reach = max_reach pathloss in
   for u = 0 to n - 1 do
-    for v = u + 1 to n - 1 do
-      let dist = Geom.Vec2.dist positions.(u) positions.(v) in
-      if Radio.Pathloss.in_range pathloss ~dist then Graphkit.Ugraph.add_edge g u v
-    done
+    Geom.Grid.iter_in_range grid positions.(u) ~dist:reach (fun v ->
+        if
+          v > u
+          && Radio.Pathloss.in_range pathloss
+               ~dist:(Geom.Vec2.dist positions.(u) positions.(v))
+        then Graphkit.Ugraph.add_edge g u v)
   done;
   g
 
 (* Walk the power schedule for one node: at each step, move the candidates
    now reachable from [remaining] to [discovered] (tagging them with the
    step power), and stop at the first gap-free step.  The last step always
-   absorbs all remaining candidates (it is >= P up to rounding). *)
+   absorbs all remaining candidates (it is >= P up to rounding).
+   Accumulation is by prepending — one final sort instead of a quadratic
+   append per step. *)
 let grow_node ~alpha ~max_power cands steps =
   let rec walk discovered dirs remaining = function
     | [] -> assert false
@@ -37,17 +71,21 @@ let grow_node ~alpha ~max_power cands steps =
         let reachable (nb : Neighbor.t) = is_last || nb.link_power <= step in
         let newly, remaining = List.partition reachable remaining in
         let discovered =
-          discovered
-          @ List.map (fun (nb : Neighbor.t) -> { nb with tag = step }) newly
+          List.fold_left
+            (fun acc (nb : Neighbor.t) -> { nb with tag = step } :: acc)
+            discovered newly
         in
-        let dirs = dirs @ Neighbor.directions newly in
+        let dirs =
+          List.fold_left (fun acc (nb : Neighbor.t) -> nb.dir :: acc) dirs newly
+        in
         if not (Geom.Dirset.has_gap ~alpha dirs) then (discovered, step, false)
         else if is_last then (discovered, max_power, true)
         else walk discovered dirs remaining rest
   in
-  walk [] [] cands steps
+  let discovered, power, boundary = walk [] [] cands steps in
+  (List.sort Neighbor.compare_by_link_power discovered, power, boundary)
 
-let run config pathloss positions =
+let run_with ~candidates config pathloss positions =
   let n = Array.length positions in
   let alpha = config.Config.alpha in
   let max_power = Radio.Pathloss.max_power pathloss in
@@ -55,15 +93,40 @@ let run config pathloss positions =
   let power = Array.make n max_power in
   let boundary = Array.make n false in
   for u = 0 to n - 1 do
-    let cands = candidates pathloss positions u in
+    let cands = candidates u in
     let link_powers = List.map (fun (nb : Neighbor.t) -> nb.link_power) cands in
     let steps = Config.power_steps config ~pathloss ~link_powers in
     let discovered, final_power, is_boundary =
       grow_node ~alpha ~max_power cands steps
     in
-    neighbors.(u) <- List.sort Neighbor.compare_by_link_power discovered;
+    neighbors.(u) <- discovered;
     power.(u) <- final_power;
     boundary.(u) <- is_boundary
   done;
   { Discovery.config; pathloss; positions = Array.copy positions; neighbors;
     power; boundary }
+
+let run config pathloss positions =
+  let grid = make_grid pathloss positions in
+  run_with config pathloss positions
+    ~candidates:(fun u -> candidates ~grid pathloss positions u)
+
+module Brute = struct
+  let candidates pathloss positions u = candidates pathloss positions u
+
+  let max_power_graph pathloss positions =
+    let n = Array.length positions in
+    let g = Graphkit.Ugraph.create n in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        let dist = Geom.Vec2.dist positions.(u) positions.(v) in
+        if Radio.Pathloss.in_range pathloss ~dist then
+          Graphkit.Ugraph.add_edge g u v
+      done
+    done;
+    g
+
+  let run config pathloss positions =
+    run_with config pathloss positions
+      ~candidates:(fun u -> candidates pathloss positions u)
+end

@@ -8,20 +8,45 @@
     in the test suite.
 
     With the [Exact] growth schedule this is the continuous-growth limit
-    and produces the paper's Table 1 topologies. *)
+    and produces the paper's Table 1 topologies.
 
-(** [run config pathloss positions] runs the oracle for every node. *)
+    All-pairs scans are accelerated by a [Geom.Grid] spatial index keyed
+    on the radio range; results are identical to the brute-force
+    reference kept in {!Brute} (property-tested), which exists for
+    differential testing and as the benchmark baseline. *)
+
+(** [run config pathloss positions] runs the oracle for every node.
+    Internally builds one spatial index over [positions] and reuses it
+    for every node's discovery, so a full pass is O(n · local density)
+    instead of O(n²). *)
 val run :
   Config.t -> Radio.Pathloss.t -> Geom.Vec2.t array -> Discovery.t
 
-(** [candidates pathloss positions u] lists the nodes physically within
-    range [R] of [u] (its [G_R] neighbors) as {!Neighbor.t} values with
-    true link powers and directions, sorted by increasing link power;
-    tags are set to the link power. *)
+(** [candidates ?grid pathloss positions u] lists the nodes physically
+    within range [R] of [u] (its [G_R] neighbors) as {!Neighbor.t} values
+    with true link powers and directions, sorted by increasing link
+    power; tags are set to the link power.  When [grid] (an index built
+    over exactly [positions]) is given, only nearby cells are probed;
+    otherwise all positions are scanned. *)
 val candidates :
+  ?grid:Geom.Grid.t ->
   Radio.Pathloss.t -> Geom.Vec2.t array -> int -> Neighbor.t list
 
 (** [max_power_graph pathloss positions] is [G_R]: the graph induced by
-    every node transmitting at maximum power. *)
+    every node transmitting at maximum power.  Grid-accelerated. *)
 val max_power_graph :
   Radio.Pathloss.t -> Geom.Vec2.t array -> Graphkit.Ugraph.t
+
+(** Brute-force O(n²) reference implementations, producing identical
+    results to the grid-backed functions above.  Used by the property
+    tests and as the baseline of the [perf] benchmark section. *)
+module Brute : sig
+  val candidates :
+    Radio.Pathloss.t -> Geom.Vec2.t array -> int -> Neighbor.t list
+
+  val max_power_graph :
+    Radio.Pathloss.t -> Geom.Vec2.t array -> Graphkit.Ugraph.t
+
+  val run :
+    Config.t -> Radio.Pathloss.t -> Geom.Vec2.t array -> Discovery.t
+end

@@ -5,25 +5,29 @@ let shrink_neighbors ~alpha neighbors =
       let full_cover =
         Geom.Dirset.cover ~alpha (Neighbor.directions neighbors)
       in
-      let tags =
-        List.sort_uniq Float.compare
-          (List.map (fun (nb : Neighbor.t) -> nb.tag) neighbors)
-      in
       (* Minimal tag prefix with unchanged coverage (Section 3.1: remove
-         nodes tagged p_k, then p_{k-1}, ... while coverage persists). *)
-      let keep_up_to tag =
-        List.filter (fun (nb : Neighbor.t) -> nb.tag <= tag) neighbors
+         nodes tagged p_k, then p_{k-1}, ... while coverage persists).
+         Walk the tag classes once from the lowest, extending the covered
+         arcs by one class at a time, rather than rebuilding the whole
+         prefix's coverage at every candidate tag. *)
+      let by_tag = List.sort Neighbor.compare_by_tag neighbors in
+      let half = alpha /. 2. in
+      let add_arc cover (nb : Neighbor.t) =
+        Geom.Arcset.add cover { Geom.Arcset.start = nb.dir -. half; len = alpha }
       in
-      let rec first_sufficient = function
+      let rec first_sufficient cover = function
         | [] -> assert false
-        | tag :: rest ->
-            let kept = keep_up_to tag in
-            let cover = Geom.Dirset.cover ~alpha (Neighbor.directions kept) in
-            if Geom.Arcset.equal cover full_cover then (kept, tag)
-            else first_sufficient rest
+        | (nb : Neighbor.t) :: _ as nbs ->
+            let tag = nb.tag in
+            let cls, rest =
+              List.partition (fun (nb : Neighbor.t) -> nb.tag <= tag) nbs
+            in
+            let cover = List.fold_left add_arc cover cls in
+            if Geom.Arcset.equal cover full_cover then tag
+            else first_sufficient cover rest
       in
-      let kept, tag = first_sufficient tags in
-      (kept, Some tag)
+      let tag = first_sufficient Geom.Arcset.empty by_tag in
+      (List.filter (fun (nb : Neighbor.t) -> nb.tag <= tag) neighbors, Some tag)
 
 let shrink_back (d : Discovery.t) =
   let alpha = d.config.Config.alpha in

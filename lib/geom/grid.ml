@@ -1,0 +1,107 @@
+type t = {
+  cell : float;
+  positions : Vec2.t array;
+  buckets : (int * int, int list) Hashtbl.t;
+  keys : (int * int) array;  (* current cell of each node *)
+}
+
+(* Pad probe squares so that candidates sitting within the exact
+   predicates' float tolerances (relative 1e-9 on powers in the radio
+   model, plus ulp-level rounding of the power<->distance round trip)
+   can never fall just outside the probed cells. *)
+let probe_slack = 1e-9
+
+let cell_key cell (p : Vec2.t) =
+  ( int_of_float (Float.floor (p.x /. cell)),
+    int_of_float (Float.floor (p.y /. cell)) )
+
+let bucket_add t key u =
+  let ids = match Hashtbl.find_opt t.buckets key with None -> [] | Some l -> l in
+  Hashtbl.replace t.buckets key (u :: ids)
+
+let bucket_remove t key u =
+  match Hashtbl.find_opt t.buckets key with
+  | None -> ()
+  | Some ids -> (
+      match List.filter (fun v -> v <> u) ids with
+      | [] -> Hashtbl.remove t.buckets key
+      | ids -> Hashtbl.replace t.buckets key ids)
+
+let create ~range positions =
+  if not (Float.is_finite range) || range <= 0. then
+    invalid_arg "Grid.create: cell range must be positive and finite";
+  let n = Array.length positions in
+  let t =
+    {
+      cell = range;
+      positions = Array.copy positions;
+      buckets = Hashtbl.create (Stdlib.max 16 n);
+      keys = Array.init n (fun u -> cell_key range positions.(u));
+    }
+  in
+  for u = 0 to n - 1 do
+    bucket_add t t.keys.(u) u
+  done;
+  t
+
+let nb_nodes t = Array.length t.positions
+
+let cell_size t = t.cell
+
+let check t u =
+  if u < 0 || u >= nb_nodes t then invalid_arg "Grid: node out of range"
+
+let position t u =
+  check t u;
+  t.positions.(u)
+
+let move t u p =
+  check t u;
+  t.positions.(u) <- p;
+  let key = cell_key t.cell p in
+  if key <> t.keys.(u) then begin
+    bucket_remove t t.keys.(u) u;
+    bucket_add t key u;
+    t.keys.(u) <- key
+  end
+
+let probe_bounds t (p : Vec2.t) dist =
+  let r = (dist *. (1. +. probe_slack)) +. probe_slack in
+  let lo x = int_of_float (Float.floor ((x -. r) /. t.cell)) in
+  let hi x = int_of_float (Float.floor ((x +. r) /. t.cell)) in
+  (lo p.x, hi p.x, lo p.y, hi p.y)
+
+let fold_in_range t p ~dist ~init ~f =
+  if dist < 0. then init
+  else begin
+    let x0, x1, y0, y1 = probe_bounds t p dist in
+    let acc = ref init in
+    for cx = x0 to x1 do
+      for cy = y0 to y1 do
+        match Hashtbl.find_opt t.buckets (cx, cy) with
+        | None -> ()
+        | Some ids -> List.iter (fun u -> acc := f !acc u) ids
+      done
+    done;
+    !acc
+  end
+
+let iter_in_range t p ~dist f =
+  fold_in_range t p ~dist ~init:() ~f:(fun () u -> f u)
+
+exception Found
+
+let exists_in_range t p ~dist f =
+  match iter_in_range t p ~dist (fun u -> if f u then raise_notrace Found) with
+  | () -> false
+  | exception Found -> true
+
+let neighbors_within t u ~dist =
+  check t u;
+  let pu = t.positions.(u) in
+  let ids =
+    fold_in_range t pu ~dist ~init:[] ~f:(fun acc v ->
+        if v <> u && Vec2.dist pu t.positions.(v) <= dist then v :: acc
+        else acc)
+  in
+  List.sort Int.compare ids

@@ -1,0 +1,69 @@
+(** Uniform spatial hash grid over node positions.
+
+    Every geometric hot path of the system — oracle discovery, the
+    simulated radio broadcast, the proximity baselines, the interference
+    metric — needs "which nodes lie within distance [d] of here?".  A
+    brute-force answer scans all [n] positions, making whole-network
+    passes O(n²).  This index buckets nodes into square cells of side
+    [range] (normally the maximum radio range [R]) keyed by a hash
+    table, so a query for radius [d <= range] probes only the 3x3 block
+    of cells around the query point — O(occupancy) instead of O(n) —
+    and larger radii probe proportionally larger blocks.
+
+    The grid holds its own copy of the positions; under mobility, keep
+    it current with {!move} (O(1) expected per update).
+
+    {2 Exactness contract}
+
+    {!fold_in_range}, {!iter_in_range} and {!exists_in_range} are
+    {e prefilters}: they enumerate a superset of the nodes within [dist]
+    of the query point (every node of a cell that intersects the padded
+    bounding square, each exactly once, including a node sitting exactly
+    at the query point).  Callers apply their own exact predicate —
+    [Radio.Pathloss.in_range], [reaches], a strict inequality, … — to
+    each candidate, so replacing a brute-force scan with a grid probe
+    changes {e which pairs are examined}, never {e which pairs pass}.
+    The probe square is padded by a relative and absolute [1e-9] slack,
+    so predicates with the path-loss model's round-trip tolerances stay
+    safe as long as [dist] mathematically bounds their support (see
+    [Radio.Pathloss.reach_distance]).
+
+    {!neighbors_within} is exact: it applies [Vec2.dist _ _ <= dist]
+    itself and returns ids sorted in increasing order. *)
+
+type t
+
+(** [create ~range positions] indexes [positions] (copied) with cell
+    side [range].
+    @raise Invalid_argument when [range <= 0.] or not finite. *)
+val create : range:float -> Vec2.t array -> t
+
+val nb_nodes : t -> int
+
+(** [cell_size t] is the cell side length ([range] at creation). *)
+val cell_size : t -> float
+
+(** [position t u] is [u]'s current indexed position. *)
+val position : t -> int -> Vec2.t
+
+(** [move t u p] updates [u]'s position to [p], rebucketing it if it
+    changed cell.  O(1) expected (O(cell occupancy) worst case). *)
+val move : t -> int -> Vec2.t -> unit
+
+(** [fold_in_range t p ~dist ~init ~f] folds [f] over a superset of the
+    node ids within [dist] of point [p] (see the exactness contract
+    above); order is unspecified.  [dist < 0.] yields [init]. *)
+val fold_in_range :
+  t -> Vec2.t -> dist:float -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+(** [iter_in_range t p ~dist f] is {!fold_in_range} for side effects. *)
+val iter_in_range : t -> Vec2.t -> dist:float -> (int -> unit) -> unit
+
+(** [exists_in_range t p ~dist f] holds when [f] holds for some candidate
+    id; stops at the first hit. *)
+val exists_in_range : t -> Vec2.t -> dist:float -> (int -> bool) -> bool
+
+(** [neighbors_within t u ~dist] is the ids [v <> u] with
+    [Vec2.dist (position t u) (position t v) <= dist], sorted in
+    increasing order. *)
+val neighbors_within : t -> int -> dist:float -> int list

@@ -1,22 +1,38 @@
 type t = { avg_coverage : float; max_coverage : int; total_coverage : int }
 
+(* Count, for each transmitter, the nodes inside its transmission disk.
+   A spatial grid sized to the largest radius turns the all-pairs scan
+   into per-node local probes; the exact disk test below is unchanged. *)
 let coverage positions ~radius =
   let n = Array.length positions in
   if Array.length radius <> n then
     invalid_arg "Interference.coverage: length mismatch";
+  let max_radius = Array.fold_left Float.max 0. radius in
+  let grid =
+    if n = 0 || max_radius <= 0. then None
+    else Some (Geom.Grid.create ~range:max_radius positions)
+  in
   let max_coverage = ref 0 in
   let total = ref 0 in
-  for u = 0 to n - 1 do
-    if radius.(u) > 0. then begin
-      let covered = ref 0 in
-      for v = 0 to n - 1 do
-        if v <> u && Geom.Vec2.dist positions.(u) positions.(v) <= radius.(u)
-        then incr covered
-      done;
-      total := !total + !covered;
-      if !covered > !max_coverage then max_coverage := !covered
-    end
-  done;
+  (match grid with
+  | None -> ()
+  | Some grid ->
+      for u = 0 to n - 1 do
+        if radius.(u) > 0. then begin
+          let covered =
+            Geom.Grid.fold_in_range grid positions.(u) ~dist:radius.(u)
+              ~init:0
+              ~f:(fun c v ->
+                if
+                  v <> u
+                  && Geom.Vec2.dist positions.(u) positions.(v) <= radius.(u)
+                then c + 1
+                else c)
+          in
+          total := !total + covered;
+          if covered > !max_coverage then max_coverage := covered
+        end
+      done);
   {
     avg_coverage =
       (if n = 0 then 0. else Stdlib.float_of_int !total /. Stdlib.float_of_int n);

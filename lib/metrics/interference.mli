@@ -15,6 +15,8 @@ type t = {
 
 (** [coverage positions ~radius] computes the proxy for per-node
     transmission radii (a node with radius [0.] — isolated — disturbs
-    nobody).
+    nobody).  Disk membership is resolved through a [Geom.Grid] spatial
+    index sized to the largest radius, so the cost is proportional to
+    the disks' actual occupancy rather than n² pairs.
     @raise Invalid_argument on array length mismatch. *)
 val coverage : Geom.Vec2.t array -> radius:float array -> t

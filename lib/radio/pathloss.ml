@@ -36,6 +36,10 @@ let reaches t ~power ~dist =
 
 let in_range t ~dist = reaches t ~power:t.max_power ~dist
 
+let reach_distance t ~power =
+  if power < 0. then invalid_arg "Pathloss.reach_distance: negative power";
+  distance_for_power t ((power *. (1. +. power_eps)) +. power_eps)
+
 let rx_power t ~tx_power ~dist =
   if tx_power < 0. then invalid_arg "Pathloss.rx_power: negative power";
   tx_power /. (Float.max dist reference_distance ** t.exponent)

@@ -46,6 +46,13 @@ val reaches : t -> power:float -> dist:float -> bool
     the pair would be an edge of [G_R]. *)
 val in_range : t -> dist:float -> bool
 
+(** [reach_distance t ~power] bounds the distances {!reaches} accepts at
+    [power], tolerance included: [reaches t ~power ~dist] implies
+    [dist <= reach_distance t ~power] (up to float rounding well below
+    the spatial index's probe slack).  Use it as the probe radius when
+    prefiltering candidates with [Geom.Grid]. *)
+val reach_distance : t -> power:float -> float
+
 (** [rx_power t ~tx_power ~dist] is the reception power [p'] of a message
     sent with [tx_power] from distance [dist]. *)
 val rx_power : t -> tx_power:float -> dist:float -> float

@@ -110,6 +110,52 @@ let prop_shrink_preserves_coverage =
       done;
       !ok)
 
+(* Reference spec for shrink_neighbors, written exactly as Section 3.1
+   states it: try each tag prefix from the lowest, recomputing its whole
+   coverage, until coverage matches the full set.  The production code
+   walks tag classes incrementally; results must agree bit-for-bit. *)
+let shrink_neighbors_spec ~alpha neighbors =
+  match neighbors with
+  | [] -> ([], None)
+  | _ :: _ ->
+      let full_cover =
+        Geom.Dirset.cover ~alpha (Cbtc.Neighbor.directions neighbors)
+      in
+      let tags =
+        List.sort_uniq Float.compare
+          (List.map (fun (nb : Cbtc.Neighbor.t) -> nb.Cbtc.Neighbor.tag)
+             neighbors)
+      in
+      let keep_up_to tag =
+        List.filter
+          (fun (nb : Cbtc.Neighbor.t) -> nb.Cbtc.Neighbor.tag <= tag)
+          neighbors
+      in
+      let tag =
+        List.find
+          (fun tag ->
+            Geom.Arcset.equal
+              (Geom.Dirset.cover ~alpha
+                 (Cbtc.Neighbor.directions (keep_up_to tag)))
+              full_cover)
+          tags
+      in
+      (keep_up_to tag, Some tag)
+
+let prop_shrink_neighbors_matches_spec =
+  QCheck.Test.make ~count:100
+    ~name:"shrink_neighbors (incremental) = prefix-recomputation spec"
+    (QCheck.make positions_gen)
+    (fun positions ->
+      let d = run ~growth:(Cbtc.Config.Double 25.) positions in
+      let ok = ref true in
+      for u = 0 to Array.length positions - 1 do
+        let got = Cbtc.Optimize.shrink_neighbors ~alpha:alpha56 d.neighbors.(u) in
+        let want = shrink_neighbors_spec ~alpha:alpha56 d.neighbors.(u) in
+        if got <> want then ok := false
+      done;
+      !ok)
+
 let prop_shrink_preserves_connectivity =
   QCheck.Test.make ~count:50
     ~name:"Theorem 3.1: shrink-back preserves connectivity"
@@ -244,6 +290,7 @@ let () =
         qsuite
           [
             prop_shrink_is_reduction;
+            prop_shrink_neighbors_matches_spec;
             prop_shrink_idempotent;
             prop_shrink_preserves_coverage;
             prop_shrink_preserves_connectivity;
