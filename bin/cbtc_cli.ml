@@ -5,6 +5,7 @@
      sweep      sweep alpha over a seed set, reporting degree/radius
      topology   write an SVG (and optional ASCII) rendering
      protocol   run the distributed protocol and print message statistics
+     stress     sweep burst-loss x crash fault scenarios, JSON report
      theory     check the paper's two constructions
      compare    compare CBTC against the proximity-graph baselines *)
 
@@ -237,6 +238,219 @@ let protocol_cmd =
        ~doc:"Run the distributed protocol over the simulated radio.")
     Term.(const action $ nodes $ side $ range $ seed $ alpha $ loss $ repeats)
 
+(* ---------- stress ---------- *)
+
+let stress_cmd =
+  let float_list ~flag ~lo ~hi ~hi_inclusive =
+    let bounds =
+      Fmt.str "[%g,%g%s" lo hi (if hi_inclusive then "]" else ")")
+    in
+    let parse s =
+      let parts = String.split_on_char ',' s in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | p :: rest -> (
+            match float_of_string_opt (String.trim p) with
+            | Some v
+              when v >= lo && (if hi_inclusive then v <= hi else v < hi) ->
+                go (v :: acc) rest
+            | Some _ ->
+                Error (`Msg (Fmt.str "%s: %s out of %s" flag p bounds))
+            | None ->
+                Error (`Msg (Fmt.str "%s: %S is not a float" flag p)))
+      in
+      match parts with
+      | [] | [ "" ] -> Error (`Msg (Fmt.str "%s: empty list" flag))
+      | parts -> go [] parts
+    in
+    let print = Fmt.(list ~sep:(any ",") float) in
+    Arg.conv (parse, print)
+  in
+  let losses =
+    Arg.(
+      value
+      & opt (float_list ~flag:"--loss" ~lo:0. ~hi:0.5 ~hi_inclusive:true)
+          [ 0.1; 0.3 ]
+      & info [ "loss" ] ~docv:"L1,L2,..."
+          ~doc:"Mean channel loss values to sweep, each in [0,0.5].")
+  in
+  let crashes =
+    Arg.(
+      value
+      & opt (float_list ~flag:"--crash" ~lo:0. ~hi:1. ~hi_inclusive:true)
+          [ 0.; 0.1 ]
+      & info [ "crash" ] ~docv:"F1,F2,..."
+          ~doc:"Crashed-node fractions to sweep, each in [0,1].")
+  in
+  let burstiness =
+    let parse s =
+      match float_of_string_opt s with
+      | Some b when b >= 1. && b <= 1000. -> Ok b
+      | _ -> Error (`Msg (Fmt.str "--burstiness: %s out of [1,1000]" s))
+    in
+    Arg.(
+      value
+      & opt (conv (parse, Fmt.float)) 4.
+      & info [ "burstiness" ] ~docv:"B"
+          ~doc:"Mean burst length (transmissions) of the Gilbert-Elliott \
+                bad state, in [1,1000].")
+  in
+  let recover_after =
+    let parse s =
+      match float_of_string_opt s with
+      | Some d when d >= 0. -> Ok d
+      | _ -> Error (`Msg (Fmt.str "--recover-after: %s is not a delay >= 0" s))
+    in
+    Arg.(
+      value
+      & opt (some (conv (parse, Fmt.float))) None
+      & info [ "recover-after" ] ~docv:"T"
+          ~doc:"Recover each crashed node T time units after its crash \
+                (default: crash-stop forever).")
+  in
+  let out =
+    Arg.(
+      value & opt string "stress.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"JSON report path.")
+  in
+  (* Gilbert-Elliott channel with a given long-run mean loss [m] and mean
+     burst length [b]: bursts drop everything (loss_bad = 1), so the
+     stationary Bad weight must equal [m]:
+       p_bg = 1/b,  p_gb = p_bg * m / (1 - m).
+     The CLI bounds (m <= 0.5, b >= 1) keep p_gb inside (0, 1]. *)
+  let channel_for ~mean_loss ~burstiness =
+    if mean_loss <= 0. then Dsim.Channel.make ()
+    else
+      let p_bg = 1. /. burstiness in
+      let p_gb = p_bg *. mean_loss /. (1. -. mean_loss) in
+      Dsim.Channel.gilbert_elliott ~p_gb ~p_bg ~loss_bad:1. ()
+  in
+  let json_of_cell buf ~mean_loss ~crash ~(o : Cbtc.Distributed.outcome)
+      ~(deg : Cbtc.Verify.degradation) ~verified ~verify_error =
+    let s = o.Cbtc.Distributed.stats in
+    let b = Buffer.add_string buf in
+    b "    {";
+    b (Fmt.str {|"mean_loss": %g, "crash_fraction": %g, |} mean_loss crash);
+    b
+      (Fmt.str {|"crashes": %d, "recoveries": %d, |}
+         o.Cbtc.Distributed.injected.Faults.Inject.crashes
+         o.Cbtc.Distributed.injected.Faults.Inject.recoveries);
+    b
+      (Fmt.str {|"survivors": %d, "verified": %b, "verify_error": %s, |}
+         deg.Cbtc.Verify.survivors verified
+         (match verify_error with
+         | None -> "null"
+         | Some e -> Fmt.str "%S" e));
+    b
+      (Fmt.str
+         {|"connectivity_preserved": %b, "residual_gap_nodes": %d, "boundary_survivors": %d, |}
+         deg.Cbtc.Verify.connectivity_preserved
+         (List.length deg.Cbtc.Verify.residual_gap_nodes)
+         deg.Cbtc.Verify.boundary_survivors);
+    b
+      (Fmt.str {|"delivery_ratio": %.4f, "extra_rounds": %d, |}
+         deg.Cbtc.Verify.delivery_ratio deg.Cbtc.Verify.extra_rounds);
+    b
+      (Fmt.str
+         {|"transmissions": %d, "deliveries": %d, "drops": %d, "retransmissions": %d, "duration": %.1f}|}
+         s.Cbtc.Distributed.transmissions s.Cbtc.Distributed.deliveries
+         s.Cbtc.Distributed.drops s.Cbtc.Distributed.retransmissions
+         s.Cbtc.Distributed.duration)
+  in
+  let action n side range seed alpha losses crashes burstiness recover_after
+      out =
+    let sc = scenario_of ~n ~side ~range ~seed in
+    let pl = Workload.Scenario.pathloss sc in
+    let positions = Workload.Scenario.positions sc in
+    let config = Cbtc.Config.make ~growth:(Cbtc.Config.Double 100.) alpha in
+    let baseline = Cbtc.Distributed.run ~seed config pl positions in
+    let t_conv = baseline.Cbtc.Distributed.stats.Cbtc.Distributed.duration in
+    let table =
+      Metrics.Table.create
+        ~columns:
+          [ "loss"; "crash"; "died"; "survivors"; "gaps"; "conn"; "dlv";
+            "retx"; "verified" ]
+    in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf
+      (Fmt.str
+         "{\n  \"n\": %d, \"seed\": %d, \"alpha\": %g, \"burstiness\": %g,\n\
+         \  \"baseline\": {\"transmissions\": %d, \"duration\": %.1f},\n\
+         \  \"scenarios\": [\n"
+         n seed alpha burstiness
+         baseline.Cbtc.Distributed.stats.Cbtc.Distributed.transmissions t_conv);
+    let first = ref true in
+    let failed = ref 0 in
+    List.iteri
+      (fun ci crash ->
+        List.iteri
+          (fun li mean_loss ->
+            let channel = channel_for ~mean_loss ~burstiness in
+            let plan =
+              if crash <= 0. then Faults.Plan.empty
+              else
+                Faults.Plan.random_crashes
+                  ~prng:(Prng.create ~seed:(seed + (100 * ci) + li))
+                  ~n ~fraction:crash
+                  ~window:(0.1 *. t_conv, 0.6 *. t_conv)
+                  ?recover_after ()
+            in
+            let o =
+              Cbtc.Distributed.run ~channel ~seed
+                ~reliability:Cbtc.Distributed.hardened ~faults:plan config pl
+                positions
+            in
+            let deg = Cbtc.Verify.degradation ~reference:baseline o in
+            let verified, verify_error =
+              match
+                Cbtc.Verify.surviving ~alive:o.Cbtc.Distributed.alive
+                  o.Cbtc.Distributed.discovery
+              with
+              | () -> (true, None)
+              | exception Failure e -> (false, Some e)
+            in
+            Metrics.Table.add_row table
+              [
+                Fmt.str "%.2f" mean_loss;
+                Fmt.str "%.2f" crash;
+                string_of_int deg.Cbtc.Verify.crashed;
+                string_of_int deg.Cbtc.Verify.survivors;
+                string_of_int (List.length deg.Cbtc.Verify.residual_gap_nodes);
+                string_of_bool deg.Cbtc.Verify.connectivity_preserved;
+                Fmt.str "%.2f" deg.Cbtc.Verify.delivery_ratio;
+                string_of_int
+                  o.Cbtc.Distributed.stats.Cbtc.Distributed.retransmissions;
+                string_of_bool verified;
+              ];
+            if not (verified && deg.Cbtc.Verify.connectivity_preserved) then
+              incr failed;
+            if not !first then Buffer.add_string buf ",\n";
+            first := false;
+            json_of_cell buf ~mean_loss ~crash ~o ~deg ~verified ~verify_error)
+          losses)
+      crashes;
+    Buffer.add_string buf "\n  ]\n}\n";
+    let oc = open_out out in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Fmt.pr "%a" Metrics.Table.pp table;
+    Fmt.pr "wrote %s (%d scenarios)@." out
+      (List.length losses * List.length crashes);
+    if !failed > 0 then begin
+      Fmt.epr "stress: %d scenario(s) failed verification@." !failed;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "stress"
+       ~doc:
+         "Sweep burst-loss x crash-rate fault scenarios over the hardened \
+          distributed protocol and write a JSON degradation report.  Exits \
+          non-zero if any scenario fails post-fault verification.")
+    Term.(
+      const action $ nodes $ side $ range $ seed $ alpha $ losses $ crashes
+      $ burstiness $ recover_after $ out)
+
 (* ---------- theory ---------- *)
 
 let theory_cmd =
@@ -388,5 +602,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; sweep_cmd; topology_cmd; protocol_cmd; theory_cmd;
-            compare_cmd; route_cmd; lifetime_cmd ]))
+          [ run_cmd; sweep_cmd; topology_cmd; protocol_cmd; stress_cmd;
+            theory_cmd; compare_cmd; route_cmd; lifetime_cmd ]))

@@ -9,16 +9,29 @@ type 'msg recv = {
 
 type 'msg handler = 'msg recv -> unit
 
+type fault = Crashed of int | Recovered of int
+
 type 'msg t = {
   sim : Dsim.Sim.t;
   pathloss : Radio.Pathloss.t;
   channel : Dsim.Channel.t;
   prng : Prng.t;
   positions : Geom.Vec2.t array;
-  grid : Geom.Grid.t;  (* spatial index over [positions]; kept in sync *)
+  grid : Geom.Grid.t;
+  (* Spatial index over [positions]; kept in sync by [set_position].  It
+     deliberately still lists crashed nodes: the grid is a pure position
+     index (a dead radio still occupies a point in space), [bcast]
+     re-checks [alive] on every candidate before scheduling a delivery —
+     so a dead node can never look like a live receiver — and [recover]
+     would otherwise have to re-insert the node.  The alive check is
+     exact, not a prefilter, hence no grid-level skipping is needed. *)
   alive : bool array;
   handlers : 'msg handler option array;
   energy : float array;
+  link_loss : (int * int, float) Hashtbl.t;
+  drops : int array;  (* per intended receiver *)
+  retransmits : int array;  (* per sender, credited by protocols *)
+  mutable fault_hooks : (fault -> unit) list;
   mutable transmissions : int;
   mutable deliveries : int;
 }
@@ -36,6 +49,10 @@ let create ~sim ~pathloss ~channel ~prng ~positions =
     alive = Array.make n true;
     handlers = Array.make n None;
     energy = Array.make n 0.;
+    link_loss = Hashtbl.create 16;
+    drops = Array.make n 0;
+    retransmits = Array.make n 0;
+    fault_hooks = [];
     transmissions = 0;
     deliveries = 0;
   }
@@ -67,17 +84,60 @@ let set_handler t u h =
   check t u;
   t.handlers.(u) <- Some h
 
+let on_fault t hook = t.fault_hooks <- t.fault_hooks @ [ hook ]
+
+let fire_fault t ev = List.iter (fun hook -> hook ev) t.fault_hooks
+
 let crash t u =
   check t u;
-  t.alive.(u) <- false
+  if t.alive.(u) then begin
+    t.alive.(u) <- false;
+    fire_fault t (Crashed u)
+  end
+
+let recover t u =
+  check t u;
+  if not t.alive.(u) then begin
+    t.alive.(u) <- true;
+    fire_fault t (Recovered u)
+  end
 
 let is_alive t u =
   check t u;
   t.alive.(u)
 
+let set_link_loss t ~src ~dst ~loss =
+  check t src;
+  check t dst;
+  if loss < 0. || loss > 1. then
+    invalid_arg "Net.set_link_loss: loss out of [0,1]";
+  if loss = 0. then Hashtbl.remove t.link_loss (src, dst)
+  else Hashtbl.replace t.link_loss (src, dst) loss
+
+let link_loss t ~src ~dst =
+  match Hashtbl.find_opt t.link_loss (src, dst) with
+  | Some p -> p
+  | None -> 0.
+
 let transmissions t = t.transmissions
 
 let deliveries t = t.deliveries
+
+let drops_at t u =
+  check t u;
+  t.drops.(u)
+
+let drops t = Array.fold_left ( + ) 0 t.drops
+
+let note_retransmit t u =
+  check t u;
+  t.retransmits.(u) <- t.retransmits.(u) + 1
+
+let retransmits_at t u =
+  check t u;
+  t.retransmits.(u)
+
+let retransmits t = Array.fold_left ( + ) 0 t.retransmits
 
 let energy_used t u =
   check t u;
@@ -89,22 +149,33 @@ let check_power t power =
     invalid_arg "Net: power exceeds maximum"
 
 (* Schedule delivery of one copy to [dst]; reception metadata is computed
-   at transmission time (geometry when the wave leaves the antenna). *)
+   at transmission time (geometry when the wave leaves the antenna).  A
+   logical delivery counts as a drop when the per-link loss eats it, the
+   channel drops every copy, or the receiver is dead at reception time. *)
 let deliver_to t ~src ~dst ~power payload =
-  let dist = distance t src dst in
-  let rx_power = Radio.Pathloss.rx_power t.pathloss ~tx_power:power ~dist in
-  let rx_dir =
-    Geom.Vec2.direction ~from:t.positions.(dst) ~toward:t.positions.(src)
-  in
-  let event () =
-    if t.alive.(dst) then
-      match t.handlers.(dst) with
-      | None -> ()
-      | Some h ->
-          t.deliveries <- t.deliveries + 1;
-          h { dst; src; tx_power = power; rx_power; rx_dir; payload }
-  in
-  ignore (Dsim.Channel.deliver t.channel t.sim t.prng event)
+  let extra_loss = link_loss t ~src ~dst in
+  if extra_loss > 0. && Prng.bool t.prng ~p:extra_loss then
+    t.drops.(dst) <- t.drops.(dst) + 1
+  else begin
+    let dist = distance t src dst in
+    let rx_power = Radio.Pathloss.rx_power t.pathloss ~tx_power:power ~dist in
+    let rx_dir =
+      Geom.Vec2.direction ~from:t.positions.(dst) ~toward:t.positions.(src)
+    in
+    let event () =
+      if t.alive.(dst) then
+        match t.handlers.(dst) with
+        | None -> ()
+        | Some h ->
+            t.deliveries <- t.deliveries + 1;
+            h { dst; src; tx_power = power; rx_power; rx_dir; payload }
+      else t.drops.(dst) <- t.drops.(dst) + 1
+    in
+    let copies =
+      Dsim.Channel.deliver t.channel ~link:(src, dst) t.sim t.prng event
+    in
+    if copies = 0 then t.drops.(dst) <- t.drops.(dst) + 1
+  end
 
 let radiate t ~src ~power =
   t.transmissions <- t.transmissions + 1;

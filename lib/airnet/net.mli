@@ -11,9 +11,16 @@
     path-loss model.  Delivery timing/loss/duplication is governed by a
     {!Dsim.Channel.t}; reception metadata ([rx_power], [rx_dir]) is
     computed from the true geometry — simulating the angle-of-arrival
-    hardware the paper assumes.  Nodes can crash (crash-stop) and move. *)
+    hardware the paper assumes.  Nodes can crash (crash-stop), {!recover}
+    and move; {!on_fault} hooks observe crash/recover transitions, and
+    {!set_link_loss} injects extra {e asymmetric} per-link loss on top of
+    the channel model (real links lose the two directions differently —
+    Sethu & Gerety, arXiv 0709.0961). *)
 
 type 'msg t
+
+(** A liveness transition, reported to {!on_fault} hooks. *)
+type fault = Crashed of int | Recovered of int
 
 (** What a receiving node observes for one delivered message. *)
 type 'msg recv = {
@@ -66,16 +73,63 @@ val bcast : 'msg t -> src:int -> power:float -> 'msg -> int
     nothing) when [dst] is out of range at [power]. *)
 val send : 'msg t -> src:int -> dst:int -> power:float -> 'msg -> bool
 
-(** [crash t u] makes [u] crash-stop: it no longer sends or receives. *)
+(** [crash t u] makes [u] crash-stop: it no longer sends or receives.
+    Fires {!on_fault} hooks; idempotent (no hook on an already-dead
+    node).  [u] stays in the spatial index — the index is a pure position
+    map and {!bcast} re-checks liveness on every candidate, so a dead
+    node can never appear in an audience. *)
 val crash : 'msg t -> int -> unit
 
+(** [recover t u] brings a crashed node back (crash-recover model): it
+    resumes sending and receiving with its handler and position intact.
+    Fires {!on_fault} hooks; no-op on a live node.  Protocol state is the
+    caller's business — a recovered node typically restarts discovery. *)
+val recover : 'msg t -> int -> unit
+
 val is_alive : 'msg t -> int -> bool
+
+(** [on_fault t hook] registers [hook] to run synchronously on every
+    {!crash}/{!recover} transition, in registration order.  Simulates the
+    out-of-band failure detector that Section 4's NDP realizes in-band. *)
+val on_fault : 'msg t -> (fault -> unit) -> unit
+
+(** [set_link_loss t ~src ~dst ~loss] adds an independent drop with
+    probability [loss] to every delivery on the {e directed} link
+    [src -> dst], before the channel model runs.  Directed, so asymmetric
+    links are expressible; [loss = 1.] severs the direction (partition
+    building block); [loss = 0.] removes the entry.
+    @raise Invalid_argument when [loss] is outside [0, 1]. *)
+val set_link_loss : 'msg t -> src:int -> dst:int -> loss:float -> unit
+
+(** [link_loss t ~src ~dst] reads the injected per-link loss (0. when
+    unset). *)
+val link_loss : 'msg t -> src:int -> dst:int -> float
 
 (** [transmissions t] counts [bcast]/[send] calls that actually radiated. *)
 val transmissions : 'msg t -> int
 
 (** [deliveries t] counts receive events fired at live nodes. *)
 val deliveries : 'msg t -> int
+
+(** [drops_at t u] counts logical deliveries aimed at [u] that died on
+    the way: eaten by injected link loss, dropped (all copies) by the
+    channel, or arriving while [u] was crashed. *)
+val drops_at : 'msg t -> int -> int
+
+(** [drops t] is the sum of {!drops_at} over all nodes. *)
+val drops : 'msg t -> int
+
+(** [note_retransmit t u] credits one protocol-level retransmission to
+    sender [u].  The radio cannot know which transmissions are retries,
+    so protocols account for them here, keeping all reliability counters
+    in one place for reporting. *)
+val note_retransmit : 'msg t -> int -> unit
+
+(** [retransmits_at t u] reads [u]'s retransmission credit. *)
+val retransmits_at : 'msg t -> int -> int
+
+(** [retransmits t] is the sum of {!retransmits_at} over all nodes. *)
+val retransmits : 'msg t -> int
 
 (** [energy_used t u] is the cumulative transmission energy node [u] has
     radiated (sum over its transmissions of the power used, one unit of

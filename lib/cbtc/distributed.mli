@@ -29,43 +29,105 @@
     centralized oracle ({!Geo}) with the same schedule — the test suite
     checks this on random scenarios.  Under lossy/duplicating channels
     (Section 4's asynchronous model) handlers are idempotent and Hellos
-    can be repeated; see {!Async} for the full reconfiguration story. *)
+    can be repeated; a {!reliability} profile additionally retries,
+    settles and acknowledges (see below), and a {!Faults.Plan.t} injects
+    crashes, recoveries and link loss mid-run. *)
+
+(** Retransmission/robustness knobs.  {!legacy} reproduces the original
+    fire-and-forget protocol bit-for-bit; {!hardened} is tuned for bursty
+    loss and crash faults.
+
+    - [hello_attempts]: broadcasts of the Hello at {e each} power step
+      while the cone gap persists, before conceding the gap is real and
+      growing the radius.  Retries are spaced by bounded exponential
+      backoff ([backoff] round trips, multiplied by [backoff_factor]
+      each retry, capped).
+    - [settle_rounds]: confirming Hello re-broadcasts at the final power
+      once the gap closes — under loss they harvest acks from in-range
+      nodes whose earlier replies were dropped, so the symmetric closure
+      sees the edge from both sides.  Acks only ever add neighbors, so
+      settling cannot reopen the gap.
+    - [remove_attempts]: transmissions of each Section 3.2 [Remove]
+      notification; every [Remove] is acknowledged and retransmitted
+      with the same backoff until acked (a silently lost [Remove] would
+      leave a stale edge in [E-_alpha]). *)
+type reliability = {
+  hello_attempts : int;  (** >= 1; 1 = never retry *)
+  settle_rounds : int;  (** >= 0; 0 = declare done immediately *)
+  remove_attempts : int;  (** >= 1; 1 = fire-and-forget *)
+  backoff : float;  (** > 0, first retry wait in channel round trips *)
+  backoff_factor : float;  (** >= 1, growth per retry (capped) *)
+}
+
+(** The original protocol: no retries, no settling, unacknowledged
+    Removes.  With no fault plan, [run ~reliability:legacy] is
+    message-for-message identical to earlier releases. *)
+val legacy : reliability
+
+(** Tuned for Gilbert–Elliott burst loss around 0.3 mean and crash
+    faults: 8 hello attempts, 6 settle rounds, 8 remove attempts,
+    1.5x backoff. *)
+val hardened : reliability
 
 type stats = {
   transmissions : int;  (** radio transmissions (hellos + acks + removes) *)
   deliveries : int;  (** message receptions *)
+  drops : int;  (** transmissions that delivered no copy *)
+  retransmissions : int;  (** retries + settle probes beyond first sends *)
   max_rounds : int;  (** largest number of power steps any node used *)
   duration : float;  (** simulated time to quiescence *)
 }
 
 type outcome = {
-  discovery : Discovery.t;  (** converged per-node state *)
+  discovery : Discovery.t;
+      (** converged per-node state; crashed nodes are reported with empty
+          neighbor lists *)
   core_neighbors : int list array;
       (** per-node [N_alpha(u)] after incoming Remove notifications — the
           distributed materialization of [E-_alpha].  Meaningful only for
           [alpha <= 2pi/3]; at larger angles the Remove phase does not run
           and this equals the plain neighbor sets. *)
   removals : int;
-      (** Remove notifications sent (0 when [alpha > 2pi/3]) *)
+      (** Remove notifications sent (0 when [alpha > 2pi/3]); retries are
+          counted under [stats.retransmissions], not here *)
+  alive : bool array;  (** liveness at quiescence, per node *)
+  injected : Faults.Inject.stats;  (** faults that actually fired *)
   stats : stats;
 }
 
-(** [run ?channel ?hello_repeats ?seed ?start_spread config pathloss
-    positions] executes the protocol to quiescence and, afterwards, the
-    Remove phase.
+(** [run ?channel ?hello_repeats ?seed ?start_spread ?reliability ?faults
+    config pathloss positions] executes the protocol to quiescence and,
+    afterwards, the Remove phase.
 
     - [channel] (default reliable, unit delay) governs loss/duplication/
       delay.
-    - [hello_repeats] (default 1) re-broadcasts each Hello to tolerate
-      loss.
+    - [hello_repeats] (default 1) re-broadcasts each Hello blindly, even
+      on a healthy step.
     - [start_spread] (default 0.) staggers node start times uniformly in
       [\[0, start_spread\]] — full asynchrony.
-    @raise Invalid_argument if [config.growth] is [Exact]. *)
+    - [reliability] (default {!legacy}) adds adaptive retries, settle
+      rounds and acknowledged Removes.
+    - [faults] (default {!Faults.Plan.empty}) is armed on the network
+      before the first Hello.  Crash/recovery handling models the
+      Section 4 failure detector abstractly: when a node crashes, every
+      survivor forgets it and — if that reopened its cone — resumes
+      power growth from the next scheduled step instead of stalling
+      (the paper's "grow from p(rad-)" rule); nodes at maximum power
+      become boundary nodes.  A recovered node restarts discovery from
+      minimum power.  Messages already in flight from a node that then
+      crashed are suppressed on receipt.
+
+    @raise Invalid_argument if [config.growth] is [Exact], if
+    [hello_repeats < 1], if [start_spread < 0], or if [reliability] is
+    malformed ([hello_attempts < 1], [settle_rounds < 0],
+    [remove_attempts < 1], [backoff <= 0] or [backoff_factor < 1]). *)
 val run :
   ?channel:Dsim.Channel.t ->
   ?hello_repeats:int ->
   ?seed:int ->
   ?start_spread:float ->
+  ?reliability:reliability ->
+  ?faults:Faults.Plan.t ->
   Config.t ->
   Radio.Pathloss.t ->
   Geom.Vec2.t array ->

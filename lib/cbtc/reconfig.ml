@@ -19,6 +19,7 @@ type msg = Hello | Ack | Beacon
 
 type nstate = {
   id : int;
+  mutable epoch : int;  (* bumped on recovery; invalidates old NDP timers *)
   mutable growing : bool;
   mutable power : float;  (* current data power (may shrink) *)
   mutable basic_power : float;  (* last completed basic-growth power: beacon floor *)
@@ -169,8 +170,25 @@ let shrink t node =
 
 let heard t node src = node.last_heard <- IMap.add src (now t) node.last_heard
 
+let ndp_timeout t =
+  Stdlib.float_of_int t.params.miss_limit *. t.params.beacon_interval
+
+(* [v] is a join for [node] when nothing was heard from [v] during the
+   previous timeout interval.  Any message carries liveness, so the check
+   runs on hellos and acks too, not just beacons: a recovered node floods
+   hellos while re-growing, and those refresh [last_heard] long before
+   its first beacon — without this, the rejoin would never be logged. *)
+let fresh_contact t node src =
+  match IMap.find_opt src node.last_heard with
+  | None -> true
+  | Some when_ -> now t -. when_ > ndp_timeout t
+
+let note_join t node src =
+  if fresh_contact t node src then log_event t node.id src Join
+
 let on_hello t (r : msg Airnet.Net.recv) =
   let me = t.nodes.(r.dst) in
+  note_join t me r.src;
   heard t me r.src;
   let link_power =
     Radio.Pathloss.estimate_link_power t.pathloss ~tx_power:r.tx_power
@@ -181,6 +199,7 @@ let on_hello t (r : msg Airnet.Net.recv) =
 
 let on_ack t (r : msg Airnet.Net.recv) =
   let me = t.nodes.(r.dst) in
+  note_join t me r.src;
   heard t me r.src;
   let link_power =
     Radio.Pathloss.estimate_link_power t.pathloss ~tx_power:r.tx_power
@@ -196,20 +215,13 @@ let on_ack t (r : msg Airnet.Net.recv) =
       (Neighbor.make ~id:r.src ~dir:r.rx_dir ~link_power ~tag)
       me.neighbors
 
-let ndp_timeout t =
-  Stdlib.float_of_int t.params.miss_limit *. t.params.beacon_interval
-
 (* NDP semantics (Section 4): a beacon from [v] is a join iff nothing was
    heard from [v] during the previous timeout interval — not merely "[v]
    is not currently a selected neighbor", which would make every beacon
    from a shrunk-away node a fresh join. *)
 let on_beacon t (r : msg Airnet.Net.recv) =
   let me = t.nodes.(r.dst) in
-  let is_join =
-    match IMap.find_opt r.src me.last_heard with
-    | None -> true
-    | Some when_ -> now t -. when_ > ndp_timeout t
-  in
+  let is_join = fresh_contact t me r.src in
   heard t me r.src;
   let link_power =
     Radio.Pathloss.estimate_link_power t.pathloss ~tx_power:r.tx_power
@@ -265,12 +277,18 @@ let expire t node =
     IMap.filter (fun _ when_ -> now t -. when_ <= timeout) node.last_heard
 
 (* A node's NDP timers: beacon every interval, expire-check offset by
-   half an interval.  Both stop themselves when the node crashes. *)
+   half an interval.  Both stop themselves when the node crashes or when
+   the node has been recovered since they were started (the epoch guard:
+   recovery starts fresh timers, and without the guard a crash/recover
+   cycle quicker than one beacon interval would leave two live timer
+   pairs beaconing at double rate). *)
 let start_ndp t node =
+  let epoch = node.epoch in
+  let live () = alive t node.id && node.epoch = epoch in
   let rec beacon = lazy
     (Dsim.Periodic.start t.sim ~initial_delay:0.
        ~interval:t.params.beacon_interval (fun () ->
-         if alive t node.id then
+         if live () then
            ignore
              (Airnet.Net.bcast t.net ~src:node.id
                 ~power:(beacon_power t node) Beacon)
@@ -280,7 +298,7 @@ let start_ndp t node =
     (Dsim.Periodic.start t.sim
        ~initial_delay:(t.params.beacon_interval /. 2.)
        ~interval:t.params.beacon_interval (fun () ->
-         if alive t node.id then expire t node
+         if live () then expire t node
          else Dsim.Periodic.stop (Lazy.force expire_timer)))
   in
   ignore (Lazy.force beacon);
@@ -302,6 +320,7 @@ let create ?(channel = Dsim.Channel.reliable) ?(seed = 1)
     Array.init (Array.length positions) (fun id ->
         {
           id;
+          epoch = 0;
           growing = false;
           power = p0;
           basic_power = p0;
@@ -328,9 +347,12 @@ let create ?(channel = Dsim.Channel.reliable) ?(seed = 1)
     }
   in
   Array.iteri (fun u _ -> Airnet.Net.set_handler net u (on_recv t)) nodes;
-  (* Initial CBTC(alpha) run to convergence, then start the NDP. *)
+  (* Initial CBTC(alpha) run to convergence, then start the NDP.  The
+     bootstrap hellos all register as first contacts; those are initial
+     discovery, not reconfiguration, so the event log starts empty. *)
   Array.iter (fun node -> trigger_growth t node ~start:t.p0) nodes;
   ignore (Dsim.Sim.run sim);
+  t.events <- [];
   let t0 = now t in
   Array.iter
     (fun node ->
@@ -347,6 +369,26 @@ let run_for t ~duration =
 let set_position t u p = Airnet.Net.set_position t.net u p
 
 let crash t u = Airnet.Net.crash t.net u
+
+let recover t u =
+  if not (alive t u) then begin
+    Airnet.Net.recover t.net u;
+    let node = t.nodes.(u) in
+    node.epoch <- node.epoch + 1;
+    node.growing <- false;
+    node.power <- t.p0;
+    node.basic_power <- t.p0;
+    node.schedule <- [];
+    node.neighbors <- IMap.empty;
+    node.last_heard <- IMap.empty;
+    node.acked <- IMap.empty;
+    node.boundary <- false;
+    (* Rejoin like a fresh node: grow from p0, then resume beaconing —
+       peers see the beacons as NDP joins. *)
+    trigger_growth t node ~start:t.p0;
+    start_ndp t node;
+    touch t
+  end
 
 let neighbor_list t node =
   if not (alive t node.id) then []

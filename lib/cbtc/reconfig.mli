@@ -2,10 +2,12 @@
 
     A Neighbor Discovery Protocol (NDP) runs forever: every node
     periodically beacons; a neighbor is considered failed when
-    [miss_limit] consecutive beacons are missed; a beacon from an unknown
-    node is a {e join}; a beacon whose angle of arrival moved more than a
-    tolerance is an {e aChange}.  The reconfiguration rules are the
-    paper's:
+    [miss_limit] consecutive beacons are missed; any message (hello, ack
+    or beacon) from a node not heard within the timeout is a {e join} —
+    hellos and acks count because a recovered node floods hellos while
+    re-growing, long before its first beacon; a beacon whose angle of
+    arrival moved more than a tolerance is an {e aChange}.  The
+    reconfiguration rules are the paper's:
 
     - [leave_u(v)]: drop [v]; if an [alpha]-gap opens, rerun CBTC(alpha)
       growing from [p(rad-_{u,alpha})];
@@ -67,13 +69,20 @@ val set_position : t -> int -> Geom.Vec2.t -> unit
 (** [crash t u] crash-stops node [u]; its neighbors will observe leaves. *)
 val crash : t -> int -> unit
 
+(** [recover t u] brings a crashed node back with a blank protocol state:
+    it regrows from minimum power like a fresh node and resumes NDP
+    beaconing, so peers observe a {e join}.  Its NDP timers are restarted
+    (the pre-crash ones cancel themselves); no-op if [u] is alive. *)
+val recover : t -> int -> unit
+
 (** [alive t u]. *)
 val alive : t -> int -> bool
 
 (** [positions t] — current positions of all nodes. *)
 val positions : t -> Geom.Vec2.t array
 
-(** [events t] — the NDP events observed so far, oldest first. *)
+(** [events t] — the NDP events observed since the initial convergence,
+    oldest first (bootstrap discovery is not logged). *)
 val events : t -> event list
 
 (** [topology t] is the symmetric closure of the live nodes' current

@@ -1,4 +1,4 @@
-let run ?(complete = false) ?(minimal = false) (d : Discovery.t) =
+let check ?(complete = false) ?(minimal = false) ~alive (d : Discovery.t) =
   let n = Discovery.nb_nodes d in
   let alpha = d.config.Config.alpha in
   let pathloss = d.pathloss in
@@ -6,58 +6,175 @@ let run ?(complete = false) ?(minimal = false) (d : Discovery.t) =
   let fail fmt = Fmt.kstr failwith fmt in
   let eps = 1e-9 in
   for u = 0 to n - 1 do
-    let pos_u = d.positions.(u) in
-    let power = d.power.(u) in
-    let true_dir (nb : Neighbor.t) =
-      Geom.Vec2.direction ~from:pos_u ~toward:d.positions.(nb.id)
-    in
-    List.iter
-      (fun (nb : Neighbor.t) ->
-        let dist = Geom.Vec2.dist pos_u d.positions.(nb.id) in
-        if not (Radio.Pathloss.in_range pathloss ~dist) then
-          fail "Verify: node %d lists out-of-range neighbor %d (d=%g)" u nb.id
-            dist;
-        if not (Radio.Pathloss.reaches pathloss ~power ~dist) then
-          fail "Verify: node %d cannot reach neighbor %d at power %g" u nb.id
-            power;
-        if nb.tag > power *. (1. +. eps) +. eps then
-          fail "Verify: node %d neighbor %d tagged %g above power %g" u nb.id
-            nb.tag power)
-      d.neighbors.(u);
-    let dirs = List.map true_dir d.neighbors.(u) in
-    if d.boundary.(u) then begin
-      if power < max_power *. (1. -. 1e-9) then
-        fail "Verify: boundary node %d converged below max power (%g < %g)" u
-          power max_power
-    end
-    else if Geom.Dirset.has_gap ~alpha dirs then
-      fail "Verify: non-boundary node %d has a true geometric %g-gap" u alpha;
-    if complete then
-      for v = 0 to n - 1 do
-        if
-          v <> u
-          && Radio.Pathloss.reaches pathloss ~power
-               ~dist:(Geom.Vec2.dist pos_u d.positions.(v))
-          && not
-               (List.exists (fun (nb : Neighbor.t) -> nb.id = v) d.neighbors.(u))
-        then
-          fail "Verify: node %d should have discovered reachable node %d" u v
-      done;
-    if minimal && not d.boundary.(u) then begin
-      (* Exact growth: the strictly-closer prefix must still have a gap,
-         otherwise the node could have stopped earlier. *)
-      let strictly_below =
-        List.filter
-          (fun (nb : Neighbor.t) ->
-            Radio.Pathloss.power_for_distance pathloss
-              (Geom.Vec2.dist pos_u d.positions.(nb.id))
-            < power *. (1. -. 1e-12))
-          d.neighbors.(u)
+    if alive u then begin
+      let pos_u = d.positions.(u) in
+      let power = d.power.(u) in
+      let true_dir (nb : Neighbor.t) =
+        Geom.Vec2.direction ~from:pos_u ~toward:d.positions.(nb.id)
       in
-      if
-        List.length strictly_below < List.length d.neighbors.(u)
-        && not
-             (Geom.Dirset.has_gap ~alpha (List.map true_dir strictly_below))
-      then fail "Verify: node %d converged above the minimal power" u
+      List.iter
+        (fun (nb : Neighbor.t) ->
+          if not (alive nb.id) then
+            fail "Verify: surviving node %d lists crashed neighbor %d" u nb.id;
+          let dist = Geom.Vec2.dist pos_u d.positions.(nb.id) in
+          if not (Radio.Pathloss.in_range pathloss ~dist) then
+            fail "Verify: node %d lists out-of-range neighbor %d (d=%g)" u
+              nb.id dist;
+          if not (Radio.Pathloss.reaches pathloss ~power ~dist) then
+            fail "Verify: node %d cannot reach neighbor %d at power %g" u
+              nb.id power;
+          if nb.tag > power *. (1. +. eps) +. eps then
+            fail "Verify: node %d neighbor %d tagged %g above power %g" u
+              nb.id nb.tag power)
+        d.neighbors.(u);
+      let dirs = List.map true_dir d.neighbors.(u) in
+      if d.boundary.(u) then begin
+        if power < max_power *. (1. -. 1e-9) then
+          fail "Verify: boundary node %d converged below max power (%g < %g)" u
+            power max_power
+      end
+      else if Geom.Dirset.has_gap ~alpha dirs then
+        fail "Verify: non-boundary node %d has a true geometric %g-gap" u alpha;
+      if complete then
+        for v = 0 to n - 1 do
+          if
+            v <> u && alive v
+            && Radio.Pathloss.reaches pathloss ~power
+                 ~dist:(Geom.Vec2.dist pos_u d.positions.(v))
+            && not
+                 (List.exists
+                    (fun (nb : Neighbor.t) -> nb.id = v)
+                    d.neighbors.(u))
+          then
+            fail "Verify: node %d should have discovered reachable node %d" u v
+        done;
+      if minimal && not d.boundary.(u) then begin
+        (* Exact growth: the strictly-closer prefix must still have a gap,
+           otherwise the node could have stopped earlier. *)
+        let strictly_below =
+          List.filter
+            (fun (nb : Neighbor.t) ->
+              Radio.Pathloss.power_for_distance pathloss
+                (Geom.Vec2.dist pos_u d.positions.(nb.id))
+              < power *. (1. -. 1e-12))
+            d.neighbors.(u)
+        in
+        if
+          List.length strictly_below < List.length d.neighbors.(u)
+          && not
+               (Geom.Dirset.has_gap ~alpha (List.map true_dir strictly_below))
+        then fail "Verify: node %d converged above the minimal power" u
+      end
     end
   done
+
+let run ?complete ?minimal (d : Discovery.t) =
+  check ?complete ?minimal ~alive:(fun _ -> true) d
+
+let surviving ?complete ~alive (d : Discovery.t) =
+  if Array.length alive <> Discovery.nb_nodes d then
+    invalid_arg "Verify.surviving: alive array size mismatch";
+  check ?complete ~minimal:false ~alive:(fun u -> alive.(u)) d
+
+(* Survivor-induced max-power reachability graph: the fair baseline for
+   post-fault connectivity — edges through crashed nodes are gone for any
+   algorithm. *)
+let reachability_of_survivors (d : Discovery.t) ~alive =
+  let n = Discovery.nb_nodes d in
+  let g = Graphkit.Ugraph.create n in
+  for u = 0 to n - 1 do
+    if alive.(u) then
+      for v = u + 1 to n - 1 do
+        if
+          alive.(v)
+          && Radio.Pathloss.in_range d.pathloss
+               ~dist:(Geom.Vec2.dist d.positions.(u) d.positions.(v))
+        then Graphkit.Ugraph.add_edge g u v
+      done
+  done;
+  g
+
+let restrict_to_survivors g ~alive =
+  let n = Graphkit.Ugraph.nb_nodes g in
+  let r = Graphkit.Ugraph.create n in
+  Graphkit.Ugraph.iter_edges
+    (fun u v -> if alive.(u) && alive.(v) then Graphkit.Ugraph.add_edge r u v)
+    g;
+  r
+
+(* Component partitions agree on the survivors (dead nodes are isolated
+   in both graphs, so they are ignored). *)
+let same_partition_on ~alive a b =
+  let ca = Graphkit.Traversal.components a in
+  let cb = Graphkit.Traversal.components b in
+  let n = Array.length ca in
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    if alive.(u) then
+      for v = u + 1 to n - 1 do
+        if alive.(v) && (ca.(u) = ca.(v)) <> (cb.(u) = cb.(v)) then ok := false
+      done
+  done;
+  !ok
+
+type degradation = {
+  survivors : int;
+  crashed : int;
+  residual_gap_nodes : int list;
+  boundary_survivors : int;
+  connectivity_preserved : bool;
+  delivery_ratio : float;
+  extra_rounds : int;
+}
+
+let degradation ?reference (o : Distributed.outcome) =
+  let d = o.Distributed.discovery in
+  let alive = o.Distributed.alive in
+  let n = Discovery.nb_nodes d in
+  let alpha = d.config.Config.alpha in
+  let survivors = Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 alive in
+  let residual_gap_nodes = ref [] in
+  for u = n - 1 downto 0 do
+    if alive.(u) && not d.boundary.(u) then begin
+      let dirs =
+        List.map
+          (fun (nb : Neighbor.t) ->
+            Geom.Vec2.direction ~from:d.positions.(u)
+              ~toward:d.positions.(nb.id))
+          d.neighbors.(u)
+      in
+      if Geom.Dirset.has_gap ~alpha dirs then
+        residual_gap_nodes := u :: !residual_gap_nodes
+    end
+  done;
+  let boundary_survivors = ref 0 in
+  Array.iteri
+    (fun u a -> if a && d.boundary.(u) then incr boundary_survivors)
+    alive;
+  let reference_graph = reachability_of_survivors d ~alive in
+  let closure = restrict_to_survivors (Discovery.closure d) ~alive in
+  let connectivity_preserved =
+    same_partition_on ~alive reference_graph closure
+  in
+  let s = o.Distributed.stats in
+  let attempted = s.Distributed.deliveries + s.Distributed.drops in
+  let delivery_ratio =
+    if attempted = 0 then 1.
+    else Stdlib.float_of_int s.Distributed.deliveries /. Stdlib.float_of_int attempted
+  in
+  let extra_rounds =
+    match reference with
+    | None -> 0
+    | Some r ->
+        Stdlib.max 0
+          (s.Distributed.max_rounds - r.Distributed.stats.Distributed.max_rounds)
+  in
+  {
+    survivors;
+    crashed = n - survivors;
+    residual_gap_nodes = !residual_gap_nodes;
+    boundary_survivors = !boundary_survivors;
+    connectivity_preserved;
+    delivery_ratio;
+    extra_rounds;
+  }

@@ -4,7 +4,8 @@
     the directions, link powers, or gap flags stored in the
     {!Discovery.t} — and checks the algorithm's defining guarantees.
     Used by the test suite for differential verification of both the
-    oracle and the distributed protocol. *)
+    oracle and the distributed protocol, and by the stress harness to
+    check runs degraded by injected faults. *)
 
 (** [run ?complete ?minimal d] raises [Failure] describing the first
     violated guarantee:
@@ -20,3 +21,37 @@
       minimal — the neighbors strictly below the final power do not by
       themselves cover the circle for non-boundary nodes. *)
 val run : ?complete:bool -> ?minimal:bool -> Discovery.t -> unit
+
+(** [surviving ?complete ~alive d] is {!run} restricted to the surviving
+    nodes: crashed nodes ([alive.(u) = false]) are skipped entirely, and
+    it is additionally a failure for a surviving node to still list a
+    crashed neighbor.  [complete] restricts the completeness check to
+    reachable {e survivors}.
+    @raise Failure on the first violated guarantee.
+    @raise Invalid_argument if [alive] does not have one entry per node. *)
+val surviving : ?complete:bool -> alive:bool array -> Discovery.t -> unit
+
+(** Quantified post-fault degradation of a {!Distributed.run} outcome. *)
+type degradation = {
+  survivors : int;  (** nodes alive at quiescence *)
+  crashed : int;  (** nodes dead at quiescence *)
+  residual_gap_nodes : int list;
+      (** surviving non-boundary nodes whose true geometric directions
+          leave an [alpha]-gap — empty on a successful hardened run *)
+  boundary_survivors : int;
+      (** survivors that gave up with a gap at maximum power *)
+  connectivity_preserved : bool;
+      (** the symmetric closure, restricted to survivors, induces the
+          same component partition on the survivors as their max-power
+          reachability graph (the fair post-fault baseline: routes
+          through crashed nodes are gone for any algorithm) *)
+  delivery_ratio : float;
+      (** deliveries / (deliveries + drops); 1. when nothing was sent *)
+  extra_rounds : int;
+      (** [max_rounds] beyond the [reference] outcome's (0 without one) *)
+}
+
+(** [degradation ?reference o] measures [o] without raising.  [reference]
+    is typically the fault-free, reliable-channel run of the same
+    scenario and only influences [extra_rounds]. *)
+val degradation : ?reference:Distributed.outcome -> Distributed.outcome -> degradation

@@ -1,0 +1,30 @@
+type stats = {
+  mutable crashes : int;
+  mutable recoveries : int;
+  mutable link_changes : int;
+}
+
+let arm plan net =
+  let stats = { crashes = 0; recoveries = 0; link_changes = 0 } in
+  let sim = Airnet.Net.sim net in
+  List.iter
+    (fun (e : Plan.event) ->
+      let delay = Float.max 0. (e.time -. Dsim.Sim.now sim) in
+      ignore
+        (Dsim.Sim.schedule sim ~delay (fun () ->
+             match e.kind with
+             | Plan.Crash u ->
+                 if Airnet.Net.is_alive net u then begin
+                   Airnet.Net.crash net u;
+                   stats.crashes <- stats.crashes + 1
+                 end
+             | Plan.Recover u ->
+                 if not (Airnet.Net.is_alive net u) then begin
+                   Airnet.Net.recover net u;
+                   stats.recoveries <- stats.recoveries + 1
+                 end
+             | Plan.Link_loss { src; dst; loss } ->
+                 Airnet.Net.set_link_loss net ~src ~dst ~loss;
+                 stats.link_changes <- stats.link_changes + 1)))
+    (Plan.events plan);
+  stats

@@ -1,0 +1,17 @@
+(** Applying a fault plan to a live simulated network.
+
+    {!arm} schedules one simulator event per plan entry; the returned
+    {!stats} record is updated as the faults actually fire, so a report
+    can distinguish planned from effective faults (a [Crash] aimed at an
+    already-dead node, for instance, transitions nothing). *)
+
+type stats = {
+  mutable crashes : int;  (** live -> dead transitions performed *)
+  mutable recoveries : int;  (** dead -> live transitions performed *)
+  mutable link_changes : int;  (** link-loss table updates applied *)
+}
+
+(** [arm plan net] schedules every event of [plan] on [net]'s simulator
+    (events whose time is already past fire as soon as the simulator
+    runs).  Returns the live stats record. *)
+val arm : Plan.t -> 'msg Airnet.Net.t -> stats

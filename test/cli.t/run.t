@@ -19,3 +19,26 @@ The CLI's deterministic subcommands produce stable output (seeded PRNG).
   2pi/3  8.1         453.7       3/3      
   3pi/4  7.8         450.2       3/3      
   5pi/6  7.4         446.4       3/3      
+
+Malformed stress scenario flags are rejected before any simulation runs.
+
+  $ cbtc_cli stress --loss 0.1,oops
+  cbtc: option '--loss': --loss: "oops" is not a float
+  Usage: cbtc stress [OPTION]…
+  Try 'cbtc stress --help' or 'cbtc --help' for more information.
+  [124]
+  $ cbtc_cli stress --crash 1.5
+  cbtc: option '--crash': --crash: 1.5 out of [0,1]
+  Usage: cbtc stress [OPTION]…
+  Try 'cbtc stress --help' or 'cbtc --help' for more information.
+  [124]
+  $ cbtc_cli stress --loss 0.7
+  cbtc: option '--loss': --loss: 0.7 out of [0,0.5]
+  Usage: cbtc stress [OPTION]…
+  Try 'cbtc stress --help' or 'cbtc --help' for more information.
+  [124]
+  $ cbtc_cli stress --burstiness 0.5
+  cbtc: option '--burstiness': --burstiness: 0.5 out of [1,1000]
+  Usage: cbtc stress [OPTION]…
+  Try 'cbtc stress --help' or 'cbtc --help' for more information.
+  [124]

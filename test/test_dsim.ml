@@ -150,11 +150,133 @@ let test_channel_delay_range () =
     (fun t -> if t < 2. || t > 5. then Alcotest.failf "delay %g out of [2,5]" t)
     !times
 
+(* The full make contract: every one of the four parameters has an
+   explicit bound and its own Invalid_argument message. *)
 let test_channel_invalid () =
-  Alcotest.check_raises "loss = 1" (Invalid_argument "Channel.make: loss out of [0,1)")
-    (fun () -> ignore (Dsim.Channel.make ~loss:1. ()));
-  Alcotest.check_raises "delays" (Invalid_argument "Channel.make: bad delay range")
-    (fun () -> ignore (Dsim.Channel.make ~min_delay:5. ~max_delay:1. ()))
+  let loss_msg = Invalid_argument "Channel.make: loss out of [0,1)" in
+  Alcotest.check_raises "loss = 1" loss_msg (fun () ->
+      ignore (Dsim.Channel.make ~loss:1. ()));
+  Alcotest.check_raises "loss < 0" loss_msg (fun () ->
+      ignore (Dsim.Channel.make ~loss:(-0.1) ()));
+  let dup_msg = Invalid_argument "Channel.make: duplicate out of [0,1]" in
+  Alcotest.check_raises "duplicate > 1" dup_msg (fun () ->
+      ignore (Dsim.Channel.make ~duplicate:1.5 ()));
+  Alcotest.check_raises "duplicate < 0" dup_msg (fun () ->
+      ignore (Dsim.Channel.make ~duplicate:(-0.5) ()));
+  let delay_msg = Invalid_argument "Channel.make: bad delay range" in
+  Alcotest.check_raises "min > max" delay_msg (fun () ->
+      ignore (Dsim.Channel.make ~min_delay:5. ~max_delay:1. ()));
+  Alcotest.check_raises "min < 0" delay_msg (fun () ->
+      ignore (Dsim.Channel.make ~min_delay:(-1.) ~max_delay:1. ()));
+  (* loss is checked before duplicate, duplicate before delays *)
+  Alcotest.check_raises "order: loss first" loss_msg (fun () ->
+      ignore (Dsim.Channel.make ~loss:2. ~duplicate:2. ~min_delay:(-1.) ()));
+  Alcotest.check_raises "order: duplicate second" dup_msg (fun () ->
+      ignore (Dsim.Channel.make ~duplicate:2. ~min_delay:(-1.) ~max_delay:1. ()));
+  (* boundary values that must be accepted *)
+  ignore (Dsim.Channel.make ~loss:0. ~duplicate:1. ~min_delay:0. ~max_delay:0. ())
+
+(* ---------- Gilbert-Elliott ---------- *)
+
+let test_ge_mean_loss_formula () =
+  let ch = Dsim.Channel.gilbert_elliott ~p_gb:0.1 ~p_bg:0.3 ~loss_bad:1. () in
+  check_float "pi_bad" 0.25 (Dsim.Channel.mean_loss ch);
+  let ch =
+    Dsim.Channel.gilbert_elliott ~p_gb:0.2 ~p_bg:0.2 ~loss_good:0.1
+      ~loss_bad:0.9 ()
+  in
+  check_float "weighted" 0.5 (Dsim.Channel.mean_loss ch);
+  check_float "bernoulli mean" 0.3 (Dsim.Channel.mean_loss (Dsim.Channel.make ~loss:0.3 ()));
+  check_float "ge burstiness" 5. (Dsim.Channel.burstiness
+    (Dsim.Channel.gilbert_elliott ~p_gb:0.1 ~p_bg:0.2 ~loss_bad:1. ()));
+  check_float "bernoulli burstiness" 1. (Dsim.Channel.burstiness Dsim.Channel.reliable)
+
+let test_ge_loss_statistics () =
+  let sim = Dsim.Sim.create () in
+  let prng = Prng.create ~seed:11 in
+  let ch = Dsim.Channel.gilbert_elliott ~p_gb:0.1 ~p_bg:0.3 ~loss_bad:1. () in
+  let got = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    ignore (Dsim.Channel.deliver ch ~link:(0, 1) sim prng (fun () -> incr got))
+  done;
+  ignore (Dsim.Sim.run sim);
+  let rate = Stdlib.float_of_int !got /. Stdlib.float_of_int n in
+  let expect = 1. -. Dsim.Channel.mean_loss ch in
+  if Float.abs (rate -. expect) > 0.02 then
+    Alcotest.failf "GE delivery rate %.3f too far from %.3f" rate expect
+
+(* Losses cluster: with long bursts, P(loss | previous copy lost) must be
+   well above the unconditional loss. *)
+let test_ge_losses_cluster () =
+  let sim = Dsim.Sim.create () in
+  let prng = Prng.create ~seed:12 in
+  let ch = Dsim.Channel.gilbert_elliott ~p_gb:0.05 ~p_bg:0.1 ~loss_bad:1. () in
+  let n = 20_000 in
+  let lost = Array.make n false in
+  for i = 0 to n - 1 do
+    (* deliver returns the number of copies scheduled: 0 = dropped *)
+    lost.(i) <- Dsim.Channel.deliver ch ~link:(0, 1) sim prng (fun () -> ()) = 0
+  done;
+  ignore (Dsim.Sim.run sim);
+  let pairs = ref 0 and joint = ref 0 and total_lost = ref 0 in
+  for i = 0 to n - 2 do
+    if lost.(i) then begin
+      incr pairs;
+      if lost.(i + 1) then incr joint
+    end;
+    if lost.(i) then incr total_lost
+  done;
+  let cond = Stdlib.float_of_int !joint /. Stdlib.float_of_int !pairs in
+  let uncond = Stdlib.float_of_int !total_lost /. Stdlib.float_of_int n in
+  if cond < 2. *. uncond then
+    Alcotest.failf "no burst clustering: P(loss|loss)=%.3f vs P(loss)=%.3f"
+      cond uncond
+
+(* Chains are per link: a burst on one link must not leak onto another.
+   Statistically, two links' loss runs are independent; structurally, the
+   state table keys by (src, dst). *)
+let test_ge_per_link_chains () =
+  let sim = Dsim.Sim.create () in
+  let prng = Prng.create ~seed:13 in
+  let ch = Dsim.Channel.gilbert_elliott ~p_gb:0.5 ~p_bg:0.01 ~loss_bad:1. () in
+  (* drive link A into the bad state *)
+  let drive = 200 in
+  for _ = 1 to drive do
+    ignore (Dsim.Channel.deliver ch ~link:(0, 1) sim prng (fun () -> ()))
+  done;
+  Alcotest.(check bool)
+    "link A chain stored" true
+    (Hashtbl.mem ch.Dsim.Channel.burst_state (0, 1));
+  (* link B has never been used: whatever state link A is stuck in, B's
+     first copy sees the Good state, and with loss_good = 0 it can never
+     be dropped *)
+  let copies = Dsim.Channel.deliver ch ~link:(2, 3) sim prng (fun () -> ()) in
+  Alcotest.(check int) "fresh link first copy delivered" 1 copies;
+  ignore (Dsim.Sim.run sim)
+
+let test_ge_invalid () =
+  Alcotest.check_raises "p_gb = 0"
+    (Invalid_argument "Channel.gilbert_elliott: p_gb out of (0,1]") (fun () ->
+      ignore (Dsim.Channel.gilbert_elliott ~p_gb:0. ~p_bg:0.5 ~loss_bad:1. ()));
+  Alcotest.check_raises "p_bg > 1"
+    (Invalid_argument "Channel.gilbert_elliott: p_bg out of (0,1]") (fun () ->
+      ignore (Dsim.Channel.gilbert_elliott ~p_gb:0.5 ~p_bg:1.5 ~loss_bad:1. ()));
+  Alcotest.check_raises "loss_good = 1"
+    (Invalid_argument "Channel.gilbert_elliott: loss_good out of [0,1)")
+    (fun () ->
+      ignore
+        (Dsim.Channel.gilbert_elliott ~p_gb:0.5 ~p_bg:0.5 ~loss_good:1.
+           ~loss_bad:1. ()));
+  Alcotest.check_raises "loss_bad > 1"
+    (Invalid_argument "Channel.gilbert_elliott: loss_bad out of [0,1]")
+    (fun () ->
+      ignore (Dsim.Channel.gilbert_elliott ~p_gb:0.5 ~p_bg:0.5 ~loss_bad:1.5 ()));
+  Alcotest.check_raises "shared delay contract"
+    (Invalid_argument "Channel.make: bad delay range") (fun () ->
+      ignore
+        (Dsim.Channel.gilbert_elliott ~p_gb:0.5 ~p_bg:0.5 ~loss_bad:1.
+           ~min_delay:5. ~max_delay:1. ()))
 
 (* ---------- Periodic ---------- *)
 
@@ -234,6 +356,14 @@ let () =
           Alcotest.test_case "duplication" `Quick test_channel_duplication;
           Alcotest.test_case "delay range" `Quick test_channel_delay_range;
           Alcotest.test_case "invalid" `Quick test_channel_invalid;
+        ] );
+      ( "gilbert-elliott",
+        [
+          Alcotest.test_case "mean loss formula" `Quick test_ge_mean_loss_formula;
+          Alcotest.test_case "loss statistics" `Quick test_ge_loss_statistics;
+          Alcotest.test_case "losses cluster" `Quick test_ge_losses_cluster;
+          Alcotest.test_case "per-link chains" `Quick test_ge_per_link_chains;
+          Alcotest.test_case "invalid" `Quick test_ge_invalid;
         ] );
       ( "periodic",
         [
