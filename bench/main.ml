@@ -11,9 +11,14 @@
    microbenchmarks of the computational kernels, and a spatial-grid vs
    brute-force scaling comparison (writes <out>/perf.json).
 
-   Usage: main.exe [--seeds N] [--fast] [--out DIR] [section ...]
+   Usage: main.exe [--seeds N] [--fast] [--out DIR] [-j N] [section ...]
    Sections: table1 figures figure6 connectivity ablations extensions
-   series perf (default: all of them). *)
+   series perf parallel (default: all of them).
+
+   [-j N] (or CBTC_JOBS) sizes the domain pool used for the Monte-Carlo
+   trial loops and the chunked per-node phases; results are
+   bit-identical for every jobs level (seeds are pre-split, merges are
+   sequential and order-preserving). *)
 
 let alpha56 = Geom.Angle.five_pi_six
 
@@ -78,7 +83,27 @@ let table1_rows =
 
 let fmt_opt = function None -> "-" | Some v -> Fmt.str "%.1f" v
 
-let run_table1 ~seeds =
+(* One trial = one random network evaluated under every configuration.
+   Trials are independent, so they fan out over the pool via an
+   order-preserving [Parallel.Pool.map]; the Welford accumulators are
+   then folded sequentially in seed order, which keeps every printed
+   digit identical for any [-j]. *)
+let table1_trial seed =
+  let sc = Workload.Scenario.paper ~seed in
+  let pl = Workload.Scenario.pathloss sc in
+  let positions = Workload.Scenario.positions sc in
+  let gr = Baselines.Proximity.max_power pl positions in
+  let vals = List.map (fun row -> row.run pl positions) table1_rows in
+  let all56 =
+    Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.all_ops c56)
+  in
+  let broken =
+    not
+      (Metrics.Connectivity.preserves ~reference:gr all56.Cbtc.Pipeline.graph)
+  in
+  (vals, broken)
+
+let run_table1 ~pool ~seeds =
   section
     (Fmt.str
        "Table 1: average degree and radius over %d random networks (100 \
@@ -90,27 +115,16 @@ let run_table1 ~seeds =
       table1_rows
   in
   let broken = ref 0 in
-  List.iter
-    (fun seed ->
-      let sc = Workload.Scenario.paper ~seed in
-      let pl = Workload.Scenario.pathloss sc in
-      let positions = Workload.Scenario.positions sc in
-      let gr = Baselines.Proximity.max_power pl positions in
-      List.iter
-        (fun (row, dacc, racc) ->
-          let deg, rad = row.run pl positions in
+  let trials = Parallel.Pool.map pool table1_trial (Array.of_list seeds) in
+  Array.iter
+    (fun (vals, b) ->
+      List.iter2
+        (fun (_, dacc, racc) (deg, rad) ->
           Stats.Welford.add dacc deg;
           Stats.Welford.add racc rad)
-        accs;
-      let all56 =
-        Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.all_ops c56)
-      in
-      if
-        not
-          (Metrics.Connectivity.preserves ~reference:gr
-             all56.Cbtc.Pipeline.graph)
-      then incr broken)
-    seeds;
+        accs vals;
+      if b then incr broken)
+    trials;
   let table =
     Metrics.Table.create
       ~columns:
@@ -248,7 +262,7 @@ let run_figure6 ~out_dir =
 (* Connectivity sweep (Theorem 2.1 empirically)                        *)
 (* ------------------------------------------------------------------ *)
 
-let run_connectivity ~seeds =
+let run_connectivity ~pool ~seeds =
   section "Connectivity sweep: networks whose partition is preserved, vs alpha";
   let alphas =
     [
@@ -266,26 +280,30 @@ let run_connectivity ~seeds =
   List.iter
     (fun (name, alpha) ->
       let config = Cbtc.Config.make alpha in
+      (* independent trials: fan out, then count — counting ints is
+         order-free, so results match the sequential loop exactly *)
+      let trial seed =
+        let sc = Workload.Scenario.paper ~seed in
+        let pl = Workload.Scenario.pathloss sc in
+        let positions = Workload.Scenario.positions sc in
+        let gr = Baselines.Proximity.max_power pl positions in
+        let closure =
+          Cbtc.Discovery.closure (Cbtc.Geo.run config pl positions)
+        in
+        let all =
+          Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.all_ops config)
+        in
+        ( Metrics.Connectivity.preserves ~reference:gr closure,
+          Metrics.Connectivity.preserves ~reference:gr all.Cbtc.Pipeline.graph
+        )
+      in
+      let results = Parallel.Pool.map pool trial (Array.of_list seeds) in
       let ok_closure = ref 0 and ok_all = ref 0 in
-      List.iter
-        (fun seed ->
-          let sc = Workload.Scenario.paper ~seed in
-          let pl = Workload.Scenario.pathloss sc in
-          let positions = Workload.Scenario.positions sc in
-          let gr = Baselines.Proximity.max_power pl positions in
-          let closure =
-            Cbtc.Discovery.closure (Cbtc.Geo.run config pl positions)
-          in
-          if Metrics.Connectivity.preserves ~reference:gr closure then
-            incr ok_closure;
-          let all =
-            Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.all_ops config)
-          in
-          if
-            Metrics.Connectivity.preserves ~reference:gr
-              all.Cbtc.Pipeline.graph
-          then incr ok_all)
-        seeds;
+      Array.iter
+        (fun (c, a) ->
+          if c then incr ok_closure;
+          if a then incr ok_all)
+        results;
       let n = List.length seeds in
       let note =
         if alpha <= alpha56 +. 1e-9 then "guaranteed (Thm 2.1)"
@@ -310,7 +328,7 @@ let run_connectivity ~seeds =
 (* Ablations                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let run_ablations ~seeds =
+let run_ablations ~pool ~seeds =
   let seeds =
     match seeds with s0 :: s1 :: s2 :: _ -> [ s0; s1; s2 ] | l -> l
   in
@@ -334,20 +352,23 @@ let run_ablations ~seeds =
       let pacc = Stats.Welford.create () in
       let racc = Stats.Welford.create () in
       let dacc = Stats.Welford.create () in
-      List.iter
-        (fun seed ->
-          let sc = Workload.Scenario.paper ~seed in
-          let pl = Workload.Scenario.pathloss sc in
-          let positions = Workload.Scenario.positions sc in
-          let d = Cbtc.Geo.run config pl positions in
-          let n = Stdlib.float_of_int (Array.length positions) in
-          Stats.Welford.add pacc (Array.fold_left ( +. ) 0. d.power /. n);
-          let closure = Cbtc.Discovery.closure d in
-          Stats.Welford.add racc
-            (Metrics.Topo_metrics.avg_radius
-               (Cbtc.Discovery.radius_in d closure));
-          Stats.Welford.add dacc (Metrics.Topo_metrics.avg_degree closure))
-        seeds;
+      let trial seed =
+        let sc = Workload.Scenario.paper ~seed in
+        let pl = Workload.Scenario.pathloss sc in
+        let positions = Workload.Scenario.positions sc in
+        let d = Cbtc.Geo.run config pl positions in
+        let n = Stdlib.float_of_int (Array.length positions) in
+        let closure = Cbtc.Discovery.closure d in
+        ( Array.fold_left ( +. ) 0. d.power /. n,
+          Metrics.Topo_metrics.avg_radius (Cbtc.Discovery.radius_in d closure),
+          Metrics.Topo_metrics.avg_degree closure )
+      in
+      Array.iter
+        (fun (p, r, dg) ->
+          Stats.Welford.add pacc p;
+          Stats.Welford.add racc r;
+          Stats.Welford.add dacc dg)
+        (Parallel.Pool.map pool trial (Array.of_list seeds));
       Metrics.Table.add_row table
         [
           name;
@@ -665,51 +686,64 @@ let run_extensions ~seeds =
 (* Data series (CSV for downstream plotting)                           *)
 (* ------------------------------------------------------------------ *)
 
-let run_series ~seeds ~out_dir =
+(* One (alpha, seed) cell of the sweep.  Pure: safe to fan out. *)
+let series_trial config seed =
+  let sc = Workload.Scenario.paper ~seed in
+  let pl = Workload.Scenario.pathloss sc in
+  let positions = Workload.Scenario.positions sc in
+  let basic =
+    Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.basic config)
+  in
+  let allops =
+    Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.all_ops config)
+  in
+  ( Cbtc.Pipeline.avg_degree basic,
+    Cbtc.Pipeline.avg_radius basic,
+    Cbtc.Pipeline.avg_degree allops,
+    Cbtc.Pipeline.avg_radius allops,
+    Metrics.Connectivity.preserves
+      ~reference:(Baselines.Proximity.max_power pl positions)
+      allops.Cbtc.Pipeline.graph )
+
+let series_csv ~pool ~seeds buf =
+  Buffer.add_string buf
+    "alpha,basic_degree,basic_radius,allops_degree,allops_radius,preserved\n";
+  let steps = 24 in
+  for i = 2 to steps do
+    let alpha =
+      Stdlib.float_of_int i /. Stdlib.float_of_int steps *. Float.pi
+    in
+    let config = Cbtc.Config.make alpha in
+    let bd = Stats.Welford.create () and br = Stats.Welford.create () in
+    let ad = Stats.Welford.create () and ar = Stats.Welford.create () in
+    let ok = ref 0 in
+    (* trials fan out; the Welford folds below run in seed order so the
+       CSV is byte-identical for every -j *)
+    Array.iter
+      (fun (bdv, brv, adv, arv, preserved) ->
+        Stats.Welford.add bd bdv;
+        Stats.Welford.add br brv;
+        Stats.Welford.add ad adv;
+        Stats.Welford.add ar arv;
+        if preserved then incr ok)
+      (Parallel.Pool.map pool (series_trial config) (Array.of_list seeds));
+    Buffer.add_string buf
+      (Fmt.str "%.6f,%.3f,%.2f,%.3f,%.2f,%d/%d\n" alpha
+         (Stats.Welford.mean bd) (Stats.Welford.mean br)
+         (Stats.Welford.mean ad) (Stats.Welford.mean ar) !ok
+         (List.length seeds))
+  done
+
+let run_series ~pool ~seeds ~out_dir =
   section "Data series: degree/radius vs alpha (CSV under bench_out/)";
   if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
   let seeds = match seeds with a :: b :: c :: d :: e :: _ -> [a; b; c; d; e] | l -> l in
   let path = Filename.concat out_dir "alpha_sweep.csv" in
+  let buf = Buffer.create 4096 in
+  series_csv ~pool ~seeds buf;
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-      output_string oc
-        "alpha,basic_degree,basic_radius,allops_degree,allops_radius,preserved\n";
-      let steps = 24 in
-      for i = 2 to steps do
-        let alpha =
-          Stdlib.float_of_int i /. Stdlib.float_of_int steps *. Float.pi
-        in
-        let config = Cbtc.Config.make alpha in
-        let bd = Stats.Welford.create () and br = Stats.Welford.create () in
-        let ad = Stats.Welford.create () and ar = Stats.Welford.create () in
-        let ok = ref 0 in
-        List.iter
-          (fun seed ->
-            let sc = Workload.Scenario.paper ~seed in
-            let pl = Workload.Scenario.pathloss sc in
-            let positions = Workload.Scenario.positions sc in
-            let basic =
-              Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.basic config)
-            in
-            let allops =
-              Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.all_ops config)
-            in
-            Stats.Welford.add bd (Cbtc.Pipeline.avg_degree basic);
-            Stats.Welford.add br (Cbtc.Pipeline.avg_radius basic);
-            Stats.Welford.add ad (Cbtc.Pipeline.avg_degree allops);
-            Stats.Welford.add ar (Cbtc.Pipeline.avg_radius allops);
-            if
-              Metrics.Connectivity.preserves
-                ~reference:(Baselines.Proximity.max_power pl positions)
-                allops.Cbtc.Pipeline.graph
-            then incr ok)
-          seeds;
-        output_string oc
-          (Fmt.str "%.6f,%.3f,%.2f,%.3f,%.2f,%d/%d\n" alpha
-             (Stats.Welford.mean bd) (Stats.Welford.mean br)
-             (Stats.Welford.mean ad) (Stats.Welford.mean ar) !ok
-             (List.length seeds))
-      done);
+      Buffer.output_buffer oc buf);
   Fmt.pr "wrote %s (alpha from pi/12 to pi, %d seeds per point)@." path
     (List.length seeds)
 
@@ -723,15 +757,44 @@ let run_series ~seeds ~out_dir =
    to stdout and, machine-readable, to <out>/perf.json so successive PRs
    can track the perf trajectory. *)
 
-let time_best ~reps f =
+let sample ~inner f =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to Stdlib.max 1 inner do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  (Unix.gettimeofday () -. t0) /. Stdlib.float_of_int (Stdlib.max 1 inner)
+
+let time_best ?(inner = 1) ~reps f =
+  (* one untimed warmup so the first timed rep does not pay cold-cache /
+     page-fault costs, and a compaction for a reproducible heap state;
+     [inner] amortizes timer and allocator jitter for sub-millisecond
+     kernels by timing a block of calls per sample *)
+  ignore (Sys.opaque_identity (f ()));
+  Gc.compact ();
   let best = ref Float.infinity in
   for _ = 1 to Stdlib.max 1 reps do
-    let t0 = Unix.gettimeofday () in
-    ignore (Sys.opaque_identity (f ()));
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = sample ~inner f in
     if dt < !best then best := dt
   done;
   !best
+
+(* Time two kernels against each other with interleaved samples: on a
+   shared (and here single-core) host, background steal drifts on a
+   seconds scale, so timing side A fully before side B turns that drift
+   into a systematic bias.  Alternating A/B blocks inside one loop makes
+   the noise hit both sides equally; best-of still filters the tail. *)
+let time_pair ?(inner = 1) ~reps fa fb =
+  ignore (Sys.opaque_identity (fa ()));
+  ignore (Sys.opaque_identity (fb ()));
+  Gc.compact ();
+  let best_a = ref Float.infinity and best_b = ref Float.infinity in
+  for _ = 1 to Stdlib.max 1 reps do
+    let da = sample ~inner fa in
+    let db = sample ~inner fb in
+    if da < !best_a then best_a := da;
+    if db < !best_b then best_b := db
+  done;
+  (!best_a, !best_b)
 
 type perf_row = {
   bench : string;
@@ -741,17 +804,23 @@ type perf_row = {
 }
 
 let brute_coverage positions ~radius =
-  (* inline reference for Metrics.Interference.coverage *)
+  (* inline reference for Metrics.Interference.coverage; computes the same
+     per-node counts / max / total so both sides do equal work *)
   let n = Array.length positions in
-  let total = ref 0 in
+  let covered = Array.make n 0 in
   for u = 0 to n - 1 do
-    if radius.(u) > 0. then
+    if radius.(u) > 0. then begin
+      let c = ref 0 in
       for v = 0 to n - 1 do
         if v <> u && Geom.Vec2.dist positions.(u) positions.(v) <= radius.(u)
-        then incr total
-      done
+        then incr c
+      done;
+      covered.(u) <- !c
+    end
   done;
-  !total
+  let max_c = Array.fold_left Stdlib.max 0 covered in
+  let total = Array.fold_left ( + ) 0 covered in
+  (max_c, total)
 
 let perf_json_write path rows =
   let oc = open_out path in
@@ -794,8 +863,14 @@ let run_perf_scaling ~fast ~out_dir =
   in
   let rows = ref [] in
   let record bench n ~brute ~grid ~reps =
-    let grid_s = time_best ~reps grid in
-    let brute_s = Option.map (fun f -> time_best ~reps f) brute in
+    let inner = if n <= 100 then 40 else 1 in
+    let grid_s, brute_s =
+      match brute with
+      | Some f ->
+          let g, b = time_pair ~inner ~reps grid f in
+          (g, Some b)
+      | None -> (time_best ~inner ~reps grid, None)
+    in
     rows := { bench; n; grid_s; brute_s } :: !rows;
     Metrics.Table.add_row table
       [
@@ -814,7 +889,7 @@ let run_perf_scaling ~fast ~out_dir =
       let sc = Workload.Scenario.make ~n ~width:side ~height:side ~seed:42 () in
       let pl = Workload.Scenario.pathloss sc in
       let positions = Workload.Scenario.positions sc in
-      let reps = if n <= 100 then 10 else if n <= 1000 then 3 else 1 in
+      let reps = if n <= 100 then 100 else if n <= 1000 then 3 else 1 in
       let big = n > 1000 in
       record "discovery (oracle CBTC 5pi/6)" n ~reps
         ~grid:(fun () -> Cbtc.Geo.run c56 pl positions)
@@ -839,6 +914,131 @@ let run_perf_scaling ~fast ~out_dir =
   let path = Filename.concat out_dir "perf.json" in
   perf_json_write path (List.rev !rows);
   Fmt.pr "wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
+(* Parallel scaling (domain pool)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Times the two representative parallel shapes — trial-level fan-out
+   over whole networks and node-level chunking inside one large
+   discovery — at -j 1/2/4, and checks that every level produces
+   bit-identical results (digest over a full-precision rendering).
+   Wall-clock speedups only show on multi-core hosts; the determinism
+   check is meaningful everywhere.  Writes <out>/parallel.json. *)
+
+let parallel_json_write path ~host_cores rows =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc "{\n  \"schema\": 1,\n  \"unit\": \"seconds\",\n";
+      output_string oc
+        "  \"note\": \"wall clock per jobs level; speedup_vs_j1 > 1 \
+         requires a multi-core host; identical compares result digests \
+         against the -j 1 run\",\n";
+      output_string oc (Fmt.str "  \"host_cores\": %d,\n" host_cores);
+      output_string oc "  \"results\": [\n";
+      List.iteri
+        (fun i (workload, jobs, wall, speedup, identical) ->
+          output_string oc
+            (Fmt.str
+               "    {\"workload\": %S, \"jobs\": %d, \"wall_s\": %.6f, \
+                \"speedup_vs_j1\": %.3f, \"identical\": %b}%s\n"
+               workload jobs wall speedup identical
+               (if i = List.length rows - 1 then "" else ",")))
+        rows;
+      output_string oc "  ]\n}\n")
+
+let run_parallel_bench ~fast ~out_dir =
+  section "Parallel scaling: domain pool at -j 1/2/4 (determinism checked)";
+  if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+  let host_cores = Domain.recommended_domain_count () in
+  let trial_seeds =
+    Workload.Scenario.seeds ~base:42 ~count:(if fast then 10 else 100)
+  in
+  (* workload (a): Monte-Carlo sweep, one task per network *)
+  let sweep_digest pool =
+    let buf = Buffer.create 4096 in
+    let trials =
+      Parallel.Pool.map pool table1_trial (Array.of_list trial_seeds)
+    in
+    Array.iter
+      (fun (vals, broken) ->
+        List.iter
+          (fun (d, r) -> Buffer.add_string buf (Fmt.str "%.17g,%.17g;" d r))
+          vals;
+        Buffer.add_string buf (if broken then "!" else "."))
+      trials;
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+  in
+  (* workload (b): one large oracle discovery, chunked over nodes *)
+  let n_big = if fast then 2000 else 10000 in
+  let side = 1500. *. Float.sqrt (Stdlib.float_of_int n_big /. 100.) in
+  let sc_big =
+    Workload.Scenario.make ~n:n_big ~width:side ~height:side ~seed:42 ()
+  in
+  let pl_big = Workload.Scenario.pathloss sc_big in
+  let pos_big = Workload.Scenario.positions sc_big in
+  let discovery_digest pool =
+    let d = Cbtc.Geo.run ~pool c56 pl_big pos_big in
+    let buf = Buffer.create (16 * n_big) in
+    Array.iteri
+      (fun u p ->
+        Buffer.add_string buf
+          (Fmt.str "%d:%.17g:%b:%d;" u p
+             d.Cbtc.Discovery.boundary.(u)
+             (List.length d.Cbtc.Discovery.neighbors.(u))))
+      d.Cbtc.Discovery.power;
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+  in
+  let workloads =
+    [
+      ( Fmt.str "monte-carlo sweep (%d networks, trial-level)"
+          (List.length trial_seeds),
+        sweep_digest );
+      (Fmt.str "oracle discovery (n=%d, node-level)" n_big, discovery_digest);
+    ]
+  in
+  let table =
+    Metrics.Table.create
+      ~columns:[ "workload"; "jobs"; "wall (s)"; "speedup"; "identical" ]
+  in
+  let rows = ref [] in
+  let all_identical = ref true in
+  List.iter
+    (fun (name, run) ->
+      let base_digest = ref "" and base_time = ref 0. in
+      List.iter
+        (fun jobs ->
+          Parallel.Pool.with_pool ~jobs (fun pool ->
+              let t0 = Unix.gettimeofday () in
+              let digest = run pool in
+              let wall = Unix.gettimeofday () -. t0 in
+              if jobs = 1 then begin
+                base_digest := digest;
+                base_time := wall
+              end;
+              let identical = String.equal digest !base_digest in
+              if not identical then all_identical := false;
+              let speedup = if wall > 0. then !base_time /. wall else 0. in
+              rows := (name, jobs, wall, speedup, identical) :: !rows;
+              Metrics.Table.add_row table
+                [
+                  name; string_of_int jobs; Fmt.str "%.3f" wall;
+                  Fmt.str "%.2fx" speedup; string_of_bool identical;
+                ]))
+        [ 1; 2; 4 ])
+    workloads;
+  Fmt.pr "%a@." Metrics.Table.pp table;
+  Fmt.pr
+    "host cores: %d (speedup needs a multi-core host; identity must hold \
+     everywhere)@."
+    host_cores;
+  let path = Filename.concat out_dir "parallel.json" in
+  parallel_json_write path ~host_cores (List.rev !rows);
+  Fmt.pr "wrote %s@." path;
+  if not !all_identical then begin
+    Fmt.epr "parallel: NON-DETERMINISTIC results across jobs levels@.";
+    exit 1
+  end
 
 let run_perf ~fast () =
   section "Microbenchmarks (Bechamel, monotonic clock)";
@@ -903,6 +1103,7 @@ let () =
   let seeds_count = ref 100 in
   let out_dir = ref "bench_out" in
   let fast = ref false in
+  let jobs = ref None in
   let sections = ref [] in
   let rec parse = function
     | [] -> ()
@@ -915,6 +1116,14 @@ let () =
           exit 2);
         out_dir := v;
         parse rest
+    | ("-j" | "--jobs") :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some j when j >= 1 && j <= 1024 -> jobs := Some j
+        | Some _ | None ->
+            Fmt.epr "main.exe: -j expects an integer in [1, 1024] (got %S)@."
+              v;
+            exit 2);
+        parse rest
     | "--fast" :: rest ->
         seeds_count := 10;
         fast := true;
@@ -924,21 +1133,37 @@ let () =
         parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
+  let jobs =
+    match !jobs with
+    | Some j -> j
+    | None -> (
+        try Parallel.Pool.default_jobs ()
+        with Invalid_argument msg ->
+          Fmt.epr "main.exe: %s@." msg;
+          exit 2)
+  in
   let seeds = Workload.Scenario.seeds ~base:42 ~count:!seeds_count in
   let want s = !sections = [] || List.mem s !sections in
-  Fmt.pr "CBTC reproduction benchmarks (%d networks per table)@."
-    !seeds_count;
-  if want "table1" then run_table1 ~seeds;
-  if want "figures" then run_figures ();
-  if want "figure6" then run_figure6 ~out_dir:!out_dir;
-  if want "connectivity" then
-    run_connectivity
-      ~seeds:(Workload.Scenario.seeds ~base:42 ~count:(Stdlib.min 30 !seeds_count));
-  if want "ablations" then run_ablations ~seeds;
-  if want "extensions" then run_extensions ~seeds;
-  if want "series" then run_series ~seeds ~out_dir:!out_dir;
-  if want "perf" then begin
-    run_perf_scaling ~fast:!fast ~out_dir:!out_dir;
-    run_perf ~fast:!fast ()
-  end;
+  Fmt.pr "CBTC reproduction benchmarks (%d networks per table, -j %d)@."
+    !seeds_count jobs;
+  let pool = Parallel.Pool.create ~jobs () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.Pool.shutdown pool)
+    (fun () ->
+      if want "table1" then run_table1 ~pool ~seeds;
+      if want "figures" then run_figures ();
+      if want "figure6" then run_figure6 ~out_dir:!out_dir;
+      if want "connectivity" then
+        run_connectivity ~pool
+          ~seeds:
+            (Workload.Scenario.seeds ~base:42
+               ~count:(Stdlib.min 30 !seeds_count));
+      if want "ablations" then run_ablations ~pool ~seeds;
+      if want "extensions" then run_extensions ~seeds;
+      if want "series" then run_series ~pool ~seeds ~out_dir:!out_dir;
+      if want "parallel" then run_parallel_bench ~fast:!fast ~out_dir:!out_dir;
+      if want "perf" then begin
+        run_perf_scaling ~fast:!fast ~out_dir:!out_dir;
+        run_perf ~fast:!fast ()
+      end);
   Fmt.pr "@.done.@."

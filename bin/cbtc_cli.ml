@@ -55,6 +55,26 @@ let opts_flag =
     & info [ "opts" ] ~docv:"LEVEL"
         ~doc:"Optimization level: none (basic), shrink (op1), all.")
 
+(* -j / --jobs / CBTC_JOBS: size of the domain pool used by the
+   trial-sweeping subcommands (sweep, stress).  Results are bit-identical
+   for every value — trials fan out order-preserving and are folded
+   sequentially — so this only changes wall clock. *)
+let jobs =
+  let parse s =
+    match int_of_string_opt s with
+    | Some j when j >= 1 && j <= 1024 -> Ok j
+    | Some _ -> Error (`Msg (Fmt.str "jobs must be in [1, 1024] (got %s)" s))
+    | None -> Error (`Msg (Fmt.str "jobs must be an integer (got %S)" s))
+  in
+  Arg.(
+    value
+    & opt (some (conv (parse, Fmt.int))) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~env:(Cmd.Env.info "CBTC_JOBS")
+        ~doc:
+          "Worker domains for trial-level parallelism, in [1, 1024] \
+           (default: the host's recommended domain count).")
+
 let scenario_of ~n ~side ~range ~seed =
   Workload.Scenario.make ~n ~width:side ~height:side ~max_range:range ~seed ()
 
@@ -97,7 +117,7 @@ let sweep_cmd =
       value & opt int 20
       & info [ "count" ] ~docv:"K" ~doc:"Number of random networks.")
   in
-  let action n side range seed count opts =
+  let action n side range seed count opts jobs =
     let table =
       Metrics.Table.create
         ~columns:[ "alpha"; "avg degree"; "avg radius"; "preserved" ]
@@ -107,39 +127,47 @@ let sweep_cmd =
         ("2pi/3", Geom.Angle.two_pi_three); ("3pi/4", 3. *. Float.pi /. 4.);
         ("5pi/6", Geom.Angle.five_pi_six) ]
     in
-    let seeds = Workload.Scenario.seeds ~base:seed ~count in
-    List.iter
-      (fun (name, alpha) ->
-        let config = Cbtc.Config.make alpha in
-        let dacc = Stats.Welford.create () in
-        let racc = Stats.Welford.create () in
-        let ok = ref 0 in
+    let seeds = Array.of_list (Workload.Scenario.seeds ~base:seed ~count) in
+    Parallel.Pool.with_pool ?jobs (fun pool ->
         List.iter
-          (fun seed ->
-            let sc = scenario_of ~n ~side ~range ~seed in
-            let pl = Workload.Scenario.pathloss sc in
-            let positions = Workload.Scenario.positions sc in
-            let r = Cbtc.Pipeline.run_oracle pl positions (plan_of config opts) in
-            Stats.Welford.add dacc (Cbtc.Pipeline.avg_degree r);
-            Stats.Welford.add racc (Cbtc.Pipeline.avg_radius r);
-            if
-              Metrics.Connectivity.preserves
-                ~reference:(Baselines.Proximity.max_power pl positions)
-                r.Cbtc.Pipeline.graph
-            then incr ok)
-          seeds;
-        Metrics.Table.add_row table
-          [
-            name;
-            Fmt.str "%.1f" (Stats.Welford.mean dacc);
-            Fmt.str "%.1f" (Stats.Welford.mean racc);
-            Fmt.str "%d/%d" !ok count;
-          ])
-      alphas;
+          (fun (name, alpha) ->
+            let config = Cbtc.Config.make alpha in
+            (* one task per network; the Welford fold below runs in seed
+               order, so the table is byte-identical for every -j *)
+            let trial seed =
+              let sc = scenario_of ~n ~side ~range ~seed in
+              let pl = Workload.Scenario.pathloss sc in
+              let positions = Workload.Scenario.positions sc in
+              let r =
+                Cbtc.Pipeline.run_oracle pl positions (plan_of config opts)
+              in
+              ( Cbtc.Pipeline.avg_degree r,
+                Cbtc.Pipeline.avg_radius r,
+                Metrics.Connectivity.preserves
+                  ~reference:(Baselines.Proximity.max_power pl positions)
+                  r.Cbtc.Pipeline.graph )
+            in
+            let dacc = Stats.Welford.create () in
+            let racc = Stats.Welford.create () in
+            let ok = ref 0 in
+            Array.iter
+              (fun (deg, rad, preserved) ->
+                Stats.Welford.add dacc deg;
+                Stats.Welford.add racc rad;
+                if preserved then incr ok)
+              (Parallel.Pool.map pool trial seeds);
+            Metrics.Table.add_row table
+              [
+                name;
+                Fmt.str "%.1f" (Stats.Welford.mean dacc);
+                Fmt.str "%.1f" (Stats.Welford.mean racc);
+                Fmt.str "%d/%d" !ok count;
+              ])
+          alphas);
     Fmt.pr "%a" Metrics.Table.pp table
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Sweep alpha over a seed set.")
-    Term.(const action $ nodes $ side $ range $ seed $ count $ opts_flag)
+    Term.(const action $ nodes $ side $ range $ seed $ count $ opts_flag $ jobs)
 
 (* ---------- topology ---------- *)
 
@@ -358,7 +386,7 @@ let stress_cmd =
          s.Cbtc.Distributed.duration)
   in
   let action n side range seed alpha losses crashes burstiness recover_after
-      out =
+      out jobs =
     let sc = scenario_of ~n ~side ~range ~seed in
     let pl = Workload.Scenario.pathloss sc in
     let positions = Workload.Scenario.positions sc in
@@ -379,56 +407,79 @@ let stress_cmd =
          \  \"scenarios\": [\n"
          n seed alpha burstiness
          baseline.Cbtc.Distributed.stats.Cbtc.Distributed.transmissions t_conv);
+    (* One Gilbert-Elliott template per loss level; every cell gets its
+       own [Dsim.Channel.copy] so burst chains never leak across cells —
+       or across domains when cells run in parallel. *)
+    let templates =
+      Array.of_list
+        (List.map (fun mean_loss -> channel_for ~mean_loss ~burstiness) losses)
+    in
+    (* Cells are independent given their own channel and fault prng (the
+       seed derivation below is unchanged), so they fan out over the
+       pool; the grid is flattened in crashes-outer/losses-inner order
+       and folded back in that same order, keeping the table and the
+       JSON byte-identical for every -j. *)
+    let cells =
+      List.concat
+        (List.mapi
+           (fun ci crash ->
+             List.mapi (fun li mean_loss -> (ci, li, crash, mean_loss)) losses)
+           crashes)
+    in
+    let run_cell (ci, li, crash, mean_loss) =
+      let channel = Dsim.Channel.copy templates.(li) in
+      let plan =
+        if crash <= 0. then Faults.Plan.empty
+        else
+          Faults.Plan.random_crashes
+            ~prng:(Prng.create ~seed:(seed + (100 * ci) + li))
+            ~n ~fraction:crash
+            ~window:(0.1 *. t_conv, 0.6 *. t_conv)
+            ?recover_after ()
+      in
+      let o =
+        Cbtc.Distributed.run ~channel ~seed
+          ~reliability:Cbtc.Distributed.hardened ~faults:plan config pl
+          positions
+      in
+      let deg = Cbtc.Verify.degradation ~reference:baseline o in
+      let verified, verify_error =
+        match
+          Cbtc.Verify.surviving ~alive:o.Cbtc.Distributed.alive
+            o.Cbtc.Distributed.discovery
+        with
+        | () -> (true, None)
+        | exception Failure e -> (false, Some e)
+      in
+      (crash, mean_loss, o, deg, verified, verify_error)
+    in
+    let results =
+      Parallel.Pool.with_pool ?jobs (fun pool ->
+          Parallel.Pool.map pool run_cell (Array.of_list cells))
+    in
     let first = ref true in
     let failed = ref 0 in
-    List.iteri
-      (fun ci crash ->
-        List.iteri
-          (fun li mean_loss ->
-            let channel = channel_for ~mean_loss ~burstiness in
-            let plan =
-              if crash <= 0. then Faults.Plan.empty
-              else
-                Faults.Plan.random_crashes
-                  ~prng:(Prng.create ~seed:(seed + (100 * ci) + li))
-                  ~n ~fraction:crash
-                  ~window:(0.1 *. t_conv, 0.6 *. t_conv)
-                  ?recover_after ()
-            in
-            let o =
-              Cbtc.Distributed.run ~channel ~seed
-                ~reliability:Cbtc.Distributed.hardened ~faults:plan config pl
-                positions
-            in
-            let deg = Cbtc.Verify.degradation ~reference:baseline o in
-            let verified, verify_error =
-              match
-                Cbtc.Verify.surviving ~alive:o.Cbtc.Distributed.alive
-                  o.Cbtc.Distributed.discovery
-              with
-              | () -> (true, None)
-              | exception Failure e -> (false, Some e)
-            in
-            Metrics.Table.add_row table
-              [
-                Fmt.str "%.2f" mean_loss;
-                Fmt.str "%.2f" crash;
-                string_of_int deg.Cbtc.Verify.crashed;
-                string_of_int deg.Cbtc.Verify.survivors;
-                string_of_int (List.length deg.Cbtc.Verify.residual_gap_nodes);
-                string_of_bool deg.Cbtc.Verify.connectivity_preserved;
-                Fmt.str "%.2f" deg.Cbtc.Verify.delivery_ratio;
-                string_of_int
-                  o.Cbtc.Distributed.stats.Cbtc.Distributed.retransmissions;
-                string_of_bool verified;
-              ];
-            if not (verified && deg.Cbtc.Verify.connectivity_preserved) then
-              incr failed;
-            if not !first then Buffer.add_string buf ",\n";
-            first := false;
-            json_of_cell buf ~mean_loss ~crash ~o ~deg ~verified ~verify_error)
-          losses)
-      crashes;
+    Array.iter
+      (fun (crash, mean_loss, o, deg, verified, verify_error) ->
+        Metrics.Table.add_row table
+          [
+            Fmt.str "%.2f" mean_loss;
+            Fmt.str "%.2f" crash;
+            string_of_int deg.Cbtc.Verify.crashed;
+            string_of_int deg.Cbtc.Verify.survivors;
+            string_of_int (List.length deg.Cbtc.Verify.residual_gap_nodes);
+            string_of_bool deg.Cbtc.Verify.connectivity_preserved;
+            Fmt.str "%.2f" deg.Cbtc.Verify.delivery_ratio;
+            string_of_int
+              o.Cbtc.Distributed.stats.Cbtc.Distributed.retransmissions;
+            string_of_bool verified;
+          ];
+        if not (verified && deg.Cbtc.Verify.connectivity_preserved) then
+          incr failed;
+        if not !first then Buffer.add_string buf ",\n";
+        first := false;
+        json_of_cell buf ~mean_loss ~crash ~o ~deg ~verified ~verify_error)
+      results;
     Buffer.add_string buf "\n  ]\n}\n";
     let oc = open_out out in
     output_string oc (Buffer.contents buf);
@@ -449,7 +500,7 @@ let stress_cmd =
           non-zero if any scenario fails post-fault verification.")
     Term.(
       const action $ nodes $ side $ range $ seed $ alpha $ losses $ crashes
-      $ burstiness $ recover_after $ out)
+      $ burstiness $ recover_after $ out $ jobs)
 
 (* ---------- theory ---------- *)
 

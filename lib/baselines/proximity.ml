@@ -9,27 +9,59 @@ let max_reach pathloss =
   Radio.Pathloss.reach_distance pathloss
     ~power:(Radio.Pathloss.max_power pathloss)
 
+(* Chunked parallel-for over node indices (inline without a pool).  Every
+   builder below computes a per-node list into its own slot of a
+   preallocated array, then merges sequentially — adjacency sets make
+   edge-insertion order irrelevant, so the merge is deterministic for
+   any pool size. *)
+let for_nodes ?pool n body =
+  match pool with
+  | Some pool -> Parallel.Pool.iter_chunks pool n body
+  | None -> body 0 n
+
 (* [G_R] edges via the spatial index: probe each node's neighborhood and
    keep [v > u] so every pair is examined once, as the brute-force
    triangular loop does. *)
-let filter_gr ?grid pathloss positions ~keep =
+let filter_gr ?pool ?grid pathloss positions ~keep =
   let n = Array.length positions in
-  let g = Graphkit.Ugraph.create n in
   let grid =
     match grid with Some g -> g | None -> make_grid pathloss positions
   in
   let reach = max_reach pathloss in
+  let nbrs = Array.make n [] in
+  for_nodes ?pool n (fun lo hi ->
+      for u = lo to hi - 1 do
+        nbrs.(u) <-
+          Geom.Grid.fold_in_range grid positions.(u) ~dist:reach ~init:[]
+            ~f:(fun acc v ->
+              if v > u && in_range pathloss positions u v && keep u v then
+                v :: acc
+              else acc)
+      done);
+  let g = Graphkit.Ugraph.create n in
+  Array.iteri
+    (fun u vs -> List.iter (fun v -> Graphkit.Ugraph.add_edge g u v) vs)
+    nbrs;
+  g
+
+let brute_max_power pathloss positions =
+  let n = Array.length positions in
+  let g = Graphkit.Ugraph.create n in
   for u = 0 to n - 1 do
-    Geom.Grid.iter_in_range grid positions.(u) ~dist:reach (fun v ->
-        if v > u && in_range pathloss positions u v && keep u v then
-          Graphkit.Ugraph.add_edge g u v)
+    for v = u + 1 to n - 1 do
+      if in_range pathloss positions u v then Graphkit.Ugraph.add_edge g u v
+    done
   done;
   g
 
-let max_power pathloss positions =
-  filter_gr pathloss positions ~keep:(fun _ _ -> true)
+let max_power ?pool ?(cutoff = Geom.Grid.default_brute_cutoff) pathloss
+    positions =
+  match pool with
+  | None when Array.length positions < cutoff ->
+      brute_max_power pathloss positions
+  | pool -> filter_gr ?pool pathloss positions ~keep:(fun _ _ -> true)
 
-let rng pathloss positions =
+let rng ?pool pathloss positions =
   let grid = make_grid pathloss positions in
   let dist u v = Geom.Vec2.dist positions.(u) positions.(v) in
   (* a lune witness w has max(d(u,w), d(v,w)) < d(u,v), so it lies within
@@ -40,9 +72,9 @@ let rng pathloss positions =
       (Geom.Grid.exists_in_range grid positions.(u) ~dist:duv (fun w ->
            w <> u && w <> v && Float.max (dist u w) (dist v w) < duv))
   in
-  filter_gr ~grid pathloss positions ~keep
+  filter_gr ?pool ~grid pathloss positions ~keep
 
-let gabriel pathloss positions =
+let gabriel ?pool pathloss positions =
   let grid = make_grid pathloss positions in
   let dist2 u v = Geom.Vec2.dist2 positions.(u) positions.(v) in
   (* w inside the circle with diameter uv satisfies d(u,w) < d(u,v) *)
@@ -53,32 +85,36 @@ let gabriel pathloss positions =
          ~dist:(Float.sqrt d2uv)
          (fun w -> w <> u && w <> v && dist2 u w +. dist2 v w < d2uv))
   in
-  filter_gr ~grid pathloss positions ~keep
+  filter_gr ?pool ~grid pathloss positions ~keep
 
 let euclidean_mst pathloss positions =
   let gr = max_power pathloss positions in
   Graphkit.Mst.forest_graph gr ~weight:(fun u v ->
       Geom.Vec2.dist positions.(u) positions.(v))
 
-let knn pathloss positions ~k =
+let knn ?pool pathloss positions ~k =
   if k <= 0 then invalid_arg "Proximity.knn: non-positive k";
   let n = Array.length positions in
-  let g = Graphkit.Ugraph.create n in
   let grid = make_grid pathloss positions in
   let reach = max_reach pathloss in
-  for u = 0 to n - 1 do
-    let in_reach =
-      Geom.Grid.fold_in_range grid positions.(u) ~dist:reach ~init:[]
-        ~f:(fun acc v ->
-          if v <> u && in_range pathloss positions u v then
-            (Geom.Vec2.dist positions.(u) positions.(v), v) :: acc
-          else acc)
-    in
-    let sorted = List.sort Stdlib.compare in_reach in
-    List.iteri
-      (fun i (_, v) -> if i < k then Graphkit.Ugraph.add_edge g u v)
-      sorted
-  done;
+  let chosen = Array.make n [] in
+  for_nodes ?pool n (fun lo hi ->
+      for u = lo to hi - 1 do
+        let in_reach =
+          Geom.Grid.fold_in_range grid positions.(u) ~dist:reach ~init:[]
+            ~f:(fun acc v ->
+              if v <> u && in_range pathloss positions u v then
+                (Geom.Vec2.dist positions.(u) positions.(v), v) :: acc
+              else acc)
+        in
+        let sorted = List.sort Stdlib.compare in_reach in
+        chosen.(u) <-
+          List.filteri (fun i _ -> i < k) sorted |> List.map snd
+      done);
+  let g = Graphkit.Ugraph.create n in
+  Array.iteri
+    (fun u vs -> List.iter (fun v -> Graphkit.Ugraph.add_edge g u v) vs)
+    chosen;
   g
 
 let radius_of ?(full_power = false) pathloss positions g =
@@ -105,8 +141,7 @@ module Brute = struct
     done;
     g
 
-  let max_power pathloss positions =
-    filter_gr pathloss positions ~keep:(fun _ _ -> true)
+  let max_power = brute_max_power
 
   let rng pathloss positions =
     let n = Array.length positions in

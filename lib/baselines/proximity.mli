@@ -11,29 +11,47 @@
     Constructions are accelerated by a [Geom.Grid] spatial index (range
     and witness queries probe only nearby cells); the brute-force
     reference implementations live in {!Brute} and are property-tested
-    to produce identical graphs. *)
+    to produce identical graphs.
 
-(** [max_power pathloss positions] is [G_R]. *)
+    Per-node work is independent, so builders accept [?pool] and then
+    run chunked over a [Parallel.Pool]: each chunk fills only its own
+    slots of a per-node array, and a sequential merge into the set-based
+    adjacency yields a graph bit-identical to the sequential pass for
+    any pool size. *)
+
+(** [max_power ?pool ?cutoff pathloss positions] is [G_R].  Below
+    [cutoff] nodes (default [Geom.Grid.default_brute_cutoff]) and
+    without a pool, the brute triangular scan is used — faster at small
+    [n], identical output.  [~cutoff:0] forces the grid path. *)
 val max_power :
+  ?pool:Parallel.Pool.t ->
+  ?cutoff:int ->
   Radio.Pathloss.t -> Geom.Vec2.t array -> Graphkit.Ugraph.t
 
-(** [rng pathloss positions]: keep [(u,v)] of [G_R] unless some witness
-    [w] satisfies [max(d(u,w), d(v,w)) < d(u,v)] (lune criterion). *)
-val rng : Radio.Pathloss.t -> Geom.Vec2.t array -> Graphkit.Ugraph.t
+(** [rng ?pool pathloss positions]: keep [(u,v)] of [G_R] unless some
+    witness [w] satisfies [max(d(u,w), d(v,w)) < d(u,v)] (lune
+    criterion). *)
+val rng :
+  ?pool:Parallel.Pool.t ->
+  Radio.Pathloss.t -> Geom.Vec2.t array -> Graphkit.Ugraph.t
 
-(** [gabriel pathloss positions]: keep [(u,v)] of [G_R] unless some [w]
-    lies strictly inside the circle with diameter [uv]
+(** [gabriel ?pool pathloss positions]: keep [(u,v)] of [G_R] unless
+    some [w] lies strictly inside the circle with diameter [uv]
     ([d2(u,w) + d2(v,w) < d2(u,v)]). *)
-val gabriel : Radio.Pathloss.t -> Geom.Vec2.t array -> Graphkit.Ugraph.t
+val gabriel :
+  ?pool:Parallel.Pool.t ->
+  Radio.Pathloss.t -> Geom.Vec2.t array -> Graphkit.Ugraph.t
 
 (** [euclidean_mst pathloss positions]: minimum spanning forest of [G_R]
-    under Euclidean edge lengths. *)
+    under Euclidean edge lengths.  (Kruskal is inherently sequential, so
+    no [?pool] here.) *)
 val euclidean_mst :
   Radio.Pathloss.t -> Geom.Vec2.t array -> Graphkit.Ugraph.t
 
-(** [knn pathloss positions ~k]: symmetric closure of each node's [k]
-    nearest in-range neighbors. *)
+(** [knn ?pool pathloss positions ~k]: symmetric closure of each node's
+    [k] nearest in-range neighbors. *)
 val knn :
+  ?pool:Parallel.Pool.t ->
   Radio.Pathloss.t -> Geom.Vec2.t array -> k:int -> Graphkit.Ugraph.t
 
 (** [radius_of pathloss positions g] is the per-node transmission radius

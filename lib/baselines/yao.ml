@@ -22,33 +22,54 @@ let select_sectors pathloss positions u ~k ~sector_width best candidates =
       end)
     candidates
 
-let build pathloss positions ~k ~candidates_of =
+let build ?pool pathloss positions ~k ~candidates_of =
   if k < 3 then invalid_arg "Yao.yao: k < 3";
   let n = Array.length positions in
   let sector_width = Geom.Angle.two_pi /. Stdlib.float_of_int k in
+  (* selections are per-node-independent: each chunk writes only its own
+     slots, and the final merge into set-based adjacency is
+     order-insensitive, so the graph is the same for any pool size *)
+  let selected = Array.make n [] in
+  let body lo hi =
+    for u = lo to hi - 1 do
+      let best = Array.make k None in
+      select_sectors pathloss positions u ~k ~sector_width best
+        (candidates_of u);
+      selected.(u) <-
+        Array.fold_left
+          (fun acc -> function Some (_, v) -> v :: acc | None -> acc)
+          [] best
+    done
+  in
+  (match pool with
+  | Some pool -> Parallel.Pool.iter_chunks pool n body
+  | None -> body 0 n);
   let g = Graphkit.Ugraph.create n in
-  for u = 0 to n - 1 do
-    let best = Array.make k None in
-    select_sectors pathloss positions u ~k ~sector_width best
-      (candidates_of u);
-    Array.iter
-      (function Some (_, v) -> Graphkit.Ugraph.add_edge g u v | None -> ())
-      best
-  done;
+  Array.iteri
+    (fun u vs -> List.iter (fun v -> Graphkit.Ugraph.add_edge g u v) vs)
+    selected;
   g
 
-let yao pathloss positions ~k =
-  let grid =
-    Geom.Grid.create ~range:(Radio.Pathloss.max_range pathloss) positions
-  in
-  let reach =
-    Radio.Pathloss.reach_distance pathloss
-      ~power:(Radio.Pathloss.max_power pathloss)
-  in
-  build pathloss positions ~k ~candidates_of:(fun u ->
-      List.sort Int.compare
-        (Geom.Grid.fold_in_range grid positions.(u) ~dist:reach ~init:[]
-           ~f:(fun acc v -> if v = u then acc else v :: acc)))
+let yao ?pool ?(cutoff = Geom.Grid.default_brute_cutoff) pathloss positions ~k
+    =
+  let n = Array.length positions in
+  let inline = match pool with None -> true | Some _ -> false in
+  if n < cutoff && inline then
+    let all = List.init n Fun.id in
+    build pathloss positions ~k ~candidates_of:(fun _ -> all)
+  else begin
+    let grid =
+      Geom.Grid.create ~range:(Radio.Pathloss.max_range pathloss) positions
+    in
+    let reach =
+      Radio.Pathloss.reach_distance pathloss
+        ~power:(Radio.Pathloss.max_power pathloss)
+    in
+    build ?pool pathloss positions ~k ~candidates_of:(fun u ->
+        List.sort Int.compare
+          (Geom.Grid.fold_in_range grid positions.(u) ~dist:reach ~init:[]
+             ~f:(fun acc v -> if v = u then acc else v :: acc)))
+  end
 
 module Brute = struct
   let yao pathloss positions ~k =

@@ -10,10 +10,17 @@
     degree alpha", Yao's is "the nearest neighbor in each of k fixed
     cones". *)
 
-(** [yao pathloss positions ~k] builds the symmetric closure of the
-    k-sector Yao graph restricted to [G_R] edges.
+(** [yao ?pool ?cutoff pathloss positions ~k] builds the symmetric
+    closure of the k-sector Yao graph restricted to [G_R] edges.  Below
+    [cutoff] nodes (default [Geom.Grid.default_brute_cutoff]) and
+    without a pool, the brute all-pairs scan is used — it beats the grid
+    at small [n] and yields the identical graph; [~cutoff:0] forces the
+    grid path.  With [?pool] the per-node sector selections run chunked
+    over the pool (bit-identical output for any pool size).
     @raise Invalid_argument when [k < 3]. *)
 val yao :
+  ?pool:Parallel.Pool.t ->
+  ?cutoff:int ->
   Radio.Pathloss.t -> Geom.Vec2.t array -> k:int -> Graphkit.Ugraph.t
 
 (** [yao_out_degree_bound ~k] is the out-degree bound [k] (each sector

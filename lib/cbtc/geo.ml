@@ -42,20 +42,58 @@ let candidates ?grid pathloss positions u =
 let make_grid pathloss positions =
   Geom.Grid.create ~range:(Radio.Pathloss.max_range pathloss) positions
 
-let max_power_graph pathloss positions =
+(* Run [body lo hi] over [0, n) — chunked over the pool's domains when
+   one is given, inline otherwise.  Bodies write only to slots of
+   preallocated arrays inside their own range, so the merge is the
+   arrays themselves and the result is independent of scheduling. *)
+let for_nodes ?pool n body =
+  match pool with
+  | Some pool -> Parallel.Pool.iter_chunks pool n body
+  | None -> body 0 n
+
+let brute_max_power_graph pathloss positions =
   let n = Array.length positions in
   let g = Graphkit.Ugraph.create n in
-  let grid = make_grid pathloss positions in
-  let reach = max_reach pathloss in
   for u = 0 to n - 1 do
-    Geom.Grid.iter_in_range grid positions.(u) ~dist:reach (fun v ->
-        if
-          v > u
-          && Radio.Pathloss.in_range pathloss
-               ~dist:(Geom.Vec2.dist positions.(u) positions.(v))
-        then Graphkit.Ugraph.add_edge g u v)
+    for v = u + 1 to n - 1 do
+      let dist = Geom.Vec2.dist positions.(u) positions.(v) in
+      if Radio.Pathloss.in_range pathloss ~dist then
+        Graphkit.Ugraph.add_edge g u v
+    done
   done;
   g
+
+let max_power_graph ?pool ?(cutoff = Geom.Grid.default_brute_cutoff) pathloss
+    positions =
+  let n = Array.length positions in
+  let inline = match pool with None -> true | Some _ -> false in
+  if n < cutoff && inline then brute_max_power_graph pathloss positions
+  else begin
+    let grid = make_grid pathloss positions in
+    let reach = max_reach pathloss in
+    (* per-node upper adjacency, then a sequential merge: adjacency sets
+       make insertion order irrelevant, and the per-u lists are written
+       to disjoint slots, so grid, pool and brute paths all build equal
+       graphs *)
+    let nbrs = Array.make n [] in
+    for_nodes ?pool n (fun lo hi ->
+        for u = lo to hi - 1 do
+          nbrs.(u) <-
+            Geom.Grid.fold_in_range grid positions.(u) ~dist:reach ~init:[]
+              ~f:(fun acc v ->
+                if
+                  v > u
+                  && Radio.Pathloss.in_range pathloss
+                       ~dist:(Geom.Vec2.dist positions.(u) positions.(v))
+                then v :: acc
+                else acc)
+        done);
+    let g = Graphkit.Ugraph.create n in
+    Array.iteri
+      (fun u vs -> List.iter (fun v -> Graphkit.Ugraph.add_edge g u v) vs)
+      nbrs;
+    g
+  end
 
 (* Walk the power schedule for one node: at each step, move the candidates
    now reachable from [remaining] to [discovered] (tagging them with the
@@ -85,46 +123,41 @@ let grow_node ~alpha ~max_power cands steps =
   let discovered, power, boundary = walk [] [] cands steps in
   (List.sort Neighbor.compare_by_link_power discovered, power, boundary)
 
-let run_with ~candidates config pathloss positions =
+let run_with ?pool ~candidates config pathloss positions =
   let n = Array.length positions in
   let alpha = config.Config.alpha in
   let max_power = Radio.Pathloss.max_power pathloss in
   let neighbors = Array.make n [] in
   let power = Array.make n max_power in
   let boundary = Array.make n false in
-  for u = 0 to n - 1 do
-    let cands = candidates u in
-    let link_powers = List.map (fun (nb : Neighbor.t) -> nb.link_power) cands in
-    let steps = Config.power_steps config ~pathloss ~link_powers in
-    let discovered, final_power, is_boundary =
-      grow_node ~alpha ~max_power cands steps
-    in
-    neighbors.(u) <- discovered;
-    power.(u) <- final_power;
-    boundary.(u) <- is_boundary
-  done;
+  (* each node's discovery is independent: a pure function of the
+     positions and the schedule, written to slot u only *)
+  for_nodes ?pool n (fun lo hi ->
+      for u = lo to hi - 1 do
+        let cands = candidates u in
+        let link_powers =
+          List.map (fun (nb : Neighbor.t) -> nb.link_power) cands
+        in
+        let steps = Config.power_steps config ~pathloss ~link_powers in
+        let discovered, final_power, is_boundary =
+          grow_node ~alpha ~max_power cands steps
+        in
+        neighbors.(u) <- discovered;
+        power.(u) <- final_power;
+        boundary.(u) <- is_boundary
+      done);
   { Discovery.config; pathloss; positions = Array.copy positions; neighbors;
     power; boundary }
 
-let run config pathloss positions =
+let run ?pool config pathloss positions =
   let grid = make_grid pathloss positions in
-  run_with config pathloss positions
+  run_with ?pool config pathloss positions
     ~candidates:(fun u -> candidates ~grid pathloss positions u)
 
 module Brute = struct
   let candidates pathloss positions u = candidates pathloss positions u
 
-  let max_power_graph pathloss positions =
-    let n = Array.length positions in
-    let g = Graphkit.Ugraph.create n in
-    for u = 0 to n - 1 do
-      for v = u + 1 to n - 1 do
-        let dist = Geom.Vec2.dist positions.(u) positions.(v) in
-        if Radio.Pathloss.in_range pathloss ~dist then
-          Graphkit.Ugraph.add_edge g u v
-      done
-    done;
-    g
+  let max_power_graph = brute_max_power_graph
 
   let run config pathloss positions =
     run_with config pathloss positions

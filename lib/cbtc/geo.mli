@@ -13,13 +13,21 @@
     All-pairs scans are accelerated by a [Geom.Grid] spatial index keyed
     on the radio range; results are identical to the brute-force
     reference kept in {!Brute} (property-tested), which exists for
-    differential testing and as the benchmark baseline. *)
+    differential testing and as the benchmark baseline.
 
-(** [run config pathloss positions] runs the oracle for every node.
+    Every node's discovery is independent of every other's, so the
+    per-node loops optionally run chunked over a [Parallel.Pool]
+    ([?pool]); each chunk writes only its own slots of the preallocated
+    result arrays, so the outcome is bit-identical to the sequential
+    pass for any pool size. *)
+
+(** [run ?pool config pathloss positions] runs the oracle for every node.
     Internally builds one spatial index over [positions] and reuses it
     for every node's discovery, so a full pass is O(n · local density)
-    instead of O(n²). *)
+    instead of O(n²); with [?pool] the nodes are processed in parallel
+    chunks (same result, property-tested). *)
 val run :
+  ?pool:Parallel.Pool.t ->
   Config.t -> Radio.Pathloss.t -> Geom.Vec2.t array -> Discovery.t
 
 (** [candidates ?grid pathloss positions u] lists the nodes physically
@@ -32,14 +40,21 @@ val candidates :
   ?grid:Geom.Grid.t ->
   Radio.Pathloss.t -> Geom.Vec2.t array -> int -> Neighbor.t list
 
-(** [max_power_graph pathloss positions] is [G_R]: the graph induced by
-    every node transmitting at maximum power.  Grid-accelerated. *)
+(** [max_power_graph ?pool ?cutoff pathloss positions] is [G_R]: the
+    graph induced by every node transmitting at maximum power.
+    Grid-accelerated for [n >= cutoff] (default
+    [Geom.Grid.default_brute_cutoff]); below that, and with no pool, the
+    triangular brute scan is used — it is faster at small [n] and
+    produces the identical graph.  [~cutoff:0] forces the grid path
+    (the differential tests pin grid = brute this way). *)
 val max_power_graph :
+  ?pool:Parallel.Pool.t ->
+  ?cutoff:int ->
   Radio.Pathloss.t -> Geom.Vec2.t array -> Graphkit.Ugraph.t
 
 (** Brute-force O(n²) reference implementations, producing identical
     results to the grid-backed functions above.  Used by the property
-    tests and as the baseline of the [perf] benchmark section. *)
+    tests and as the baseline of the [perf] benchmark. *)
 module Brute : sig
   val candidates :
     Radio.Pathloss.t -> Geom.Vec2.t array -> int -> Neighbor.t list

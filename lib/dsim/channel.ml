@@ -55,6 +55,8 @@ let gilbert_elliott ~p_gb ~p_bg ?(loss_good = 0.) ~loss_bad ?(duplicate = 0.)
     burst_state = Hashtbl.create 64;
   }
 
+let copy t = { t with burst_state = Hashtbl.create 64 }
+
 let mean_loss t =
   match t.loss with
   | Bernoulli p -> p

@@ -84,6 +84,16 @@ val gilbert_elliott :
   unit ->
   t
 
+(** [copy t] is a channel with [t]'s configuration and a {e fresh} burst
+    state: every Gilbert–Elliott chain starts in Good, exactly as a
+    channel newly built from the same parameters would.  Use one copy
+    per trial whenever a loop (or a parallel sweep) would otherwise
+    reuse a single channel — the chains' mutable state must not leak
+    from one simulation into the next, and sharing one [burst_state]
+    table across domains is a data race.  For [Bernoulli] channels the
+    copy is behaviourally identical to the original. *)
+val copy : t -> t
+
 (** [mean_loss t] is the long-run per-copy drop probability: the Bernoulli
     parameter, or the Gilbert–Elliott loss weighted by the chain's
     stationary distribution

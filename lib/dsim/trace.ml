@@ -1,21 +1,36 @@
-type t = { mutable enabled : bool; mutable entries : (float * string) list }
+(* Entries are guarded by a mutex so traces owned by per-trial
+   simulations can be recorded to from worker domains of a parallel
+   sweep.  The lock is uncontended (each trial owns its trace), so the
+   sequential cost is a few nanoseconds per entry. *)
 
-let create ?(enabled = true) () = { enabled; entries = [] }
+type t = {
+  mutable enabled : bool;
+  mutable entries : (float * string) list;
+  m : Mutex.t;
+}
+
+let create ?(enabled = true) () = { enabled; entries = []; m = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 
 let enabled t = t.enabled
 
-let set_enabled t flag = t.enabled <- flag
+let set_enabled t flag = locked t (fun () -> t.enabled <- flag)
 
 let record t ~time fmt =
   Format.kasprintf
-    (fun s -> if t.enabled then t.entries <- (time, s) :: t.entries)
+    (fun s ->
+      locked t (fun () ->
+          if t.enabled then t.entries <- (time, s) :: t.entries))
     fmt
 
-let entries t = List.rev t.entries
+let entries t = List.rev (locked t (fun () -> t.entries))
 
-let length t = List.length t.entries
+let length t = locked t (fun () -> List.length t.entries)
 
-let clear t = t.entries <- []
+let clear t = locked t (fun () -> t.entries <- [])
 
 let pp ppf t =
   List.iter (fun (time, s) -> Fmt.pf ppf "[%10.3f] %s@." time s) (entries t)

@@ -1,7 +1,14 @@
 (** Lightweight event traces for debugging and assertions in tests.
 
     A trace records timestamped strings; recording is O(1) per entry and
-    disabled traces cost nothing. *)
+    disabled traces cost nothing.
+
+    Traces are domain-safe: all entry mutation is mutex-guarded, so the
+    per-trial traces of a parallel sweep may be recorded to from worker
+    domains.  Entries of one trace recorded from {e multiple} domains
+    concurrently appear in lock-acquisition order, which is not
+    deterministic — for reproducible traces keep one trace per trial
+    (the pattern everywhere in this repository) and merge afterwards. *)
 
 type t
 

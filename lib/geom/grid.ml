@@ -5,6 +5,8 @@ type t = {
   keys : (int * int) array;  (* current cell of each node *)
 }
 
+let default_brute_cutoff = 200
+
 (* Pad probe squares so that candidates sitting within the exact
    predicates' float tolerances (relative 1e-9 on powers in the radio
    model, plus ulp-level rounding of the power<->distance round trip)

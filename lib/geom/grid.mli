@@ -33,6 +33,16 @@
 
 type t
 
+(** Node count below which a brute-force O(n²) scan beats building and
+    probing the index: at the paper's density a 3x3 probe block covers
+    most of a small field, so the grid only re-examines almost everything
+    with extra indirection.  Calibrated from [bench_out/perf.json]
+    (crossovers between n = 125 and n = 170 for G_R, Yao and
+    interference coverage in this container).  Grid-backed callers with
+    a [?cutoff] parameter default to this value and fall back to their
+    bit-identical brute kernels below it. *)
+val default_brute_cutoff : int
+
 (** [create ~range positions] indexes [positions] (copied) with cell
     side [range].
     @raise Invalid_argument when [range <= 0.] or not finite. *)

@@ -1,0 +1,22 @@
+(* Explicit loops (not [Array.init]) because the evaluation order of
+   [Array.init]'s calls is unspecified, and stream [i] must be the [i]-th
+   draw from the parent for the split to be schedule-independent. *)
+
+let split_n prng n =
+  if n < 0 then invalid_arg "Seeds.split_n: negative count";
+  if n = 0 then [||]
+  else begin
+    let streams = Array.make n prng in
+    for i = 0 to n - 1 do
+      streams.(i) <- Prng.split prng
+    done;
+    streams
+  end
+
+let ints prng n =
+  if n < 0 then invalid_arg "Seeds.ints: negative count";
+  let seeds = Array.make n 0 in
+  for i = 0 to n - 1 do
+    seeds.(i) <- Int64.to_int (Prng.bits64 prng) land max_int
+  done;
+  seeds

@@ -1,0 +1,21 @@
+(** Pre-split PRNG streams for parallel tasks.
+
+    The reproducibility contract of this repository is that every result
+    is a pure function of integer seeds.  Handing one shared [Prng.t] to
+    concurrently running tasks would break that (stream consumption order
+    would depend on scheduling) — and is a data race besides.  Instead,
+    split the parent generator into one independent splitmix64 stream per
+    task {e before} dispatch, in task-index order: stream [i] then
+    depends only on the parent's state and [i], never on which domain
+    runs the task or when.  Results are bit-identical for every pool
+    size and task interleaving. *)
+
+(** [split_n prng n] advances [prng] [n] times and returns [n]
+    independent generators; element [i] is the [i]-th split.
+    @raise Invalid_argument when [n < 0]. *)
+val split_n : Prng.t -> int -> Prng.t array
+
+(** [ints prng n] is [n] non-negative integer seeds drawn from [prng],
+    for workloads keyed on integer seeds rather than generators.
+    @raise Invalid_argument when [n < 0]. *)
+val ints : Prng.t -> int -> int array

@@ -42,3 +42,27 @@ Malformed stress scenario flags are rejected before any simulation runs.
   Usage: cbtc stress [OPTION]…
   Try 'cbtc stress --help' or 'cbtc --help' for more information.
   [124]
+
+Malformed -j / --jobs values are rejected the same way (also reachable
+via the CBTC_JOBS environment variable).
+
+  $ cbtc_cli stress -j 0
+  cbtc: option '-j': jobs must be in [1, 1024] (got 0)
+  Usage: cbtc stress [OPTION]…
+  Try 'cbtc stress --help' or 'cbtc --help' for more information.
+  [124]
+  $ cbtc_cli stress -j oops
+  cbtc: option '-j': jobs must be an integer (got "oops")
+  Usage: cbtc stress [OPTION]…
+  Try 'cbtc stress --help' or 'cbtc --help' for more information.
+  [124]
+  $ cbtc_cli sweep -j 2048
+  cbtc: option '-j': jobs must be in [1, 1024] (got 2048)
+  Usage: cbtc sweep [OPTION]…
+  Try 'cbtc sweep --help' or 'cbtc --help' for more information.
+  [124]
+  $ CBTC_JOBS=nope cbtc_cli sweep --count 1
+  cbtc: environment variable 'CBTC_JOBS': jobs must be an integer (got "nope")
+  Usage: cbtc sweep [OPTION]…
+  Try 'cbtc sweep --help' or 'cbtc --help' for more information.
+  [124]

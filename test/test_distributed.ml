@@ -85,7 +85,11 @@ let test_lossy_channel_still_preserves_connectivity () =
       let pl, positions = scenario ~n:50 ~seed in
       let config = Cbtc.Config.make ~growth alpha56 in
       let outcome =
-        Cbtc.Distributed.run ~channel ~hello_repeats:3 ~seed config pl positions
+        (* one fresh channel state per trial: burst/chain state must not
+           leak across seeds (Channel.copy shares only the config) *)
+        Cbtc.Distributed.run
+          ~channel:(Dsim.Channel.copy channel)
+          ~hello_repeats:3 ~seed config pl positions
       in
       Cbtc.Discovery.check_invariants outcome.Cbtc.Distributed.discovery;
       let gr = Cbtc.Geo.max_power_graph pl positions in

@@ -204,12 +204,15 @@ let prop_discovery_identical =
       discovery_eq (Cbtc.Geo.run config pl positions)
         (Cbtc.Geo.Brute.run config pl positions))
 
+(* ~cutoff:0 forces the grid kernel: without it the adaptive dispatch
+   would pick the brute kernel for these small generated inputs and the
+   comparison would be brute vs brute *)
 let prop_max_power_graph_identical =
   QCheck.Test.make ~count:100 ~name:"Geo.max_power_graph: grid = brute"
     (QCheck.make positions_gen)
     (fun positions ->
       Graphkit.Ugraph.equal
-        (Cbtc.Geo.max_power_graph pl positions)
+        (Cbtc.Geo.max_power_graph ~cutoff:0 pl positions)
         (Cbtc.Geo.Brute.max_power_graph pl positions))
 
 let prop_proximity_identical =
@@ -218,7 +221,7 @@ let prop_proximity_identical =
     (QCheck.make QCheck.Gen.(pair positions_gen (int_range 1 8)))
     (fun (positions, k) ->
       Graphkit.Ugraph.equal
-        (Baselines.Proximity.max_power pl positions)
+        (Baselines.Proximity.max_power ~cutoff:0 pl positions)
         (Baselines.Proximity.Brute.max_power pl positions)
       && Graphkit.Ugraph.equal
            (Baselines.Proximity.rng pl positions)
@@ -235,8 +238,30 @@ let prop_yao_identical =
     (QCheck.make QCheck.Gen.(pair positions_gen (int_range 3 9)))
     (fun (positions, k) ->
       Graphkit.Ugraph.equal
-        (Baselines.Yao.yao pl positions ~k)
+        (Baselines.Yao.yao ~cutoff:0 pl positions ~k)
         (Baselines.Yao.Brute.yao pl positions ~k))
+
+(* the adaptive dispatch itself: whatever kernel the default cutoff
+   picks must equal the forced-grid result *)
+let prop_cutoff_dispatch_identical =
+  QCheck.Test.make ~count:50
+    ~name:"adaptive cutoff: default dispatch = forced grid"
+    (QCheck.make QCheck.Gen.(pair positions_gen (int_range 3 9)))
+    (fun (positions, k) ->
+      let radius =
+        Array.map (fun _ -> Radio.Pathloss.max_range pl) positions
+      in
+      Graphkit.Ugraph.equal
+        (Cbtc.Geo.max_power_graph pl positions)
+        (Cbtc.Geo.max_power_graph ~cutoff:0 pl positions)
+      && Graphkit.Ugraph.equal
+           (Baselines.Proximity.max_power pl positions)
+           (Baselines.Proximity.max_power ~cutoff:0 pl positions)
+      && Graphkit.Ugraph.equal
+           (Baselines.Yao.yao pl positions ~k)
+           (Baselines.Yao.yao ~cutoff:0 pl positions ~k)
+      && Metrics.Interference.coverage positions ~radius
+         = Metrics.Interference.coverage ~cutoff:0 positions ~radius)
 
 let prop_interference_identical =
   QCheck.Test.make ~count:100 ~name:"Interference.coverage: grid = brute"
@@ -247,7 +272,7 @@ let prop_interference_identical =
         Array.init n (fun u ->
             if u mod 3 = 0 then 0. else Stdlib.float_of_int r100 /. 2.)
       in
-      let i = Metrics.Interference.coverage positions ~radius in
+      let i = Metrics.Interference.coverage ~cutoff:0 positions ~radius in
       let expected_total = ref 0 in
       let expected_max = ref 0 in
       for u = 0 to n - 1 do
@@ -340,6 +365,7 @@ let () =
             prop_proximity_identical;
             prop_yao_identical;
             prop_interference_identical;
+            prop_cutoff_dispatch_identical;
             prop_bcast_audience;
           ] );
     ]
