@@ -11,9 +11,15 @@
    microbenchmarks of the computational kernels, and a spatial-grid vs
    brute-force scaling comparison (writes <out>/perf.json).
 
-   Usage: main.exe [--seeds N] [--fast] [--out DIR] [-j N] [section ...]
+   Usage: main.exe [--seeds N] [--fast] [--out DIR] [-j N]
+                   [--trace-out FILE] [--metrics-out FILE] [section ...]
    Sections: table1 figures figure6 connectivity ablations extensions
    series perf parallel (default: all of them).
+
+   [--trace-out] / [--metrics-out] enable the observability layer with a
+   wall clock (this is a timing harness, so spans carry durations and the
+   domain pool records task latencies); each section runs in its own
+   span, and table1 merges per-trial recorders in seed order.
 
    [-j N] (or CBTC_JOBS) sizes the domain pool used for the Monte-Carlo
    trial loops and the chunked per-node phases; results are
@@ -38,7 +44,7 @@ type table1_row = {
   label : string;
   paper_degree : float option;
   paper_radius : float option;
-  run : Radio.Pathloss.t -> Geom.Vec2.t array -> float * float;
+  run : Obs.Recorder.t -> Radio.Pathloss.t -> Geom.Vec2.t array -> float * float;
       (* (degree, radius) for one network *)
 }
 
@@ -48,8 +54,8 @@ let pipeline_row label paper_degree paper_radius plan =
     paper_degree;
     paper_radius;
     run =
-      (fun pl positions ->
-        let r = Cbtc.Pipeline.run_oracle pl positions plan in
+      (fun obs pl positions ->
+        let r = Cbtc.Pipeline.run_oracle ~obs pl positions plan in
         (Cbtc.Pipeline.avg_degree r, Cbtc.Pipeline.avg_radius r));
   }
 
@@ -75,7 +81,7 @@ let table1_rows =
       paper_degree = Some 25.6;
       paper_radius = Some 500.;
       run =
-        (fun pl positions ->
+        (fun _obs pl positions ->
           let gr = Baselines.Proximity.max_power pl positions in
           (Metrics.Topo_metrics.avg_degree gr, Radio.Pathloss.max_range pl));
     };
@@ -88,14 +94,14 @@ let fmt_opt = function None -> "-" | Some v -> Fmt.str "%.1f" v
    order-preserving [Parallel.Pool.map]; the Welford accumulators are
    then folded sequentially in seed order, which keeps every printed
    digit identical for any [-j]. *)
-let table1_trial seed =
+let table1_trial ?(obs = Obs.Recorder.nil) seed =
   let sc = Workload.Scenario.paper ~seed in
   let pl = Workload.Scenario.pathloss sc in
   let positions = Workload.Scenario.positions sc in
   let gr = Baselines.Proximity.max_power pl positions in
-  let vals = List.map (fun row -> row.run pl positions) table1_rows in
+  let vals = List.map (fun row -> row.run obs pl positions) table1_rows in
   let all56 =
-    Cbtc.Pipeline.run_oracle pl positions (Cbtc.Pipeline.all_ops c56)
+    Cbtc.Pipeline.run_oracle ~obs pl positions (Cbtc.Pipeline.all_ops c56)
   in
   let broken =
     not
@@ -103,7 +109,7 @@ let table1_trial seed =
   in
   (vals, broken)
 
-let run_table1 ~pool ~seeds =
+let run_table1 ~pool ~obs ~seeds =
   section
     (Fmt.str
        "Table 1: average degree and radius over %d random networks (100 \
@@ -115,9 +121,22 @@ let run_table1 ~pool ~seeds =
       table1_rows
   in
   let broken = ref 0 in
-  let trials = Parallel.Pool.map pool table1_trial (Array.of_list seeds) in
+  (* trials record into per-trial clockless recorders (worker domains
+     never touch [obs]); the sequential fold below merges them in seed
+     order, so merged counters are identical for every -j *)
+  let recording = Obs.Recorder.enabled obs in
+  let trial seed =
+    let tobs = if recording then Obs.Recorder.create () else Obs.Recorder.nil in
+    let vals, b = table1_trial ~obs:tobs seed in
+    (vals, b, tobs)
+  in
+  let trials = Parallel.Pool.map pool trial (Array.of_list seeds) in
   Array.iter
-    (fun (vals, b) ->
+    (fun (vals, b, tobs) ->
+      if recording then begin
+        Obs.Recorder.incr obs "table1.trials";
+        Obs.Recorder.merge_into ~into:obs tobs
+      end;
       List.iter2
         (fun (_, dacc, racc) (deg, rad) ->
           Stats.Welford.add dacc deg;
@@ -958,7 +977,7 @@ let run_parallel_bench ~fast ~out_dir =
   let sweep_digest pool =
     let buf = Buffer.create 4096 in
     let trials =
-      Parallel.Pool.map pool table1_trial (Array.of_list trial_seeds)
+      Parallel.Pool.map pool (fun s -> table1_trial s) (Array.of_list trial_seeds)
     in
     Array.iter
       (fun (vals, broken) ->
@@ -1104,6 +1123,8 @@ let () =
   let out_dir = ref "bench_out" in
   let fast = ref false in
   let jobs = ref None in
+  let trace_out = ref None in
+  let metrics_out = ref None in
   let sections = ref [] in
   let rec parse = function
     | [] -> ()
@@ -1116,6 +1137,15 @@ let () =
           exit 2);
         out_dir := v;
         parse rest
+    | "--trace-out" :: v :: rest when String.trim v <> "" ->
+        trace_out := Some v;
+        parse rest
+    | "--metrics-out" :: v :: rest when String.trim v <> "" ->
+        metrics_out := Some v;
+        parse rest
+    | ("--trace-out" | "--metrics-out") :: _ ->
+        Fmt.epr "main.exe: --trace-out/--metrics-out require a file path@.";
+        exit 2
     | ("-j" | "--jobs") :: v :: rest ->
         (match int_of_string_opt v with
         | Some j when j >= 1 && j <= 1024 -> jobs := Some j
@@ -1146,24 +1176,69 @@ let () =
   let want s = !sections = [] || List.mem s !sections in
   Fmt.pr "CBTC reproduction benchmarks (%d networks per table, -j %d)@."
     !seeds_count jobs;
-  let pool = Parallel.Pool.create ~jobs () in
+  (* Observability sinks open before any benchmark runs, so a bad path
+     fails in milliseconds.  The harness recorder is clocked: this
+     binary exists to measure time, so spans carry durations and the
+     pool records task latencies (at the price of non-reproducible
+     trace bytes — the CLI is the reproducible surface). *)
+  let open_sink = function
+    | None -> None
+    | Some path -> (
+        try Some (open_out path)
+        with Sys_error e ->
+          Fmt.epr "main.exe: cannot open output file: %s@." e;
+          exit 2)
+  in
+  let trace_oc = open_sink !trace_out in
+  let metrics_oc = open_sink !metrics_out in
+  let obs =
+    match (trace_oc, metrics_oc) with
+    | None, None -> Obs.Recorder.nil
+    | _ -> Obs.Recorder.create ~clock:Unix.gettimeofday ()
+  in
+  Obs.Recorder.set_str obs "command" "bench";
+  Obs.Recorder.set_int obs "seeds" !seeds_count;
+  Obs.Recorder.set_int obs "jobs" jobs;
+  Obs.Recorder.set obs "fast" (Obs.Jsonl.Bool !fast);
+  Obs.Recorder.set_str obs "sections"
+    (match !sections with [] -> "all" | l -> String.concat "," (List.rev l));
+  let pool = Parallel.Pool.create ~obs ~jobs () in
+  let sect name f = Obs.Recorder.span obs name f in
   Fun.protect
-    ~finally:(fun () -> Parallel.Pool.shutdown pool)
+    ~finally:(fun () ->
+      Parallel.Pool.shutdown pool;
+      Option.iter
+        (fun oc ->
+          Obs.Recorder.write_trace obs oc;
+          close_out oc)
+        trace_oc;
+      Option.iter
+        (fun oc ->
+          Obs.Recorder.write_summary obs oc;
+          close_out oc)
+        metrics_oc)
     (fun () ->
-      if want "table1" then run_table1 ~pool ~seeds;
-      if want "figures" then run_figures ();
-      if want "figure6" then run_figure6 ~out_dir:!out_dir;
+      if want "table1" then sect "table1" (fun () -> run_table1 ~pool ~obs ~seeds);
+      if want "figures" then sect "figures" run_figures;
+      if want "figure6" then
+        sect "figure6" (fun () -> run_figure6 ~out_dir:!out_dir);
       if want "connectivity" then
-        run_connectivity ~pool
-          ~seeds:
-            (Workload.Scenario.seeds ~base:42
-               ~count:(Stdlib.min 30 !seeds_count));
-      if want "ablations" then run_ablations ~pool ~seeds;
-      if want "extensions" then run_extensions ~seeds;
-      if want "series" then run_series ~pool ~seeds ~out_dir:!out_dir;
-      if want "parallel" then run_parallel_bench ~fast:!fast ~out_dir:!out_dir;
-      if want "perf" then begin
-        run_perf_scaling ~fast:!fast ~out_dir:!out_dir;
-        run_perf ~fast:!fast ()
-      end);
+        sect "connectivity" (fun () ->
+            run_connectivity ~pool
+              ~seeds:
+                (Workload.Scenario.seeds ~base:42
+                   ~count:(Stdlib.min 30 !seeds_count)));
+      if want "ablations" then
+        sect "ablations" (fun () -> run_ablations ~pool ~seeds);
+      if want "extensions" then
+        sect "extensions" (fun () -> run_extensions ~seeds);
+      if want "series" then
+        sect "series" (fun () -> run_series ~pool ~seeds ~out_dir:!out_dir);
+      if want "parallel" then
+        sect "parallel" (fun () ->
+            run_parallel_bench ~fast:!fast ~out_dir:!out_dir);
+      if want "perf" then
+        sect "perf" (fun () ->
+            run_perf_scaling ~fast:!fast ~out_dir:!out_dir;
+            run_perf ~fast:!fast ()));
   Fmt.pr "@.done.@."

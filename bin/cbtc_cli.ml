@@ -17,7 +17,27 @@ let seed =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
 let nodes =
-  Arg.(value & opt int 100 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Node count.")
+  (* The library tolerates degenerate inputs (n = 0 or 1 run without
+     crashing), but as a CLI request they are almost certainly typos, so
+     reject them with a clear message instead of printing NaN-free but
+     meaningless tables. *)
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 2 -> Ok n
+    | Some n ->
+        Error
+          (`Msg
+            (Fmt.str
+               "node count must be at least 2 (got %d); a %s-node network \
+                has no topology to control"
+               n
+               (if n = 1 then "one" else string_of_int n)))
+    | None -> Error (`Msg (Fmt.str "node count must be an integer (got %S)" s))
+  in
+  Arg.(
+    value
+    & opt (conv (parse, Fmt.int)) 100
+    & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Node count (at least 2).")
 
 let side =
   Arg.(
@@ -75,6 +95,78 @@ let jobs =
           "Worker domains for trial-level parallelism, in [1, 1024] \
            (default: the host's recommended domain count).")
 
+(* --trace-out / --metrics-out: observability sinks, off by default (the
+   recorder stays [nil] and instrumentation costs one branch).  Both are
+   written by a clockless recorder, so for a fixed command line the
+   files are byte-identical across runs and across every -j. *)
+let obs_out =
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a JSON-lines trace (run manifest, then nested span and \
+             point events) to $(docv).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the end-of-run JSON summary (manifest, counters, \
+             histograms) to $(docv).")
+  in
+  Term.(const (fun t m -> (t, m)) $ trace_out $ metrics_out)
+
+(* Sinks are opened before the run so a bad path fails in milliseconds,
+   not after the whole simulation; trace and summary are still flushed
+   when the run raises. *)
+let with_obs ~manifest (trace_out, metrics_out) f =
+  match (trace_out, metrics_out) with
+  | None, None -> f Obs.Recorder.nil
+  | _ ->
+      let open_sink path =
+        try open_out path
+        with Sys_error e ->
+          Fmt.epr "cbtc: cannot open output file: %s@." e;
+          exit 3
+      in
+      let trace = Option.map open_sink trace_out in
+      let metrics = Option.map open_sink metrics_out in
+      let obs = Obs.Recorder.create () in
+      List.iter (fun (k, v) -> Obs.Recorder.set obs k v) manifest;
+      Fun.protect
+        ~finally:(fun () ->
+          Option.iter
+            (fun oc ->
+              Obs.Recorder.write_trace obs oc;
+              close_out oc)
+            trace;
+          Option.iter
+            (fun oc ->
+              Obs.Recorder.write_summary obs oc;
+              close_out oc)
+            metrics)
+        (fun () -> f obs)
+
+let manifest_of ~command ~n ~side ~range ~seed ?alpha extra =
+  [
+    ("command", Obs.Jsonl.Str command);
+    ("seed", Obs.Jsonl.Int seed);
+    ("n", Obs.Jsonl.Int n);
+    ("side", Obs.Jsonl.Float side);
+    ("range", Obs.Jsonl.Float range);
+  ]
+  @ (match alpha with
+    | None -> []
+    | Some a -> [ ("alpha", Obs.Jsonl.Float a) ])
+  @ extra
+
+let jobs_field jobs =
+  ("jobs", match jobs with None -> Obs.Jsonl.Null | Some j -> Obs.Jsonl.Int j)
+
 let scenario_of ~n ~side ~range ~seed =
   Workload.Scenario.make ~n ~width:side ~height:side ~max_range:range ~seed ()
 
@@ -86,12 +178,17 @@ let plan_of config = function
 (* ---------- run ---------- *)
 
 let run_cmd =
-  let action n side range seed alpha opts =
+  let action n side range seed alpha opts obsout =
+    with_obs obsout
+      ~manifest:
+        (manifest_of ~command:"run" ~n ~side ~range ~seed ~alpha
+           [ ("growth", Obs.Jsonl.Str "exact") ])
+    @@ fun obs ->
     let sc = scenario_of ~n ~side ~range ~seed in
     let pl = Workload.Scenario.pathloss sc in
     let positions = Workload.Scenario.positions sc in
     let config = Cbtc.Config.make alpha in
-    let r = Cbtc.Pipeline.run_oracle pl positions (plan_of config opts) in
+    let r = Cbtc.Pipeline.run_oracle ~obs pl positions (plan_of config opts) in
     let gr = Baselines.Proximity.max_power pl positions in
     Fmt.pr "scenario: %a@." Workload.Scenario.pp sc;
     Fmt.pr "config:   %a@." Cbtc.Config.pp config;
@@ -107,7 +204,8 @@ let run_cmd =
       (Metrics.Connectivity.preserves ~reference:gr r.Cbtc.Pipeline.graph)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one CBTC configuration and print metrics.")
-    Term.(const action $ nodes $ side $ range $ seed $ alpha $ opts_flag)
+    Term.(
+      const action $ nodes $ side $ range $ seed $ alpha $ opts_flag $ obs_out)
 
 (* ---------- sweep ---------- *)
 
@@ -117,7 +215,14 @@ let sweep_cmd =
       value & opt int 20
       & info [ "count" ] ~docv:"K" ~doc:"Number of random networks.")
   in
-  let action n side range seed count opts jobs =
+  let action n side range seed count opts jobs obsout =
+    with_obs obsout
+      ~manifest:
+        (manifest_of ~command:"sweep" ~n ~side ~range ~seed
+           [ ("count", Obs.Jsonl.Int count); ("growth", Obs.Jsonl.Str "exact");
+             jobs_field jobs ])
+    @@ fun obs ->
+    let recording = Obs.Recorder.enabled obs in
     let table =
       Metrics.Table.create
         ~columns:[ "alpha"; "avg degree"; "avg radius"; "preserved" ]
@@ -133,25 +238,37 @@ let sweep_cmd =
           (fun (name, alpha) ->
             let config = Cbtc.Config.make alpha in
             (* one task per network; the Welford fold below runs in seed
-               order, so the table is byte-identical for every -j *)
+               order, so the table is byte-identical for every -j.  Each
+               trial records into its own single-domain recorder; the
+               recorders are merged in that same seed order, so the
+               trace and metrics are -j-independent too. *)
             let trial seed =
+              let tobs =
+                if recording then Obs.Recorder.create () else Obs.Recorder.nil
+              in
               let sc = scenario_of ~n ~side ~range ~seed in
               let pl = Workload.Scenario.pathloss sc in
               let positions = Workload.Scenario.positions sc in
               let r =
-                Cbtc.Pipeline.run_oracle pl positions (plan_of config opts)
+                Cbtc.Pipeline.run_oracle ~obs:tobs pl positions
+                  (plan_of config opts)
               in
               ( Cbtc.Pipeline.avg_degree r,
                 Cbtc.Pipeline.avg_radius r,
                 Metrics.Connectivity.preserves
                   ~reference:(Baselines.Proximity.max_power pl positions)
-                  r.Cbtc.Pipeline.graph )
+                  r.Cbtc.Pipeline.graph,
+                tobs )
             in
             let dacc = Stats.Welford.create () in
             let racc = Stats.Welford.create () in
             let ok = ref 0 in
             Array.iter
-              (fun (deg, rad, preserved) ->
+              (fun (deg, rad, preserved, tobs) ->
+                if recording then begin
+                  Obs.Recorder.incr obs "sweep.trials";
+                  Obs.Recorder.merge_into ~into:obs tobs
+                end;
                 Stats.Welford.add dacc deg;
                 Stats.Welford.add racc rad;
                 if preserved then incr ok)
@@ -167,7 +284,9 @@ let sweep_cmd =
     Fmt.pr "%a" Metrics.Table.pp table
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Sweep alpha over a seed set.")
-    Term.(const action $ nodes $ side $ range $ seed $ count $ opts_flag $ jobs)
+    Term.(
+      const action $ nodes $ side $ range $ seed $ count $ opts_flag $ jobs
+      $ obs_out)
 
 (* ---------- topology ---------- *)
 
@@ -238,14 +357,21 @@ let protocol_cmd =
       value & opt int 1
       & info [ "repeats" ] ~docv:"K" ~doc:"Hello repeats per power step.")
   in
-  let action n side range seed alpha loss repeats =
+  let action n side range seed alpha loss repeats obsout =
+    with_obs obsout
+      ~manifest:
+        (manifest_of ~command:"protocol" ~n ~side ~range ~seed ~alpha
+           [ ("growth", Obs.Jsonl.Str "double");
+             ("loss", Obs.Jsonl.Float loss);
+             ("hello_repeats", Obs.Jsonl.Int repeats) ])
+    @@ fun obs ->
     let sc = scenario_of ~n ~side ~range ~seed in
     let pl = Workload.Scenario.pathloss sc in
     let positions = Workload.Scenario.positions sc in
     let config = Cbtc.Config.make ~growth:(Cbtc.Config.Double 100.) alpha in
     let channel = Dsim.Channel.make ~loss () in
     let o =
-      Cbtc.Distributed.run ~channel ~hello_repeats:repeats ~seed config pl
+      Cbtc.Distributed.run ~obs ~channel ~hello_repeats:repeats ~seed config pl
         positions
     in
     let s = o.Cbtc.Distributed.stats in
@@ -264,7 +390,9 @@ let protocol_cmd =
   Cmd.v
     (Cmd.info "protocol"
        ~doc:"Run the distributed protocol over the simulated radio.")
-    Term.(const action $ nodes $ side $ range $ seed $ alpha $ loss $ repeats)
+    Term.(
+      const action $ nodes $ side $ range $ seed $ alpha $ loss $ repeats
+      $ obs_out)
 
 (* ---------- stress ---------- *)
 
@@ -386,12 +514,19 @@ let stress_cmd =
          s.Cbtc.Distributed.duration)
   in
   let action n side range seed alpha losses crashes burstiness recover_after
-      out jobs =
+      out jobs obsout =
+    with_obs obsout
+      ~manifest:
+        (manifest_of ~command:"stress" ~n ~side ~range ~seed ~alpha
+           [ ("growth", Obs.Jsonl.Str "double");
+             ("burstiness", Obs.Jsonl.Float burstiness); jobs_field jobs ])
+    @@ fun obs ->
+    let recording = Obs.Recorder.enabled obs in
     let sc = scenario_of ~n ~side ~range ~seed in
     let pl = Workload.Scenario.pathloss sc in
     let positions = Workload.Scenario.positions sc in
     let config = Cbtc.Config.make ~growth:(Cbtc.Config.Double 100.) alpha in
-    let baseline = Cbtc.Distributed.run ~seed config pl positions in
+    let baseline = Cbtc.Distributed.run ~obs ~seed config pl positions in
     let t_conv = baseline.Cbtc.Distributed.stats.Cbtc.Distributed.duration in
     let table =
       Metrics.Table.create
@@ -427,6 +562,9 @@ let stress_cmd =
            crashes)
     in
     let run_cell (ci, li, crash, mean_loss) =
+      let tobs =
+        if recording then Obs.Recorder.create () else Obs.Recorder.nil
+      in
       let channel = Dsim.Channel.copy templates.(li) in
       let plan =
         if crash <= 0. then Faults.Plan.empty
@@ -438,7 +576,7 @@ let stress_cmd =
             ?recover_after ()
       in
       let o =
-        Cbtc.Distributed.run ~channel ~seed
+        Cbtc.Distributed.run ~obs:tobs ~channel ~seed
           ~reliability:Cbtc.Distributed.hardened ~faults:plan config pl
           positions
       in
@@ -451,7 +589,7 @@ let stress_cmd =
         | () -> (true, None)
         | exception Failure e -> (false, Some e)
       in
-      (crash, mean_loss, o, deg, verified, verify_error)
+      (crash, mean_loss, o, deg, verified, verify_error, tobs)
     in
     let results =
       Parallel.Pool.with_pool ?jobs (fun pool ->
@@ -459,8 +597,14 @@ let stress_cmd =
     in
     let first = ref true in
     let failed = ref 0 in
+    (* cells fold back in the same crashes-outer/losses-inner order as
+       the JSON, so merged cell recorders are -j-independent too *)
     Array.iter
-      (fun (crash, mean_loss, o, deg, verified, verify_error) ->
+      (fun (crash, mean_loss, o, deg, verified, verify_error, tobs) ->
+        if recording then begin
+          Obs.Recorder.incr obs "stress.cells";
+          Obs.Recorder.merge_into ~into:obs tobs
+        end;
         Metrics.Table.add_row table
           [
             Fmt.str "%.2f" mean_loss;
@@ -500,7 +644,7 @@ let stress_cmd =
           non-zero if any scenario fails post-fault verification.")
     Term.(
       const action $ nodes $ side $ range $ seed $ alpha $ losses $ crashes
-      $ burstiness $ recover_after $ out $ jobs)
+      $ burstiness $ recover_after $ out $ jobs $ obs_out)
 
 (* ---------- theory ---------- *)
 

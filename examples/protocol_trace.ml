@@ -19,7 +19,7 @@ let () =
   let trace = Dsim.Trace.create () in
   let net =
     Airnet.Net.create ~sim ~pathloss ~channel:Dsim.Channel.reliable
-      ~prng:(Prng.create ~seed:1) ~positions
+      ~prng:(Prng.create ~seed:1) ~positions ()
   in
   (* Hand-rolled two-round protocol so every message is visible: each
      node broadcasts Hello at two growing powers; receivers Ack. *)

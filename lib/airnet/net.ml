@@ -34,9 +34,10 @@ type 'msg t = {
   mutable fault_hooks : (fault -> unit) list;
   mutable transmissions : int;
   mutable deliveries : int;
+  obs : Obs.Recorder.t;
 }
 
-let create ~sim ~pathloss ~channel ~prng ~positions =
+let create ?(obs = Obs.Recorder.nil) ~sim ~pathloss ~channel ~prng ~positions () =
   let n = Array.length positions in
   {
     sim;
@@ -55,6 +56,7 @@ let create ~sim ~pathloss ~channel ~prng ~positions =
     fault_hooks = [];
     transmissions = 0;
     deliveries = 0;
+    obs;
   }
 
 let nb_nodes t = Array.length t.positions
@@ -92,6 +94,7 @@ let crash t u =
   check t u;
   if t.alive.(u) then begin
     t.alive.(u) <- false;
+    Obs.Recorder.incr t.obs "net.crashes";
     fire_fault t (Crashed u)
   end
 
@@ -99,6 +102,7 @@ let recover t u =
   check t u;
   if not t.alive.(u) then begin
     t.alive.(u) <- true;
+    Obs.Recorder.incr t.obs "net.recoveries";
     fire_fault t (Recovered u)
   end
 
@@ -131,6 +135,7 @@ let drops t = Array.fold_left ( + ) 0 t.drops
 
 let note_retransmit t u =
   check t u;
+  Obs.Recorder.incr t.obs "net.retransmissions";
   t.retransmits.(u) <- t.retransmits.(u) + 1
 
 let retransmits_at t u =
@@ -152,10 +157,13 @@ let check_power t power =
    at transmission time (geometry when the wave leaves the antenna).  A
    logical delivery counts as a drop when the per-link loss eats it, the
    channel drops every copy, or the receiver is dead at reception time. *)
+let drop t dst =
+  t.drops.(dst) <- t.drops.(dst) + 1;
+  Obs.Recorder.incr t.obs "net.drops"
+
 let deliver_to t ~src ~dst ~power payload =
   let extra_loss = link_loss t ~src ~dst in
-  if extra_loss > 0. && Prng.bool t.prng ~p:extra_loss then
-    t.drops.(dst) <- t.drops.(dst) + 1
+  if extra_loss > 0. && Prng.bool t.prng ~p:extra_loss then drop t dst
   else begin
     let dist = distance t src dst in
     let rx_power = Radio.Pathloss.rx_power t.pathloss ~tx_power:power ~dist in
@@ -168,17 +176,19 @@ let deliver_to t ~src ~dst ~power payload =
         | None -> ()
         | Some h ->
             t.deliveries <- t.deliveries + 1;
+            Obs.Recorder.incr t.obs "net.deliveries";
             h { dst; src; tx_power = power; rx_power; rx_dir; payload }
-      else t.drops.(dst) <- t.drops.(dst) + 1
+      else drop t dst
     in
     let copies =
       Dsim.Channel.deliver t.channel ~link:(src, dst) t.sim t.prng event
     in
-    if copies = 0 then t.drops.(dst) <- t.drops.(dst) + 1
+    if copies = 0 then drop t dst
   end
 
 let radiate t ~src ~power =
   t.transmissions <- t.transmissions + 1;
+  Obs.Recorder.incr t.obs "net.transmissions";
   t.energy.(src) <- t.energy.(src) +. power
 
 (* The spatial index prefilters receivers; the exact [reaches] test below

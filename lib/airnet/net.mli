@@ -34,14 +34,20 @@ type 'msg recv = {
 
 type 'msg handler = 'msg recv -> unit
 
-(** [create ~sim ~pathloss ~channel ~prng ~positions] builds a network of
-    [Array.length positions] nodes, all alive, with no handlers. *)
+(** [create ?obs ~sim ~pathloss ~channel ~prng ~positions ()] builds a
+    network of [Array.length positions] nodes, all alive, with no
+    handlers.  When [obs] is given, the network bumps the
+    [net.transmissions] / [net.deliveries] / [net.drops] /
+    [net.retransmissions] / [net.crashes] / [net.recoveries] counters as
+    traffic flows. *)
 val create :
+  ?obs:Obs.Recorder.t ->
   sim:Dsim.Sim.t ->
   pathloss:Radio.Pathloss.t ->
   channel:Dsim.Channel.t ->
   prng:Prng.t ->
   positions:Geom.Vec2.t array ->
+  unit ->
   'msg t
 
 val nb_nodes : 'msg t -> int

@@ -22,15 +22,22 @@ let example_2_1 ?(r = 500.) ~alpha () =
     || alpha > Geom.Angle.five_pi_six +. 1e-12
   then
     invalid_arg "Constructions.example_2_1: needs 2pi/3 < alpha <= 5pi/6";
-  (* eps = alpha/2 - pi/3, so that angle(v, u0, u1) = pi/3 + eps = alpha/2. *)
+  (* eps = alpha/2 - pi/3, so that angle(v, u0, u1) = pi/3 + eps would sit
+     exactly on the alpha/2 boundary.  Exactly on it, u0's gap facing v
+     equals alpha — which correctly counts as a gap (Theorem 2.1), so u0
+     would keep growing and discover v, destroying the example.  The
+     example only needs strict inequalities, so place u1, u2 at
+     pi/3 + 7eps/8, strictly inside the boundary; every distance claim
+     (d(u0,u1) < R, d(u1,v) > R) stays strict. *)
   let epsilon = (alpha /. 2.) -. Geom.Angle.pi_three in
+  let eps_in = epsilon *. 7. /. 8. in
   let u0 = Geom.Vec2.zero in
   let v = Geom.Vec2.make r 0. in
-  (* Triangle u0-v-u1: angles pi/3+eps at u0, pi/3-eps at v, pi/3 at u1;
-     law of sines gives d(u0,u1) = R sin(pi/3-eps)/sin(pi/3) < R. *)
-  let d_u1 = r *. sin (Geom.Angle.pi_three -. epsilon) /. sin Geom.Angle.pi_three in
-  let u1 = Geom.Vec2.of_polar ~r:d_u1 ~theta:(Geom.Angle.pi_three +. epsilon) in
-  let u2 = Geom.Vec2.of_polar ~r:d_u1 ~theta:(-.(Geom.Angle.pi_three +. epsilon)) in
+  (* Triangle u0-v-u1: angles pi/3+eps_in at u0, pi/3-eps_in at v, pi/3 at
+     u1; law of sines gives d(u0,u1) = R sin(pi/3-eps_in)/sin(pi/3) < R. *)
+  let d_u1 = r *. sin (Geom.Angle.pi_three -. eps_in) /. sin Geom.Angle.pi_three in
+  let u1 = Geom.Vec2.of_polar ~r:d_u1 ~theta:(Geom.Angle.pi_three +. eps_in) in
+  let u2 = Geom.Vec2.of_polar ~r:d_u1 ~theta:(-.(Geom.Angle.pi_three +. eps_in)) in
   let u3 = Geom.Vec2.make (-.r /. 2.) 0. in
   { positions = [| u0; u1; u2; u3; v |]; alpha; epsilon; max_range = r }
 
@@ -73,7 +80,14 @@ let theorem_2_4 ?(r = 500.) ~epsilon () =
   (* d(u0,u1) small enough that d(u3, v1) > R; delta/4 suffices. *)
   let h = delta /. 4. in
   let u1 = Geom.Vec2.make 0. h in
-  let u2 = Geom.Vec2.of_polar ~r:(r /. 2.) ~theta:((Float.pi /. 2.) +. alpha) in
+  (* u2 at exactly pi/2 + alpha would leave u0 a gap of exactly alpha
+     between u1 and u2, which counts as a gap and would make u0 grow all
+     the way to v0; pull it in by eps/4 so the gap is strictly below
+     alpha while angle(u2,u0,u3) = pi/3 - 5eps/4 stays positive. *)
+  let u2 =
+    Geom.Vec2.of_polar ~r:(r /. 2.)
+      ~theta:((Float.pi /. 2.) +. alpha -. (epsilon /. 4.))
+  in
   (* The v-cluster is the u-cluster reflected through the midpoint of
      u0 v0 (central symmetry). *)
   let mirror (p : Geom.Vec2.t) = Geom.Vec2.make (r -. p.Geom.Vec2.x) (-.p.Geom.Vec2.y) in

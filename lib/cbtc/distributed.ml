@@ -77,20 +77,21 @@ let check_reliability r =
     || r.backoff <= 0. || r.backoff_factor < 1.
   then invalid_arg "Distributed.run: bad reliability parameters"
 
-let run ?(channel = Dsim.Channel.reliable) ?(hello_repeats = 1) ?(seed = 1)
-    ?(start_spread = 0.) ?(reliability = legacy) ?(faults = Faults.Plan.empty)
-    config pathloss positions =
+let run ?(obs = Obs.Recorder.nil) ?(channel = Dsim.Channel.reliable)
+    ?(hello_repeats = 1) ?(seed = 1) ?(start_spread = 0.)
+    ?(reliability = legacy) ?(faults = Faults.Plan.empty) config pathloss
+    positions =
   check_growth config;
   if hello_repeats < 1 then invalid_arg "Distributed.run: hello_repeats < 1";
   if start_spread < 0. then invalid_arg "Distributed.run: negative spread";
   check_reliability reliability;
   let alpha = config.Config.alpha in
   let n = Array.length positions in
-  let sim = Dsim.Sim.create () in
+  let sim = Dsim.Sim.create ~obs () in
   let prng = Prng.create ~seed in
   let net =
-    Airnet.Net.create ~sim ~pathloss ~channel ~prng:(Prng.split prng)
-      ~positions
+    Airnet.Net.create ~obs ~sim ~pathloss ~channel ~prng:(Prng.split prng)
+      ~positions ()
   in
   let steps = Config.power_steps config ~pathloss ~link_powers:[] in
   let nodes =
@@ -130,6 +131,7 @@ let run ?(channel = Dsim.Channel.reliable) ?(hello_repeats = 1) ?(seed = 1)
   in
   let has_gap node = Geom.Dirset.has_gap ~alpha (directions node) in
   let hello node =
+    Obs.Recorder.incr obs "msg.hello";
     ignore (Airnet.Net.bcast net ~src:node.id ~power:node.power Hello)
   in
   let rec start_step node =
@@ -142,6 +144,7 @@ let run ?(channel = Dsim.Channel.reliable) ?(hello_repeats = 1) ?(seed = 1)
         node.schedule <- rest;
         node.power <- power;
         node.rounds <- node.rounds + 1;
+        Obs.Recorder.incr obs "protocol.power_steps";
         node.attempt <- 1;
         for i = 0 to hello_repeats - 1 do
           ignore
@@ -247,6 +250,7 @@ let run ?(channel = Dsim.Channel.reliable) ?(hello_repeats = 1) ?(seed = 1)
               ~rx_power:r.rx_power
           in
           me.acked <- IMap.add r.src link_power me.acked;
+          Obs.Recorder.incr obs "msg.ack";
           ignore
             (Airnet.Net.send net ~src:r.dst ~dst:r.src ~power:link_power Ack)
       | Ack ->
@@ -268,6 +272,7 @@ let run ?(channel = Dsim.Channel.reliable) ?(hello_repeats = 1) ?(seed = 1)
             Radio.Pathloss.estimate_link_power pathloss ~tx_power:r.tx_power
               ~rx_power:r.rx_power
           in
+          Obs.Recorder.incr obs "msg.remove_ack";
           ignore
             (Airnet.Net.send net ~src:r.dst ~dst:r.src ~power:link_power
                (RemoveAck seq))
@@ -286,7 +291,7 @@ let run ?(channel = Dsim.Channel.reliable) ?(hello_repeats = 1) ?(seed = 1)
       let delay = if start_spread = 0. then 0. else Prng.float prng start_spread in
       ignore (Dsim.Sim.schedule sim ~delay (fun () -> start_step node)))
     nodes;
-  ignore (Dsim.Sim.run sim);
+  Obs.Recorder.span obs "discovery" (fun () -> ignore (Dsim.Sim.run sim));
   (* Section 3.2 Remove phase: u notifies every node it acked but did not
      select.  Run after global convergence — and only when asymmetric
      edge removal is applicable (alpha <= 2pi/3), since the
@@ -304,6 +309,7 @@ let run ?(channel = Dsim.Channel.reliable) ?(hello_repeats = 1) ?(seed = 1)
     let rec attempt k =
       if (not !delivered) && alive u && alive v then begin
         if k > 1 then Airnet.Net.note_retransmit net u;
+        Obs.Recorder.incr obs "msg.remove";
         ignore (Airnet.Net.send net ~src:u ~dst:v ~power:link_power (Remove id));
         if k < reliability.remove_attempts then
           ignore
@@ -313,18 +319,18 @@ let run ?(channel = Dsim.Channel.reliable) ?(hello_repeats = 1) ?(seed = 1)
     in
     attempt 1
   in
-  if Config.allows_asymmetric_removal config then begin
-    Array.iter
-      (fun node ->
-        if alive node.id then
-          IMap.iter
-            (fun v link_power ->
-              if (not (IMap.mem v node.neighbors)) && alive v then
-                send_remove node.id v link_power)
-            node.acked)
-      nodes;
-    ignore (Dsim.Sim.run sim)
-  end;
+  if Config.allows_asymmetric_removal config then
+    Obs.Recorder.span obs "asym-removal" (fun () ->
+        Array.iter
+          (fun node ->
+            if alive node.id then
+              IMap.iter
+                (fun v link_power ->
+                  if (not (IMap.mem v node.neighbors)) && alive v then
+                    send_remove node.id v link_power)
+                node.acked)
+          nodes;
+        ignore (Dsim.Sim.run sim));
   let alive_arr = Array.init n (fun u -> alive u) in
   (* A crashed node's converged state is unreachable; report it empty. *)
   let neighbors =

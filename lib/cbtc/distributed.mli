@@ -122,6 +122,7 @@ type outcome = {
     malformed ([hello_attempts < 1], [settle_rounds < 0],
     [remove_attempts < 1], [backoff <= 0] or [backoff_factor < 1]). *)
 val run :
+  ?obs:Obs.Recorder.t ->
   ?channel:Dsim.Channel.t ->
   ?hello_repeats:int ->
   ?seed:int ->

@@ -102,7 +102,7 @@ let max_power_graph ?pool ?(cutoff = Geom.Grid.default_brute_cutoff) pathloss
    Accumulation is by prepending — one final sort instead of a quadratic
    append per step. *)
 let grow_node ~alpha ~max_power cands steps =
-  let rec walk discovered dirs remaining = function
+  let rec walk nsteps discovered dirs remaining = function
     | [] -> assert false
     | step :: rest ->
         let is_last = rest = [] in
@@ -116,20 +116,30 @@ let grow_node ~alpha ~max_power cands steps =
         let dirs =
           List.fold_left (fun acc (nb : Neighbor.t) -> nb.dir :: acc) dirs newly
         in
-        if not (Geom.Dirset.has_gap ~alpha dirs) then (discovered, step, false)
-        else if is_last then (discovered, max_power, true)
-        else walk discovered dirs remaining rest
+        if not (Geom.Dirset.has_gap ~alpha dirs) then
+          (discovered, step, false, nsteps)
+        else if is_last then (discovered, max_power, true, nsteps)
+        else walk (nsteps + 1) discovered dirs remaining rest
   in
-  let discovered, power, boundary = walk [] [] cands steps in
-  (List.sort Neighbor.compare_by_link_power discovered, power, boundary)
+  let discovered, power, boundary, nsteps = walk 1 [] [] cands steps in
+  (List.sort Neighbor.compare_by_link_power discovered, power, boundary, nsteps)
 
-let run_with ?pool ~candidates config pathloss positions =
+let run_with ?pool ?(obs = Obs.Recorder.nil) ~candidates config pathloss
+    positions =
+  Obs.Recorder.span obs "discovery" @@ fun () ->
   let n = Array.length positions in
   let alpha = config.Config.alpha in
   let max_power = Radio.Pathloss.max_power pathloss in
   let neighbors = Array.make n [] in
   let power = Array.make n max_power in
   let boundary = Array.make n false in
+  (* per-node observability slots, folded into the recorder sequentially
+     after the parallel loop: worker domains never touch [obs], and the
+     fold order is node order, so the recorded metrics are identical for
+     every -j (chunking must not leak into them) *)
+  let recording = Obs.Recorder.enabled obs in
+  let steps_used = if recording then Array.make n 0 else [||] in
+  let cand_count = if recording then Array.make n 0 else [||] in
   (* each node's discovery is independent: a pure function of the
      positions and the schedule, written to slot u only *)
   for_nodes ?pool n (fun lo hi ->
@@ -139,19 +149,40 @@ let run_with ?pool ~candidates config pathloss positions =
           List.map (fun (nb : Neighbor.t) -> nb.link_power) cands
         in
         let steps = Config.power_steps config ~pathloss ~link_powers in
-        let discovered, final_power, is_boundary =
+        let discovered, final_power, is_boundary, nsteps =
           grow_node ~alpha ~max_power cands steps
         in
         neighbors.(u) <- discovered;
         power.(u) <- final_power;
-        boundary.(u) <- is_boundary
+        boundary.(u) <- is_boundary;
+        if recording then begin
+          steps_used.(u) <- nsteps;
+          cand_count.(u) <- List.length cands
+        end
       done);
+  if recording then begin
+    Obs.Recorder.incr ~by:n obs "discovery.nodes";
+    for u = 0 to n - 1 do
+      Obs.Recorder.incr ~by:steps_used.(u) obs "discovery.power_steps";
+      if boundary.(u) then Obs.Recorder.incr obs "discovery.boundary_nodes";
+      Obs.Recorder.observe obs "discovery.candidates"
+        (Stdlib.float_of_int cand_count.(u));
+      Obs.Recorder.observe obs "discovery.degree"
+        (Stdlib.float_of_int (List.length neighbors.(u)))
+    done
+  end;
   { Discovery.config; pathloss; positions = Array.copy positions; neighbors;
     power; boundary }
 
-let run ?pool config pathloss positions =
+let run ?pool ?(obs = Obs.Recorder.nil) config pathloss positions =
   let grid = make_grid pathloss positions in
-  run_with ?pool config pathloss positions
+  if Obs.Recorder.enabled obs then
+    List.iter
+      (fun occ ->
+        Obs.Recorder.observe obs "grid.cell_occupancy"
+          (Stdlib.float_of_int occ))
+      (Geom.Grid.occupancy grid);
+  run_with ?pool ~obs config pathloss positions
     ~candidates:(fun u -> candidates ~grid pathloss positions u)
 
 module Brute = struct

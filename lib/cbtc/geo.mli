@@ -21,13 +21,21 @@
     result arrays, so the outcome is bit-identical to the sequential
     pass for any pool size. *)
 
-(** [run ?pool config pathloss positions] runs the oracle for every node.
-    Internally builds one spatial index over [positions] and reuses it
-    for every node's discovery, so a full pass is O(n · local density)
-    instead of O(n²); with [?pool] the nodes are processed in parallel
-    chunks (same result, property-tested). *)
+(** [run ?pool ?obs config pathloss positions] runs the oracle for every
+    node.  Internally builds one spatial index over [positions] and
+    reuses it for every node's discovery, so a full pass is
+    O(n · local density) instead of O(n²); with [?pool] the nodes are
+    processed in parallel chunks (same result, property-tested).
+
+    When [obs] is given, the pass is wrapped in a [discovery] span and
+    records [discovery.nodes] / [discovery.power_steps] /
+    [discovery.boundary_nodes] counters plus [discovery.candidates],
+    [discovery.degree] and [grid.cell_occupancy] histograms.  Metrics
+    are folded in node order after the parallel loop, so they are
+    identical for every pool size. *)
 val run :
   ?pool:Parallel.Pool.t ->
+  ?obs:Obs.Recorder.t ->
   Config.t -> Radio.Pathloss.t -> Geom.Vec2.t array -> Discovery.t
 
 (** [candidates ?grid pathloss positions u] lists the nodes physically

@@ -29,13 +29,19 @@ let shrink_neighbors ~alpha neighbors =
       let tag = first_sufficient Geom.Arcset.empty by_tag in
       (List.filter (fun (nb : Neighbor.t) -> nb.tag <= tag) neighbors, Some tag)
 
-let shrink_back (d : Discovery.t) =
+let shrink_back ?(obs = Obs.Recorder.nil) (d : Discovery.t) =
+  Obs.Recorder.span obs "shrink-back" @@ fun () ->
   let alpha = d.config.Config.alpha in
   let neighbors = Array.copy d.neighbors in
   let power = Array.copy d.power in
   for u = 0 to Discovery.nb_nodes d - 1 do
     match shrink_neighbors ~alpha neighbors.(u) with
     | kept, Some tag ->
+        let dropped = List.length neighbors.(u) - List.length kept in
+        if dropped > 0 then begin
+          Obs.Recorder.incr obs "shrink.nodes_shrunk";
+          Obs.Recorder.incr ~by:dropped obs "shrink.neighbors_dropped"
+        end;
         neighbors.(u) <- kept;
         power.(u) <- Float.min power.(u) tag
     | _, None -> ()
@@ -44,9 +50,15 @@ let shrink_back (d : Discovery.t) =
 
 type pairwise_mode = [ `All | `Practical ]
 
-(* eid(u,v) = (d(u,v), max ID, min ID), compared lexicographically. *)
-let eid positions u v =
-  (Geom.Vec2.dist positions.(u) positions.(v), Stdlib.max u v, Stdlib.min u v)
+(* eid(u,v) = (d(u,v), max ID, min ID), compared lexicographically.
+   The distance component is the exact squared distance: squares and
+   their sum order edges the same way as d itself, but comparing after
+   a sqrt can collapse distinct lengths onto the same rounded float and
+   silently hand the decision to the ID tie-break.  Exact ties (the
+   equidistant-neighbors case) fall through to (max ID, min ID), which
+   is a strict total order, so a pair of edges can never each be
+   smaller than the other — mutual removal is impossible. *)
+let eid positions u v = (Geom.Vec2.dist2 positions.(u) positions.(v), Stdlib.max u v, Stdlib.min u v)
 
 let eid_lt (d1, a1, b1) (d2, a2, b2) =
   d1 < d2 || (d1 = d2 && (a1 < a2 || (a1 = a2 && b1 < b2)))
@@ -65,9 +77,17 @@ let redundant_from g positions u v =
     (fun w ->
       w <> v
       &&
+      let id_uw = eid positions u w in
+      let d2_uw, _, _ = id_uw in
+      (* a witness coincident with u has no direction, and the triangle
+         argument behind Theorem 3.6 needs d(w,v) < d(u,v), which fails
+         at d(u,w) = 0: both (u,v) and (w,v) would count the other's
+         endpoint as cover and v could lose every edge *)
+      d2_uw > 0.
+      &&
       let dir_w = Geom.Vec2.direction ~from:positions.(u) ~toward:positions.(w) in
       Geom.Angle.diff dir_v dir_w < Geom.Angle.pi_three -. angle_margin
-      && eid_lt (eid positions u w) id_uv)
+      && eid_lt id_uw id_uv)
     (Graphkit.Ugraph.neighbors g u)
 
 let redundant_edges ~positions g =
@@ -76,7 +96,8 @@ let redundant_edges ~positions g =
       redundant_from g positions u v || redundant_from g positions v u)
     (Graphkit.Ugraph.edges g)
 
-let pairwise ~positions ?(mode = `Practical) g =
+let pairwise ~positions ?(obs = Obs.Recorder.nil) ?(mode = `Practical) g =
+  Obs.Recorder.span obs "pairwise-removal" @@ fun () ->
   let redundant = redundant_edges ~positions g in
   let to_remove =
     match mode with
@@ -108,6 +129,8 @@ let pairwise ~positions ?(mode = `Practical) g =
             || (redundant_from g positions v u && d > longest_nr.(v)))
           redundant
   in
+  Obs.Recorder.incr ~by:(List.length redundant) obs "pairwise.redundant_edges";
+  Obs.Recorder.incr ~by:(List.length to_remove) obs "pairwise.removed_edges";
   let g' = Graphkit.Ugraph.copy g in
   List.iter (fun (u, v) -> Graphkit.Ugraph.remove_edge g' u v) to_remove;
   g'

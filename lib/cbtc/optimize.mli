@@ -13,14 +13,20 @@
     - {!pairwise} (op3, Theorem 3.6): remove {e redundant} edges — [(u,v)]
       such that some neighbor [w] of [u] has [angle(v,u,w) < pi/3] and a
       lexicographically smaller edge id [eid(u,w) < eid(u,v)], where
-      [eid(u,v) = (d(u,v), max(ID_u, ID_v), min(ID_u, ID_v))]. *)
+      [eid(u,v) = (d(u,v), max(ID_u, ID_v), min(ID_u, ID_v))].  The
+      distance component is compared as the exact squared distance, so
+      equidistant neighbors fall through to the strict ID tie-break and
+      mutual removal of a pair is impossible; witnesses coincident with
+      [u] (d = 0) never make an edge redundant, since the triangle
+      inequality behind Theorem 3.6 is not strict there. *)
 
-(** [shrink_back d] applies op1 to every node: keeps, per node, the
+(** [shrink_back ?obs d] applies op1 to every node: keeps, per node, the
     minimal power-tag prefix of its discovered neighbors whose coverage
     equals the full discovered coverage, and lowers the node's power to
     the largest kept tag.  Idempotent; never increases any neighbor set
-    or power. *)
-val shrink_back : Discovery.t -> Discovery.t
+    or power.  When [obs] is given, runs inside a [shrink-back] span and
+    counts [shrink.nodes_shrunk] / [shrink.neighbors_dropped]. *)
+val shrink_back : ?obs:Obs.Recorder.t -> Discovery.t -> Discovery.t
 
 (** [shrink_neighbors ~alpha neighbors] is the single-node core of
     {!shrink_back}: the minimal power-tag prefix of [neighbors] whose
@@ -40,12 +46,15 @@ type pairwise_mode =
         edge only when doing so can reduce a node's transmission radius *)
   ]
 
-(** [pairwise ~positions ?mode g] removes redundant edges from [g]
+(** [pairwise ~positions ?obs ?mode g] removes redundant edges from [g]
     (default mode [`Practical]).  Redundancy is evaluated with respect to
     [g] itself, simultaneously for all edges, as in the proof of
-    Theorem 3.6. *)
+    Theorem 3.6.  When [obs] is given, runs inside a [pairwise-removal]
+    span and counts [pairwise.redundant_edges] /
+    [pairwise.removed_edges]. *)
 val pairwise :
   positions:Geom.Vec2.t array ->
+  ?obs:Obs.Recorder.t ->
   ?mode:pairwise_mode ->
   Graphkit.Ugraph.t ->
   Graphkit.Ugraph.t

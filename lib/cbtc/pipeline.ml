@@ -35,19 +35,21 @@ type t = {
   basic_radius : float array;
 }
 
-let of_discovery (d : Discovery.t) plan =
+let of_discovery ?(obs = Obs.Recorder.nil) (d : Discovery.t) plan =
   if plan.config <> d.config then
     invalid_arg "Pipeline.of_discovery: config mismatch";
   if plan.asym then check_asym plan.config;
-  let shrunk = if plan.shrink then Optimize.shrink_back d else d in
+  let shrunk = if plan.shrink then Optimize.shrink_back ~obs d else d in
   let base_graph =
-    if plan.asym then Discovery.core shrunk else Discovery.closure shrunk
+    if plan.asym then
+      Obs.Recorder.span obs "asym-removal" (fun () -> Discovery.core shrunk)
+    else Discovery.closure shrunk
   in
   let graph =
     match plan.pairwise with
     | `None -> base_graph
     | (`Practical | `All) as mode ->
-        Optimize.pairwise ~positions:d.positions ~mode base_graph
+        Optimize.pairwise ~positions:d.positions ~obs ~mode base_graph
   in
   {
     plan;
@@ -58,8 +60,8 @@ let of_discovery (d : Discovery.t) plan =
     basic_radius = Discovery.radius_in d (Discovery.closure d);
   }
 
-let run_oracle pathloss positions plan =
-  of_discovery (Geo.run plan.config pathloss positions) plan
+let run_oracle ?pool ?obs pathloss positions plan =
+  of_discovery ?obs (Geo.run ?pool ?obs plan.config pathloss positions) plan
 
 let avg_degree t =
   let n = Graphkit.Ugraph.nb_nodes t.graph in

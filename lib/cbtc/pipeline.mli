@@ -38,14 +38,21 @@ type t = {
           to remain correct under shrink-back / pairwise removal *)
 }
 
-(** [of_discovery d plan] applies [plan]'s optimizations to an existing
-    discovery state (e.g. one produced by the distributed protocol).
-    [plan.config] must equal [d.config].
+(** [of_discovery ?obs d plan] applies [plan]'s optimizations to an
+    existing discovery state (e.g. one produced by the distributed
+    protocol).  [plan.config] must equal [d.config].  When [obs] is
+    given, each enabled optimization runs inside its own span
+    ([shrink-back], [asym-removal], [pairwise-removal]) with the
+    counters documented in {!Optimize}.
     @raise Invalid_argument on config mismatch or an inapplicable op2. *)
-val of_discovery : Discovery.t -> plan -> t
+val of_discovery : ?obs:Obs.Recorder.t -> Discovery.t -> plan -> t
 
-(** [run_oracle pathloss positions plan] = oracle discovery + [plan]. *)
-val run_oracle : Radio.Pathloss.t -> Geom.Vec2.t array -> plan -> t
+(** [run_oracle ?pool ?obs pathloss positions plan] = oracle discovery
+    + [plan], threading [pool] and [obs] through {!Geo.run}. *)
+val run_oracle :
+  ?pool:Parallel.Pool.t ->
+  ?obs:Obs.Recorder.t ->
+  Radio.Pathloss.t -> Geom.Vec2.t array -> plan -> t
 
 (** [avg_degree t] and [avg_radius t]: the two quantities of Table 1. *)
 val avg_degree : t -> float

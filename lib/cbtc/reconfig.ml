@@ -42,6 +42,7 @@ type t = {
   mutable last_activity : float;
   growth_factor : float;
   p0 : float;
+  obs : Obs.Recorder.t;
 }
 
 let nb_nodes t = Array.length t.nodes
@@ -60,6 +61,11 @@ let quiescent t ~for_ = now t -. t.last_activity >= for_
 let touch t = t.last_activity <- now t
 
 let log_event t node about kind =
+  Obs.Recorder.incr t.obs
+    (match kind with
+    | Join -> "ndp.joins"
+    | Leave -> "ndp.leaves"
+    | Achange -> "ndp.achanges");
   t.events <- { time = now t; node; about; kind } :: t.events;
   touch t
 
@@ -120,7 +126,9 @@ let rec growth_step t node =
         ignore
           (Dsim.Sim.schedule t.sim
              ~delay:(Stdlib.float_of_int i *. t.channel.Dsim.Channel.max_delay)
-             (fun () -> ignore (Airnet.Net.bcast t.net ~src:node.id ~power Hello)))
+             (fun () ->
+               Obs.Recorder.incr t.obs "msg.hello";
+               ignore (Airnet.Net.bcast t.net ~src:node.id ~power Hello)))
       done;
       ignore
         (Dsim.Sim.schedule t.sim ~delay:(eval_delay t) (fun () ->
@@ -144,6 +152,7 @@ and evaluate t node =
 
 let trigger_growth t node ~start =
   if (not node.growing) && alive t node.id then begin
+    Obs.Recorder.incr t.obs "reconfig.growth_triggers";
     node.growing <- true;
     node.schedule <- schedule_from t ~start;
     touch t;
@@ -195,6 +204,7 @@ let on_hello t (r : msg Airnet.Net.recv) =
       ~rx_power:r.rx_power
   in
   me.acked <- IMap.add r.src link_power me.acked;
+  Obs.Recorder.incr t.obs "msg.ack";
   ignore (Airnet.Net.send t.net ~src:r.dst ~dst:r.src ~power:link_power Ack)
 
 let on_ack t (r : msg Airnet.Net.recv) =
@@ -288,10 +298,12 @@ let start_ndp t node =
   let rec beacon = lazy
     (Dsim.Periodic.start t.sim ~initial_delay:0.
        ~interval:t.params.beacon_interval (fun () ->
-         if live () then
+         if live () then begin
+           Obs.Recorder.incr t.obs "msg.beacon";
            ignore
              (Airnet.Net.bcast t.net ~src:node.id
                 ~power:(beacon_power t node) Beacon)
+         end
          else Dsim.Periodic.stop (Lazy.force beacon)))
   in
   let rec expire_timer = lazy
@@ -304,17 +316,17 @@ let start_ndp t node =
   ignore (Lazy.force beacon);
   ignore (Lazy.force expire_timer)
 
-let create ?(channel = Dsim.Channel.reliable) ?(seed = 1)
-    ?(params = default_params) config pathloss positions =
+let create ?(obs = Obs.Recorder.nil) ?(channel = Dsim.Channel.reliable)
+    ?(seed = 1) ?(params = default_params) config pathloss positions =
   let p0, growth_factor = growth_params config in
   if params.beacon_interval <= 0. || params.miss_limit < 1
      || params.hello_repeats < 1
   then invalid_arg "Reconfig.create: bad params";
-  let sim = Dsim.Sim.create () in
+  let sim = Dsim.Sim.create ~obs () in
   let prng = Prng.create ~seed in
   let net =
-    Airnet.Net.create ~sim ~pathloss ~channel ~prng:(Prng.split prng)
-      ~positions
+    Airnet.Net.create ~obs ~sim ~pathloss ~channel ~prng:(Prng.split prng)
+      ~positions ()
   in
   let nodes =
     Array.init (Array.length positions) (fun id ->
@@ -344,6 +356,7 @@ let create ?(channel = Dsim.Channel.reliable) ?(seed = 1)
       last_activity = 0.;
       growth_factor;
       p0;
+      obs;
     }
   in
   Array.iteri (fun u _ -> Airnet.Net.set_handler net u (on_recv t)) nodes;

@@ -46,6 +46,7 @@ type t
     starts the NDP beacons.  [config.growth] must be stepped.
     @raise Invalid_argument on [Exact] growth. *)
 val create :
+  ?obs:Obs.Recorder.t ->
   ?channel:Dsim.Channel.t ->
   ?seed:int ->
   ?params:params ->

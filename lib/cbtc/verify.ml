@@ -1,4 +1,6 @@
-let check ?(complete = false) ?(minimal = false) ~alive (d : Discovery.t) =
+let check ?(obs = Obs.Recorder.nil) ?(complete = false) ?(minimal = false)
+    ~alive (d : Discovery.t) =
+  Obs.Recorder.span obs "verify" @@ fun () ->
   let n = Discovery.nb_nodes d in
   let alpha = d.config.Config.alpha in
   let pathloss = d.pathloss in
@@ -68,8 +70,8 @@ let check ?(complete = false) ?(minimal = false) ~alive (d : Discovery.t) =
     end
   done
 
-let run ?complete ?minimal (d : Discovery.t) =
-  check ?complete ?minimal ~alive:(fun _ -> true) d
+let run ?obs ?complete ?minimal (d : Discovery.t) =
+  check ?obs ?complete ?minimal ~alive:(fun _ -> true) d
 
 let surviving ?complete ~alive (d : Discovery.t) =
   if Array.length alive <> Discovery.nb_nodes d then

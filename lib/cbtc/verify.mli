@@ -7,8 +7,9 @@
     oracle and the distributed protocol, and by the stress harness to
     check runs degraded by injected faults. *)
 
-(** [run ?complete ?minimal d] raises [Failure] describing the first
-    violated guarantee:
+(** [run ?obs ?complete ?minimal d] raises [Failure] describing the
+    first violated guarantee (when [obs] is given the pass runs inside
+    a [verify] span):
 
     - every discovered neighbor lies within radio range and within the
       node's converged power (tags never exceed the final power);
@@ -20,7 +21,8 @@
     - with [minimal = true] (exact growth only): the converged power is
       minimal — the neighbors strictly below the final power do not by
       themselves cover the circle for non-boundary nodes. *)
-val run : ?complete:bool -> ?minimal:bool -> Discovery.t -> unit
+val run :
+  ?obs:Obs.Recorder.t -> ?complete:bool -> ?minimal:bool -> Discovery.t -> unit
 
 (** [surviving ?complete ~alive d] is {!run} restricted to the surviving
     nodes: crashed nodes ([alive.(u) = false]) are skipped entirely, and

@@ -4,9 +4,11 @@ type t = {
   mutable now : float;
   queue : handle Eventq.t;
   mutable fired : int;
+  obs : Obs.Recorder.t;
 }
 
-let create () = { now = 0.; queue = Eventq.create (); fired = 0 }
+let create ?(obs = Obs.Recorder.nil) () =
+  { now = 0.; queue = Eventq.create (); fired = 0; obs }
 
 let now t = t.now
 
@@ -28,6 +30,7 @@ let fire t time h =
   t.now <- time;
   if not h.cancelled then begin
     t.fired <- t.fired + 1;
+    Obs.Recorder.incr t.obs "sim.events_fired";
     h.action ()
   end
 

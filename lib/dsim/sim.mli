@@ -10,7 +10,9 @@ type t
 (** A cancellable handle for a scheduled event. *)
 type handle
 
-val create : unit -> t
+(** [create ?obs ()] builds an empty simulation.  When [obs] is given,
+    every fired event bumps the [sim.events_fired] counter. *)
+val create : ?obs:Obs.Recorder.t -> unit -> t
 
 (** [now t] is the current simulated time (starts at [0.]). *)
 val now : t -> float

@@ -10,7 +10,11 @@ let pi_three = pi /. 3.
 
 let normalize a =
   let r = Float.rem a two_pi in
-  if r < 0. then r +. two_pi else if r >= two_pi then 0. else r
+  (* the shift of a tiny negative remainder can round up to two_pi
+     itself (e.g. -1e-17 +. two_pi = two_pi), so the upper-bound check
+     must happen after it, not in the same branch *)
+  let r = if r < 0. then r +. two_pi else r in
+  if r >= two_pi then 0. else r
 
 let ccw_delta a b = normalize (b -. a)
 

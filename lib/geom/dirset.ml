@@ -30,7 +30,12 @@ let widest_gap dirs =
       in
       Some best
 
-let has_gap ?(eps = 1e-9) ~alpha dirs = max_gap dirs > alpha +. eps
+(* Theorem 2.1 requires a neighbor in every cone of degree alpha, so a
+   gap of exactly alpha is already too wide: the open cone spanning it
+   is empty.  The comparison is therefore >= (up to eps, on the
+   conservative side: near-boundary gaps count as gaps and trigger
+   growth rather than being waved through). *)
+let has_gap ?(eps = 1e-9) ~alpha dirs = max_gap dirs >= alpha -. eps
 
 let cover ~alpha dirs = Arcset.of_directions ~alpha dirs
 

@@ -14,10 +14,11 @@
 val max_gap : float list -> float
 
 (** [has_gap ?eps ~alpha dirs] holds when [dirs] leaves some cone of degree
-    [alpha] empty, i.e. when [max_gap dirs > alpha + eps].  The tolerance
-    [eps] (default [1e-9]) makes exact-boundary constructions, where the
-    widest gap equals [alpha], deterministically gap-free as in the paper's
-    strict inequality. *)
+    [alpha] empty, i.e. when [max_gap dirs >= alpha - eps].  A gap of
+    exactly [alpha] counts: per Theorem 2.1 the open cone spanning it
+    contains no neighbor, so growth must still trigger.  The tolerance
+    [eps] (default [1e-9]) puts near-boundary configurations on the
+    conservative (keep-growing) side. *)
 val has_gap : ?eps:float -> alpha:float -> float list -> bool
 
 (** [widest_gap dirs] is [Some (start, width)] for the widest gap, where

@@ -50,6 +50,12 @@ let nb_nodes t = Array.length t.positions
 
 let cell_size t = t.cell
 
+(* Sorted descending so the result depends only on the multiset of
+   bucket sizes, not on hash-table iteration order. *)
+let occupancy t =
+  Hashtbl.fold (fun _ ids acc -> List.length ids :: acc) t.buckets []
+  |> List.sort (fun a b -> Int.compare b a)
+
 let check t u =
   if u < 0 || u >= nb_nodes t then invalid_arg "Grid: node out of range"
 

@@ -53,6 +53,11 @@ val nb_nodes : t -> int
 (** [cell_size t] is the cell side length ([range] at creation). *)
 val cell_size : t -> float
 
+(** [occupancy t] is the list of occupied-cell sizes, sorted in
+    decreasing order — a deterministic summary of how clustered the
+    indexed points are (used by the observability layer). *)
+val occupancy : t -> int list
+
 (** [position t u] is [u]'s current indexed position. *)
 val position : t -> int -> Vec2.t
 

@@ -1,0 +1,81 @@
+(* Fixed-layout power-of-two histogram.  The bucket for a sample is
+   its binary exponent (frexp), clamped to the array — no allocation,
+   no branching on configuration, and two histograms built from the
+   same multiset of samples in the same order are structurally equal,
+   which is what the cross-[-j] determinism contract needs. *)
+
+type t = {
+  mutable count : int;
+  mutable sum : float;
+  mutable vmin : float;  (* meaningful only when count > 0 *)
+  mutable vmax : float;
+  buckets : int array;
+}
+
+let nbuckets = 128
+
+(* exponent range roughly [-64, 63]; everything outside clamps *)
+let offset = 64
+
+let create () =
+  { count = 0; sum = 0.; vmin = 0.; vmax = 0.; buckets = Array.make nbuckets 0 }
+
+let bucket_of v =
+  if v <= 0. || not (Float.is_finite v) then 0
+  else
+    let (_, e) = Float.frexp v in
+    let i = e + offset in
+    if i < 0 then 0 else if i >= nbuckets then nbuckets - 1 else i
+
+let observe t v =
+  if t.count = 0 then begin
+    t.vmin <- v;
+    t.vmax <- v
+  end
+  else begin
+    if v < t.vmin then t.vmin <- v;
+    if v > t.vmax then t.vmax <- v
+  end;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  let i = bucket_of v in
+  t.buckets.(i) <- t.buckets.(i) + 1
+
+let count t = t.count
+
+let sum t = t.sum
+
+let merge_into ~into src =
+  if src.count > 0 then begin
+    if into.count = 0 then begin
+      into.vmin <- src.vmin;
+      into.vmax <- src.vmax
+    end
+    else begin
+      if src.vmin < into.vmin then into.vmin <- src.vmin;
+      if src.vmax > into.vmax then into.vmax <- src.vmax
+    end;
+    into.count <- into.count + src.count;
+    into.sum <- into.sum +. src.sum;
+    Array.iteri
+      (fun i c -> if c > 0 then into.buckets.(i) <- into.buckets.(i) + c)
+      src.buckets
+  end
+
+let to_json t =
+  let sparse =
+    let acc = ref [] in
+    for i = nbuckets - 1 downto 0 do
+      if t.buckets.(i) > 0 then
+        acc := Jsonl.List [ Jsonl.Int (i - offset); Jsonl.Int t.buckets.(i) ] :: !acc
+    done;
+    !acc
+  in
+  Jsonl.Obj
+    [
+      ("count", Jsonl.Int t.count);
+      ("sum", Jsonl.Float t.sum);
+      ("min", if t.count = 0 then Jsonl.Null else Jsonl.Float t.vmin);
+      ("max", if t.count = 0 then Jsonl.Null else Jsonl.Float t.vmax);
+      ("log2_buckets", Jsonl.List sparse);
+    ]

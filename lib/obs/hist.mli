@@ -1,0 +1,23 @@
+(** Power-of-two histogram: count, sum, min, max plus sparse log2
+    buckets keyed by binary exponent.  Not thread-safe; each recorder
+    owns its histograms. *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> float -> unit
+(** Add a sample.  Non-positive and non-finite samples land in the
+    lowest bucket; count/sum/min/max record the raw value. *)
+
+val count : t -> int
+
+val sum : t -> float
+
+val merge_into : into:t -> t -> unit
+(** Accumulate [src] into [into].  Merging in a fixed order yields
+    bit-identical sums, which the [-j] determinism contract relies on. *)
+
+val to_json : t -> Jsonl.t
+(** [{"count":..,"sum":..,"min":..,"max":..,"log2_buckets":[[e,c],..]}];
+    [min]/[max] are [null] when empty. *)

@@ -1,0 +1,26 @@
+(** Minimal JSON values with a byte-stable serializer and a strict
+    single-document parser.  Used for trace lines and run summaries;
+    the parser backs schema validation in the test suite. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Serialize on one line with no spaces.  Object keys keep caller
+    order; floats use the shortest round-tripping decimal; NaN and
+    infinities are emitted as [null]. *)
+
+val member : string -> t -> t option
+(** [member k (Obj fields)] is the first binding of [k], if any. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse exactly one JSON document; raises {!Parse_error} on syntax
+    errors, non-finite number tokens, or trailing garbage. *)

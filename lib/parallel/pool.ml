@@ -13,6 +13,11 @@ type t = {
   work_available : Condition.t;  (* signalled when tasks are enqueued *)
   batch_done : Condition.t;  (* broadcast when some batch's last task ends *)
   mutable closed : bool;
+  (* Pool metrics are recorded only when the recorder has a clock: task
+     counts and latencies depend on [jobs] and scheduling, so they are
+     wall-clock diagnostics, deliberately absent from deterministic
+     (clockless) runs whose output must be identical across -j. *)
+  obs : Obs.Recorder.t;
 }
 
 let max_jobs = 1024
@@ -48,7 +53,7 @@ let rec worker_loop t =
     worker_loop t
   end
 
-let create ?jobs () =
+let create ?(obs = Obs.Recorder.nil) ?jobs () =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   if jobs < 1 || jobs > max_jobs then
     invalid_arg (Printf.sprintf "Pool.create: jobs out of [1,%d]" max_jobs);
@@ -61,6 +66,7 @@ let create ?jobs () =
       work_available = Condition.create ();
       batch_done = Condition.create ();
       closed = false;
+      obs;
     }
   in
   t.workers <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
@@ -73,15 +79,46 @@ let create ?jobs () =
 let run_all t tasks =
   check_open t;
   let n = Array.length tasks in
+  (* latency slots: each task writes its own index from its worker
+     domain; the submitter reads them only after the batch completes
+     (mutex/atomic ordering), then observes them in index order so the
+     histogram is independent of which domain ran what *)
+  let lat =
+    match Obs.Recorder.now t.obs with
+    | Some _ -> Some (Array.make (Stdlib.max n 1) 0.)
+    | None -> None
+  in
+  let timed i task () =
+    match lat with
+    | None -> task ()
+    | Some arr ->
+        let t0 = Option.get (Obs.Recorder.now t.obs) in
+        Fun.protect
+          ~finally:(fun () ->
+            arr.(i) <- Option.get (Obs.Recorder.now t.obs) -. t0)
+          task
+  in
+  let record_batch () =
+    match lat with
+    | None -> ()
+    | Some arr ->
+        Obs.Recorder.incr t.obs "pool.batches";
+        Obs.Recorder.incr ~by:n t.obs "pool.tasks";
+        for i = 0 to n - 1 do
+          Obs.Recorder.observe t.obs "pool.task_s" arr.(i)
+        done
+  in
   if n = 0 then ()
-  else if t.jobs = 1 || n = 1 then
+  else if t.jobs = 1 || n = 1 then begin
     (* inline path: plain sequential execution, exceptions propagate as-is *)
-    Array.iter (fun task -> task ()) tasks
+    Array.iteri (fun i task -> timed i task ()) tasks;
+    record_batch ()
+  end
   else begin
     let remaining = Atomic.make n in
     let errors = Array.make n None in
     let wrap i task () =
-      (try task ()
+      (try timed i task ()
        with e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
       if Atomic.fetch_and_add remaining (-1) = 1 then begin
         (* last task of this batch: wake every submitter; each re-checks
@@ -109,6 +146,7 @@ let run_all t tasks =
       Condition.wait t.batch_done t.m
     done;
     Mutex.unlock t.m;
+    record_batch ();
     Array.iter
       (function
         | Some (e, bt) -> Printexc.raise_with_backtrace e bt
@@ -119,7 +157,10 @@ let run_all t tasks =
 let map t f arr =
   check_open t;
   let n = Array.length arr in
-  if t.jobs = 1 || n <= 1 then Array.map f arr
+  (* the sequential shortcut skips [run_all] entirely, so take it only
+     when no clocked recorder is waiting for batch/latency metrics *)
+  if (t.jobs = 1 || n <= 1) && Obs.Recorder.now t.obs = None then
+    Array.map f arr
   else begin
     let results = Array.make n None in
     run_all t
@@ -134,7 +175,11 @@ let map_list t f l = Array.to_list (map t f (Array.of_list l))
 let iter_chunks t ?chunk n f =
   check_open t;
   if n > 0 then begin
-    if t.jobs = 1 then f 0 n
+    if t.jobs = 1 then begin
+      match Obs.Recorder.now t.obs with
+      | None -> f 0 n
+      | Some _ -> run_all t [| (fun () -> f 0 n) |]
+    end
     else begin
       let chunk =
         match chunk with
@@ -159,6 +204,6 @@ let shutdown t =
   if not was_closed then Array.iter Domain.join t.workers;
   t.workers <- [||]
 
-let with_pool ?jobs f =
-  let t = create ?jobs () in
+let with_pool ?obs ?jobs f =
+  let t = create ?obs ?jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

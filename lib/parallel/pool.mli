@@ -32,10 +32,15 @@
 
 type t
 
-(** [create ?jobs ()] builds a pool of [jobs] domains (the caller plus
-    [jobs - 1] workers).  [jobs] defaults to {!default_jobs}[ ()].
+(** [create ?obs ?jobs ()] builds a pool of [jobs] domains (the caller
+    plus [jobs - 1] workers).  [jobs] defaults to {!default_jobs}[ ()].
+    When [obs] is both enabled {e and clocked}, every batch records
+    [pool.batches] / [pool.tasks] counters and a [pool.task_s] latency
+    histogram; clockless recorders get nothing, because task counts and
+    latencies depend on [jobs] and would break the byte-identical
+    cross-[-j] output contract.
     @raise Invalid_argument unless [1 <= jobs <= 1024]. *)
-val create : ?jobs:int -> unit -> t
+val create : ?obs:Obs.Recorder.t -> ?jobs:int -> unit -> t
 
 (** [jobs t] is the parallelism degree the pool was created with. *)
 val jobs : t -> int
@@ -67,5 +72,6 @@ val iter_chunks : t -> ?chunk:int -> int -> (int -> int -> unit) -> unit
     Submitting to a shut-down pool raises [Invalid_argument]. *)
 val shutdown : t -> unit
 
-(** [with_pool ?jobs f] is [f pool] with {!shutdown} guaranteed on exit. *)
-val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ?obs ?jobs f] is [f pool] with {!shutdown} guaranteed on
+    exit. *)
+val with_pool : ?obs:Obs.Recorder.t -> ?jobs:int -> (t -> 'a) -> 'a

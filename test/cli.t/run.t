@@ -66,3 +66,32 @@ via the CBTC_JOBS environment variable).
   Usage: cbtc sweep [OPTION]…
   Try 'cbtc sweep --help' or 'cbtc --help' for more information.
   [124]
+
+Malformed observability output paths fail fast with a distinct exit
+code, before any simulation work runs.
+
+  $ cbtc_cli run -n 4 --trace-out /nonexistent-dir/t.jsonl
+  cbtc: cannot open output file: /nonexistent-dir/t.jsonl: No such file or directory
+  [3]
+  $ cbtc_cli sweep --count 1 --metrics-out /nonexistent-dir/m.json
+  cbtc: cannot open output file: /nonexistent-dir/m.json: No such file or directory
+  [3]
+  $ cbtc_cli protocol -n 4 --trace-out /nonexistent-dir/p.jsonl
+  cbtc: cannot open output file: /nonexistent-dir/p.jsonl: No such file or directory
+  [3]
+
+Node counts below 2 are rejected up front: a zero- or one-node network
+has no topology to control.
+
+  $ cbtc_cli run -n 1
+  cbtc: option '-n': node count must be at least 2 (got 1); a one-node network
+        has no topology to control
+  Usage: cbtc run [OPTION]…
+  Try 'cbtc run --help' or 'cbtc --help' for more information.
+  [124]
+  $ cbtc_cli sweep -n 0 --count 1
+  cbtc: option '-n': node count must be at least 2 (got 0); a 0-node network
+        has no topology to control
+  Usage: cbtc sweep [OPTION]…
+  Try 'cbtc sweep --help' or 'cbtc --help' for more information.
+  [124]

@@ -199,6 +199,33 @@ let prop_knn_out_degree =
          edge count is bounded by n*k *)
       Graphkit.Ugraph.nb_edges g <= Array.length positions * k)
 
+let test_degenerate_inputs () =
+  (* Every family must accept the empty network, a single node, and
+     coincident nodes (zero-length candidate edges) without crashing. *)
+  let families positions =
+    [
+      ("max_power", Baselines.Proximity.max_power pl positions);
+      ("rng", Baselines.Proximity.rng pl positions);
+      ("gabriel", Baselines.Proximity.gabriel pl positions);
+      ("mst", Baselines.Proximity.euclidean_mst pl positions);
+      ("knn", Baselines.Proximity.knn pl positions ~k:3);
+    ]
+  in
+  List.iter
+    (fun positions ->
+      let n = Array.length positions in
+      List.iter
+        (fun (name, g) ->
+          Alcotest.(check int)
+            (Fmt.str "%s keeps %d nodes" name n)
+            n (Graphkit.Ugraph.nb_nodes g))
+        (families positions))
+    [ [||]; [| Geom.Vec2.zero |];
+      [| Geom.Vec2.zero; Geom.Vec2.zero; Geom.Vec2.make 10. 0. |] ];
+  let dup = [| Geom.Vec2.zero; Geom.Vec2.zero; Geom.Vec2.make 10. 0. |] in
+  Alcotest.(check bool) "mst spans coincident nodes" true
+    (Graphkit.Traversal.is_connected (Baselines.Proximity.euclidean_mst pl dup))
+
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
 let () =
@@ -212,6 +239,7 @@ let () =
           Alcotest.test_case "mst" `Quick test_mst;
           Alcotest.test_case "knn" `Quick test_knn;
           Alcotest.test_case "radius_of" `Quick test_radius_of;
+          Alcotest.test_case "degenerate inputs" `Quick test_degenerate_inputs;
         ] );
       ( "yao",
         [

@@ -104,6 +104,24 @@ let test_single_node () =
   check_float "power is P" max_p d.power.(0);
   Cbtc.Discovery.check_invariants d
 
+let test_degenerate_inputs () =
+  (* The oracle must survive an empty network and coincident nodes
+     without crashing or producing non-finite powers.  A node stacked
+     exactly on another has no direction to it (atan2 0 0), which used
+     to poison the gap test. *)
+  let empty = run [||] in
+  Alcotest.(check int) "empty network" 0 (Array.length empty.power);
+  let stacked = run [| Geom.Vec2.zero; Geom.Vec2.zero; Geom.Vec2.zero |] in
+  Cbtc.Discovery.check_invariants stacked;
+  Array.iter
+    (fun p -> Alcotest.(check bool) "finite power" true (Float.is_finite p))
+    stacked.power;
+  let mixed = run [| Geom.Vec2.zero; Geom.Vec2.zero; Geom.Vec2.make 30. 0. |] in
+  Cbtc.Discovery.check_invariants mixed;
+  Array.iter
+    (fun p -> Alcotest.(check bool) "finite power" true (Float.is_finite p))
+    mixed.power
+
 let test_two_nodes () =
   (* A single direction can never close the cone gap: both nodes grow to
      maximum power and end up boundary nodes knowing each other. *)
@@ -358,6 +376,7 @@ let () =
       ( "geo",
         [
           Alcotest.test_case "single node" `Quick test_single_node;
+          Alcotest.test_case "degenerate inputs" `Quick test_degenerate_inputs;
           Alcotest.test_case "two nodes" `Quick test_two_nodes;
           Alcotest.test_case "plus shape" `Quick test_plus_shape;
           Alcotest.test_case "exact growth stops early" `Quick

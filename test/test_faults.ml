@@ -26,7 +26,7 @@ let make_net ?(channel = Dsim.Channel.reliable) () =
   let sim = Dsim.Sim.create () in
   let net =
     Airnet.Net.create ~sim ~pathloss:pl ~channel ~prng:(Prng.create ~seed:5)
-      ~positions:line_positions
+      ~positions:line_positions ()
   in
   (sim, net)
 

@@ -65,6 +65,24 @@ let test_angle_diff () =
   check_float "max is pi" pi (Geom.Angle.diff 0. pi);
   check_float "ccw" (3. *. pi /. 2.) (Geom.Angle.ccw_delta (pi /. 2.) 0.)
 
+let test_angle_normalize_seam () =
+  (* Regression: Float.rem of a tiny negative gives a tiny negative
+     remainder, and adding two_pi to it rounds to two_pi itself
+     (-1e-17 +. two_pi = two_pi); normalize must still land strictly
+     inside [0, 2pi). *)
+  List.iter
+    (fun a ->
+      let n = Geom.Angle.normalize a in
+      if not (n >= 0. && n < two_pi) then
+        Alcotest.failf "normalize %h escaped [0, 2pi): got %h" a n)
+    [ -1e-17; -1e-300; -.Float.min_float; -.two_pi; -.two_pi -. 1e-17;
+      4. *. two_pi; -0. ];
+  (* atan2 yields directions in (-pi, pi]; both sides of the +/-pi seam
+     must normalize to the same direction *)
+  check_float "minus pi maps to pi" pi (Geom.Angle.normalize (-.pi));
+  check_float "seam diff" 0.
+    (Geom.Angle.diff (Geom.Angle.normalize (-.pi +. 1e-12)) (pi +. 1e-12))
+
 let test_angle_constants () =
   check_float "5pi/6" (5. *. pi /. 6.) Geom.Angle.five_pi_six;
   check_float "2pi/3" (2. *. pi /. 3.) Geom.Angle.two_pi_three;
@@ -93,11 +111,18 @@ let test_gap_regular_polygons () =
         (Fmt.str "max gap of regular %d-gon" k)
         (two_pi /. Stdlib.float_of_int k)
         (Geom.Dirset.max_gap dirs);
-      (* gap == alpha exactly is NOT an alpha-gap (strict inequality) *)
+      (* gap == alpha exactly IS an alpha-gap: the open cone spanning it
+         holds no neighbor, so growth must still trigger (Theorem 2.1) *)
       Alcotest.(check bool)
-        (Fmt.str "%d-gon: no gap at alpha = 2pi/%d" k k)
-        false
+        (Fmt.str "%d-gon: gap at alpha = 2pi/%d" k k)
+        true
         (Geom.Dirset.has_gap ~alpha:(two_pi /. Stdlib.float_of_int k) dirs);
+      Alcotest.(check bool)
+        (Fmt.str "%d-gon: no gap at slightly larger alpha" k)
+        false
+        (Geom.Dirset.has_gap
+           ~alpha:((two_pi /. Stdlib.float_of_int k) +. 0.01)
+           dirs);
       Alcotest.(check bool)
         (Fmt.str "%d-gon: gap at slightly smaller alpha" k)
         true
@@ -115,6 +140,35 @@ let test_gap_wraparound () =
       check_float "gap start" 0.2 start;
       check_float "gap width" (two_pi -. 0.3) width
   | None -> Alcotest.fail "expected a gap"
+
+let test_gap_exact_pi_multiples () =
+  (* Theorem 2.1 boundary at exact multiples of pi/6 and pi/3: k
+     directions spaced exactly alpha apart leave gaps of exactly alpha,
+     and a gap of exactly alpha must still count as an alpha-gap (the
+     open cone spanning it contains no neighbor). *)
+  List.iter
+    (fun (label, alpha, k) ->
+      let dirs = List.init k (fun i -> Stdlib.float_of_int i *. alpha) in
+      Alcotest.(check bool)
+        (Fmt.str "gap of exactly %s triggers growth" label)
+        true
+        (Geom.Dirset.has_gap ~alpha dirs);
+      Alcotest.(check bool)
+        (Fmt.str "circle not covered at exactly %s" label)
+        false
+        (Geom.Dirset.covers_circle ~alpha dirs))
+    [ ("pi/6", pi /. 6., 12); ("pi/3", Geom.Angle.pi_three, 6);
+      ("2pi/3", Geom.Angle.two_pi_three, 3) ]
+
+let test_gap_pi_seam () =
+  (* Directions an ulp on either side of the +/-pi seam collapse to
+     (nearly) one direction, so the remaining gap is the whole circle. *)
+  let d1 = Geom.Angle.normalize (pi -. 1e-12) in
+  let d2 = Geom.Angle.normalize (-.pi +. 1e-12) in
+  Alcotest.(check bool) "seam-straddling pair is nearly one direction" true
+    (Geom.Dirset.max_gap [ d1; d2 ] > two_pi -. 1e-9);
+  check_float "gap with a neighbor exactly at -pi" (3. *. pi /. 2.)
+    (Geom.Dirset.max_gap [ pi /. 2.; Geom.Angle.normalize (-.pi) ])
 
 let test_covers_circle_gap_duality () =
   let dirs = [ 0.; 2.; 4. ] in
@@ -363,6 +417,65 @@ let prop_angle_normalize_range =
       let n = Geom.Angle.normalize a in
       n >= 0. && n < two_pi)
 
+(* Brute angular-gap oracle: normalize, sort, fold consecutive
+   differences plus the wrap gap.  Deliberately independent of the
+   Dirset/Arcset machinery. *)
+let brute_max_gap dirs =
+  match List.sort_uniq Float.compare (List.map Geom.Angle.normalize dirs) with
+  | [] | [ _ ] -> two_pi
+  | first :: _ as sorted ->
+      let rec gaps acc = function
+        | a :: (b :: _ as rest) -> gaps (Stdlib.max acc (b -. a)) rest
+        | [ last ] -> Stdlib.max acc (first +. two_pi -. last)
+        | [] -> acc
+      in
+      gaps 0. sorted
+
+(* Directions biased to the boundaries: exact multiples of pi/6 (so of
+   pi/3 too) on both sides of the +/-pi seam, jittered by nothing, an
+   ulp-scale amount, the gap-test tolerance, or a clearly-inside
+   offset. *)
+let boundary_dir_gen =
+  QCheck.Gen.(
+    int_range (-12) 12 >>= fun k ->
+    oneofl [ 0.; 1e-12; -1e-12; 1e-9; -1e-9; 0.05; -0.05 ] >|= fun j ->
+    (Stdlib.float_of_int k *. pi /. 6.) +. j)
+
+let boundary_dirs_gen = QCheck.Gen.(list_size (int_range 1 16) boundary_dir_gen)
+
+let prop_max_gap_matches_brute_oracle =
+  QCheck.Test.make ~count:300
+    ~name:"max_gap = brute sorted-gap oracle on boundary configurations"
+    QCheck.(make boundary_dirs_gen)
+    (fun dirs -> feq (Geom.Dirset.max_gap dirs) (brute_max_gap dirs))
+
+let prop_covers_circle_matches_gap_oracle =
+  QCheck.Test.make ~count:300
+    ~name:"covers_circle = brute gap oracle away from the exact boundary"
+    QCheck.(make boundary_dirs_gen)
+    (fun dirs ->
+      let alpha = Geom.Angle.two_pi_three in
+      let gap = brute_max_gap dirs in
+      QCheck.assume (Float.abs (gap -. alpha) > 1e-8);
+      Geom.Dirset.covers_circle ~alpha dirs = (gap < alpha))
+
+let prop_cover_matches_pointwise_oracle =
+  QCheck.Test.make ~count:300
+    ~name:"Arcset cover membership = brute nearest-direction oracle"
+    QCheck.(make Gen.(pair boundary_dirs_gen boundary_dir_gen))
+    (fun (dirs, probe) ->
+      let alpha = Geom.Angle.five_pi_six in
+      let nearest =
+        List.fold_left
+          (fun acc d -> Stdlib.min acc (Geom.Angle.diff probe d))
+          Float.infinity dirs
+      in
+      (* probes within tolerance of the arc boundary are excluded: there
+         the closed-arc convention and eps legitimately disagree *)
+      QCheck.assume (Float.abs (nearest -. (alpha /. 2.)) > 1e-8);
+      Geom.Arcset.contains_angle (Geom.Dirset.cover ~alpha dirs) probe
+      = (nearest < alpha /. 2.))
+
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
 let () =
@@ -378,6 +491,8 @@ let () =
       ( "angle",
         [
           Alcotest.test_case "normalize" `Quick test_angle_normalize;
+          Alcotest.test_case "normalize seam regressions" `Quick
+            test_angle_normalize_seam;
           Alcotest.test_case "diff" `Quick test_angle_diff;
           Alcotest.test_case "constants" `Quick test_angle_constants;
         ] );
@@ -386,6 +501,9 @@ let () =
           Alcotest.test_case "empty and singleton" `Quick test_gap_empty_singleton;
           Alcotest.test_case "regular polygons" `Quick test_gap_regular_polygons;
           Alcotest.test_case "wraparound" `Quick test_gap_wraparound;
+          Alcotest.test_case "exact pi/6 and pi/3 multiples" `Quick
+            test_gap_exact_pi_multiples;
+          Alcotest.test_case "pi seam" `Quick test_gap_pi_seam;
           Alcotest.test_case "cover duality" `Quick test_covers_circle_gap_duality;
         ] );
       ( "arcset",
@@ -425,5 +543,8 @@ let () =
             prop_circle_intersections_on_both;
             prop_hull_contains_all;
             prop_angle_normalize_range;
+            prop_max_gap_matches_brute_oracle;
+            prop_covers_circle_matches_gap_oracle;
+            prop_cover_matches_pointwise_oracle;
           ] );
     ]

@@ -297,7 +297,7 @@ let make_net positions =
   let sim = Dsim.Sim.create () in
   let channel = Dsim.Channel.reliable in
   let prng = Prng.create ~seed:7 in
-  Airnet.Net.create ~sim ~pathloss:pl ~channel ~prng ~positions
+  Airnet.Net.create ~sim ~pathloss:pl ~channel ~prng ~positions ()
 
 let prop_bcast_audience =
   QCheck.Test.make ~count:50

@@ -159,6 +159,24 @@ let test_table_render () =
   Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
     (fun () -> Metrics.Table.add_row t [ "too"; "few" ])
 
+let test_degenerate_inputs () =
+  (* Aggregations over empty networks must return 0, not NaN from a
+     0/0 average. *)
+  let empty = U.create 0 in
+  check_float "avg degree of empty graph" 0. (Metrics.Topo_metrics.avg_degree empty);
+  check_float "avg radius of nothing" 0. (Metrics.Topo_metrics.avg_radius [||]);
+  let pl = Radio.Pathloss.make ~max_range:100. () in
+  check_float "avg power of nothing" 0.
+    (Metrics.Topo_metrics.avg_power pl [||]);
+  Alcotest.(check int) "no components" 0 (Metrics.Connectivity.nb_components empty);
+  Alcotest.(check int) "empty giant component" 0
+    (Metrics.Connectivity.giant_component_size empty);
+  let one = U.create 1 in
+  let s = Metrics.Stretch.hop_stretch ~reference:one one in
+  Alcotest.(check int) "single node has no pairs" 0 s.Metrics.Stretch.pairs;
+  Alcotest.(check bool) "stretch stays finite" true
+    (Float.is_finite s.Metrics.Stretch.avg_stretch)
+
 let () =
   Alcotest.run "metrics"
     [
@@ -169,7 +187,10 @@ let () =
           Alcotest.test_case "isolated and giant" `Quick test_isolated_and_giant;
         ] );
       ( "topo",
-        [ Alcotest.test_case "degree radius power" `Quick test_avg_degree_radius ] );
+        [
+          Alcotest.test_case "degree radius power" `Quick test_avg_degree_radius;
+          Alcotest.test_case "degenerate inputs" `Quick test_degenerate_inputs;
+        ] );
       ( "stretch",
         [
           Alcotest.test_case "power stretch" `Quick test_power_stretch;

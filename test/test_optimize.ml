@@ -218,6 +218,66 @@ let test_eid_tie_breaking () =
   Alcotest.(check (list (pair int int))) "only the larger eid is redundant"
     [ (0, 2) ] red
 
+let test_mutual_pair_loses_one_edge () =
+  (* Regression: (0,1) and (0,2) are exactly equidistant and separated
+     by a small angle, so each is the other's witness.  With a
+     non-strict eid order both edges of the pair were removed at once,
+     isolating node 0; the strict (dist2, max id, min id) order removes
+     exactly one. *)
+  let positions =
+    [| Geom.Vec2.zero; Geom.Vec2.make 10. 1.; Geom.Vec2.make 10. (-1.) |]
+  in
+  let g' =
+    Cbtc.Optimize.pairwise ~positions ~mode:`All (full_triangle ())
+  in
+  Alcotest.(check (list (pair int int))) "exactly one of the pair removed"
+    [ (0, 1); (1, 2) ]
+    (Graphkit.Ugraph.edges g');
+  Alcotest.(check bool) "node 0 not isolated" true
+    (Graphkit.Traversal.is_connected g')
+
+let test_coincident_witness_cannot_isolate () =
+  (* Regression: node 1 sits exactly on node 0.  A zero-length witness
+     edge used to make every other edge at node 0 redundant (any angle
+     compares below pi/3 against a degenerate direction), so `All mode
+     removed both (0,2) and (1,2) and cut node 2 off.  Theorem 3.6's
+     triangle argument needs d(w,v) < d(u,v) strictly, which fails for
+     a coincident witness; such witnesses must be ignored. *)
+  let positions =
+    [| Geom.Vec2.zero; Geom.Vec2.zero; Geom.Vec2.make 1. 0. |]
+  in
+  let red = Cbtc.Optimize.redundant_edges ~positions (full_triangle ()) in
+  (* (1,2) is legitimately redundant seen from node 2, whose witness 0
+     is at full distance; (0,2) must NOT be, because its only witness
+     (node 1, seen from node 0) is coincident. *)
+  Alcotest.(check (list (pair int int)))
+    "only the edge with a non-degenerate witness is redundant" [ (1, 2) ] red;
+  let g' = Cbtc.Optimize.pairwise ~positions ~mode:`All (full_triangle ()) in
+  Alcotest.(check bool) "node 2 still reachable" true
+    (Graphkit.Traversal.is_connected g')
+
+(* Positions with deliberate duplicates: coincident nodes exercise the
+   zero-length-edge and equidistant tie-break paths of eid. *)
+let dup_positions_gen =
+  QCheck.Gen.(
+    positions_gen >>= fun positions ->
+    let n = Array.length positions in
+    int_range 0 (n - 1) >>= fun src ->
+    int_range 0 (n - 1) >|= fun dst ->
+    let positions = Array.copy positions in
+    positions.(dst) <- positions.(src);
+    positions)
+
+let prop_pairwise_no_mutual_removal_with_duplicates =
+  QCheck.Test.make ~count:100
+    ~name:"pairwise `All never splits a component, even with coincident nodes"
+    (QCheck.make dup_positions_gen)
+    (fun positions ->
+      let d = run ~growth:(Cbtc.Config.Double 25.) positions in
+      let g = Cbtc.Discovery.closure d in
+      let all = Cbtc.Optimize.pairwise ~positions ~mode:`All g in
+      Graphkit.Traversal.same_partition g all)
+
 let test_pairwise_practical_spares_short_edges () =
   (* A redundant edge shorter than the node's longest non-redundant edge
      is kept in `Practical mode (it cannot reduce the radius). *)
@@ -283,6 +343,10 @@ let () =
           Alcotest.test_case "equilateral not redundant" `Quick
             test_equilateral_not_redundant;
           Alcotest.test_case "eid tie-breaking" `Quick test_eid_tie_breaking;
+          Alcotest.test_case "mutual pair loses exactly one edge" `Quick
+            test_mutual_pair_loses_one_edge;
+          Alcotest.test_case "coincident witness cannot isolate" `Quick
+            test_coincident_witness_cannot_isolate;
           Alcotest.test_case "practical spares short edges" `Quick
             test_pairwise_practical_spares_short_edges;
         ] );
@@ -296,5 +360,6 @@ let () =
             prop_shrink_preserves_connectivity;
             prop_pairwise_preserves_connectivity;
             prop_practical_between_all_and_original;
+            prop_pairwise_no_mutual_removal_with_duplicates;
           ] );
     ]
