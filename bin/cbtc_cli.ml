@@ -6,6 +6,7 @@
      topology   write an SVG (and optional ASCII) rendering
      protocol   run the distributed protocol and print message statistics
      stress     sweep burst-loss x crash fault scenarios, JSON report
+     check      explore event schedules, shrink and replay failures
      theory     check the paper's two constructions
      compare    compare CBTC against the proximity-graph baselines *)
 
@@ -646,6 +647,260 @@ let stress_cmd =
       const action $ nodes $ side $ range $ seed $ alpha $ losses $ crashes
       $ burstiness $ recover_after $ out $ jobs $ obs_out)
 
+(* ---------- check ---------- *)
+
+let check_cmd =
+  let schedules =
+    let parse s =
+      match int_of_string_opt s with
+      | Some k when k >= 0 && k <= 100_000 -> Ok k
+      | _ -> Error (`Msg (Fmt.str "--schedules: %s out of [0, 100000]" s))
+    in
+    Arg.(
+      value
+      & opt (conv (parse, Fmt.int)) 20
+      & info [ "schedules" ] ~docv:"K"
+          ~doc:
+            "Seeded random tie-break schedules to sweep (the FIFO schedule \
+             is always trial 0).")
+  in
+  let schedule_seed =
+    Arg.(
+      value & opt int 7
+      & info [ "schedule-seed" ] ~docv:"S"
+          ~doc:"Base seed the per-schedule seeds are derived from.")
+  in
+  let loss =
+    let parse s =
+      match float_of_string_opt s with
+      | Some l when l >= 0. && l < 1. -> Ok l
+      | _ -> Error (`Msg (Fmt.str "--loss: %s out of [0,1)" s))
+    in
+    Arg.(
+      value
+      & opt (conv (parse, Fmt.float)) 0.
+      & info [ "loss" ] ~docv:"L"
+          ~doc:"Bernoulli per-copy channel loss, in [0,1).")
+  in
+  let crash =
+    let parse s =
+      match float_of_string_opt s with
+      | Some f when f >= 0. && f <= 1. -> Ok f
+      | _ -> Error (`Msg (Fmt.str "--crash: %s out of [0,1]" s))
+    in
+    Arg.(
+      value
+      & opt (conv (parse, Fmt.float)) 0.
+      & info [ "crash" ] ~docv:"F"
+          ~doc:
+            "Also sweep every schedule against a fault plan crashing this \
+             fraction of the nodes mid-run.")
+  in
+  let spread =
+    let parse s =
+      match float_of_string_opt s with
+      | Some t when t >= 0. -> Ok t
+      | _ -> Error (`Msg (Fmt.str "--spread: %s is not a delay >= 0" s))
+    in
+    Arg.(
+      value
+      & opt (conv (parse, Fmt.float)) 0.
+      & info [ "spread" ] ~docv:"T"
+          ~doc:"Stagger node start times uniformly in [0,T].")
+  in
+  let mutant =
+    Arg.(
+      value & flag
+      & info [ "mutant" ]
+          ~doc:
+            "Arm the deliberately injected ack-reordering bug (the \
+             harness's self-test: the sweep must catch it).")
+  in
+  let invariant =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [ ("oracle", Check.Scenario.Oracle);
+                  ("guarantees", Check.Scenario.Guarantees);
+                  ("powers-grow", Check.Scenario.Powers_grow) ]))
+          None
+      & info [ "invariant" ] ~docv:"INV"
+          ~doc:
+            "Invariant to check: oracle, guarantees or powers-grow \
+             (default: oracle for reliable fault-free sweeps, guarantees \
+             otherwise).")
+  in
+  let artifact =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "artifact" ] ~docv:"FILE"
+          ~doc:
+            "On failure, shrink the first failing trial and write a \
+             replayable JSON artifact to $(docv).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a recorded artifact instead of sweeping; exits 0 when \
+             the recorded failure reproduces exactly.")
+  in
+  let budget =
+    let parse s =
+      match int_of_string_opt s with
+      | Some b when b >= 1 -> Ok b
+      | _ -> Error (`Msg (Fmt.str "--shrink-budget: %s is not >= 1" s))
+    in
+    Arg.(
+      value
+      & opt (conv (parse, Fmt.int)) 400
+      & info [ "shrink-budget" ] ~docv:"B"
+          ~doc:"Protocol runs the shrinker may spend.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write a JSON sweep manifest (trial count, digest, failures).")
+  in
+  let do_replay path obsout =
+    let a =
+      try Check.Artifact.load path
+      with e ->
+        Fmt.epr "check: cannot load artifact %s: %s@." path
+          (Printexc.to_string e);
+        exit 2
+    in
+    with_obs obsout
+      ~manifest:
+        [ ("command", Obs.Jsonl.Str "check-replay");
+          ("artifact", Obs.Jsonl.Str path) ]
+    @@ fun obs ->
+    match Check.Artifact.replay ~obs a with
+    | Ok (msg, digest) when String.equal msg a.Check.Artifact.message ->
+        Fmt.pr "reproduced: %s@.digest %s@." msg digest;
+        exit 0
+    | Ok (msg, _) ->
+        Fmt.pr "reproduced a different failure: %s@.recorded:   %s@." msg
+          a.Check.Artifact.message;
+        exit 1
+    | Error digest ->
+        Fmt.pr "artifact no longer fails (digest %s)@." digest;
+        exit 1
+  in
+  let action n side range seed alpha schedules schedule_seed loss crash spread
+      mutant invariant artifact replay budget out jobs obsout =
+    match replay with
+    | Some path -> do_replay path obsout
+    | None ->
+        with_obs obsout
+          ~manifest:
+            (manifest_of ~command:"check" ~n ~side ~range ~seed ~alpha
+               [ ("schedules", Obs.Jsonl.Int schedules);
+                 ("mutant", Obs.Jsonl.Bool mutant); jobs_field jobs ])
+        @@ fun _obs ->
+        let invariant =
+          match invariant with
+          | Some inv -> inv
+          | None ->
+              if loss = 0. && crash = 0. then Check.Scenario.Oracle
+              else Check.Scenario.Guarantees
+        in
+        let sc =
+          Check.Scenario.make ~alpha ~side ~range ~start_spread:spread ~loss
+            ~mutant ~invariant ~run_seed:seed ~n ~seed ()
+        in
+        (* The crash grid pairs every schedule with both the fault-free
+           plan and one mid-run crash plan, so ordering bugs in the
+           crash-recovery path are in scope too. *)
+        let plans =
+          if crash <= 0. then []
+          else
+            [ Faults.Plan.empty;
+              Faults.Plan.random_crashes
+                ~prng:(Prng.create ~seed:(seed + 1))
+                ~n ~fraction:crash ~window:(1., 20.) () ]
+        in
+        let report =
+          Parallel.Pool.with_pool ?jobs (fun pool ->
+              Check.Explore.sweep ~pool ~schedules ~seed:schedule_seed ~plans
+                sc)
+        in
+        Fmt.pr "%a@." Check.Explore.pp_report report;
+        let failures = report.Check.Explore.failures in
+        let shrunk =
+          match failures with
+          | [] -> None
+          | f :: _ ->
+              let r =
+                Check.Shrink.minimize ~budget f.Check.Explore.scenario
+                  f.Check.Explore.policy
+              in
+              Fmt.pr
+                "shrunk first failure to %d nodes / %d replay decisions (%d \
+                 runs):@.  %s@."
+                (Check.Scenario.nb_nodes r.Check.Shrink.scenario)
+                (Array.length r.Check.Shrink.prios)
+                r.Check.Shrink.runs r.Check.Shrink.message;
+              Option.iter
+                (fun path ->
+                  Check.Artifact.save path (Check.Artifact.of_shrink r);
+                  Fmt.pr "wrote artifact %s@." path)
+                artifact;
+              Some r
+        in
+        ignore shrunk;
+        Option.iter
+          (fun path ->
+            let doc =
+              Obs.Jsonl.Obj
+                [
+                  ("command", Obs.Jsonl.Str "check");
+                  ("n", Obs.Jsonl.Int n);
+                  ("seed", Obs.Jsonl.Int seed);
+                  ("alpha", Obs.Jsonl.Float alpha);
+                  ("schedules", Obs.Jsonl.Int schedules);
+                  ("schedule_seed", Obs.Jsonl.Int schedule_seed);
+                  ("loss", Obs.Jsonl.Float loss);
+                  ("crash", Obs.Jsonl.Float crash);
+                  ("spread", Obs.Jsonl.Float spread);
+                  ("mutant", Obs.Jsonl.Bool mutant);
+                  ( "invariant",
+                    Obs.Jsonl.Str (Check.Scenario.invariant_to_string invariant)
+                  );
+                  ("trials", Obs.Jsonl.Int report.Check.Explore.trials);
+                  ("plans", Obs.Jsonl.Int report.Check.Explore.plans);
+                  ("failures", Obs.Jsonl.Int (List.length failures));
+                  ("digest", Obs.Jsonl.Str report.Check.Explore.digest);
+                ]
+            in
+            let oc = open_out path in
+            output_string oc (Obs.Jsonl.to_string doc);
+            output_char oc '\n';
+            close_out oc;
+            Fmt.pr "wrote %s@." path)
+          out;
+        if failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Explore same-timestamp event schedules of the distributed \
+          protocol: sweep seeded tie-break permutations (optionally x a \
+          crash grid) against an invariant, shrink failures to minimal \
+          replayable artifacts, and replay recorded artifacts.  Exits \
+          non-zero when any schedule violates the invariant.")
+    Term.(
+      const action $ nodes $ side $ range $ seed $ alpha $ schedules
+      $ schedule_seed $ loss $ crash $ spread $ mutant $ invariant $ artifact
+      $ replay $ budget $ out $ jobs $ obs_out)
+
 (* ---------- theory ---------- *)
 
 let theory_cmd =
@@ -798,4 +1053,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; sweep_cmd; topology_cmd; protocol_cmd; stress_cmd;
-            theory_cmd; compare_cmd; route_cmd; lifetime_cmd ]))
+            check_cmd; theory_cmd; compare_cmd; route_cmd; lifetime_cmd ]))

@@ -131,13 +131,28 @@ let constructions () =
     (Graphkit.Traversal.is_connected gr)
     (not (Graphkit.Traversal.is_connected g))
 
+(* Exit codes follow the cbtc_cli convention: 2 for usage errors, 3 for
+   output-sink errors — both before any simulation work runs. *)
+let usage_error fmt =
+  Fmt.kstr
+    (fun msg ->
+      Fmt.epr "cbtc_report: %s@.usage: cbtc_report [SEEDS] [OUTPUT.html]@." msg;
+      exit 2)
+    fmt
+
+let parse_seeds s =
+  match int_of_string_opt s with
+  | Some n when n >= 1 -> n
+  | Some n -> usage_error "SEEDS must be at least 1 (got %d)" n
+  | None -> usage_error "SEEDS must be an integer (got %S)" s
+
 let () =
-  let args = Array.to_list Sys.argv in
-  let seeds_count =
-    match args with _ :: n :: _ -> int_of_string n | _ -> 20
-  in
-  let out =
-    match args with _ :: _ :: path :: _ -> path | _ -> "report.html"
+  let seeds_count, out =
+    match Array.to_list Sys.argv with
+    | [ _ ] -> (20, "report.html")
+    | [ _; n ] -> (parse_seeds n, "report.html")
+    | [ _; n; path ] -> (parse_seeds n, path)
+    | _ -> usage_error "expected at most 2 arguments"
   in
   let seeds = Workload.Scenario.seeds ~base:42 ~count:seeds_count in
   let html =
@@ -164,6 +179,11 @@ td:first-child, th:first-child { text-align: left; }
 |}
       seeds_count (table1 seeds) (constructions ()) (figure6 ())
   in
-  let oc = open_out out in
+  let oc =
+    try open_out out
+    with Sys_error msg ->
+      Fmt.epr "cbtc_report: cannot open output file: %s@." msg;
+      exit 3
+  in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc html);
   Fmt.pr "wrote %s (%d bytes)@." out (String.length html)

@@ -45,6 +45,7 @@ type outcome = {
   alive : bool array;
   injected : Faults.Inject.stats;
   stats : stats;
+  schedule_log : int array;
 }
 
 type phase = Growing | Settling | Done
@@ -58,6 +59,7 @@ type node = {
   mutable attempt : int;  (* hello broadcasts used at the current step *)
   mutable settle_left : int;
   mutable neighbors : Neighbor.t IMap.t;  (* N_u, keyed by id *)
+  mutable last_ack_src : int;  (* highest new-ack src this step (mutant only) *)
   mutable acked : float IMap.t;  (* nodes I acked -> estimated link power *)
   mutable removed_by : ISet.t;  (* senders of Remove notifications *)
   mutable boundary : bool;
@@ -79,7 +81,8 @@ let check_reliability r =
 
 let run ?(obs = Obs.Recorder.nil) ?(channel = Dsim.Channel.reliable)
     ?(hello_repeats = 1) ?(seed = 1) ?(start_spread = 0.)
-    ?(reliability = legacy) ?(faults = Faults.Plan.empty) config pathloss
+    ?(reliability = legacy) ?(faults = Faults.Plan.empty)
+    ?(policy = Dsim.Eventq.Fifo) ?(mutant = false) config pathloss
     positions =
   check_growth config;
   if hello_repeats < 1 then invalid_arg "Distributed.run: hello_repeats < 1";
@@ -87,7 +90,7 @@ let run ?(obs = Obs.Recorder.nil) ?(channel = Dsim.Channel.reliable)
   check_reliability reliability;
   let alpha = config.Config.alpha in
   let n = Array.length positions in
-  let sim = Dsim.Sim.create ~obs () in
+  let sim = Dsim.Sim.create ~obs ~policy () in
   let prng = Prng.create ~seed in
   let net =
     Airnet.Net.create ~obs ~sim ~pathloss ~channel ~prng:(Prng.split prng)
@@ -105,6 +108,7 @@ let run ?(obs = Obs.Recorder.nil) ?(channel = Dsim.Channel.reliable)
           attempt = 0;
           settle_left = 0;
           neighbors = IMap.empty;
+          last_ack_src = -1;
           acked = IMap.empty;
           removed_by = ISet.empty;
           boundary = false;
@@ -146,6 +150,7 @@ let run ?(obs = Obs.Recorder.nil) ?(channel = Dsim.Channel.reliable)
         node.rounds <- node.rounds + 1;
         Obs.Recorder.incr obs "protocol.power_steps";
         node.attempt <- 1;
+        node.last_ack_src <- -1;
         for i = 0 to hello_repeats - 1 do
           ignore
             (Dsim.Sim.schedule sim
@@ -160,6 +165,7 @@ let run ?(obs = Obs.Recorder.nil) ?(channel = Dsim.Channel.reliable)
         (* The gap may be a lost probe rather than a real hole: retry the
            same power before paying for a bigger radius. *)
         node.attempt <- node.attempt + 1;
+        node.last_ack_src <- -1;
         Airnet.Net.note_retransmit net node.id;
         hello node;
         ignore
@@ -188,6 +194,7 @@ let run ?(obs = Obs.Recorder.nil) ?(channel = Dsim.Channel.reliable)
       if node.settle_left = 0 then node.phase <- Done
       else begin
         node.settle_left <- node.settle_left - 1;
+        node.last_ack_src <- -1;
         Airnet.Net.note_retransmit net node.id;
         hello node;
         ignore
@@ -225,6 +232,7 @@ let run ?(obs = Obs.Recorder.nil) ?(channel = Dsim.Channel.reliable)
     node.attempt <- 0;
     node.settle_left <- 0;
     node.neighbors <- IMap.empty;
+    node.last_ack_src <- -1;
     node.acked <- IMap.empty;
     node.removed_by <- ISet.empty;
     node.boundary <- false;
@@ -254,17 +262,30 @@ let run ?(obs = Obs.Recorder.nil) ?(channel = Dsim.Channel.reliable)
           ignore
             (Airnet.Net.send net ~src:r.dst ~dst:r.src ~power:link_power Ack)
       | Ack ->
-          if not (IMap.mem r.src me.neighbors) then begin
-            let link_power =
-              Radio.Pathloss.estimate_link_power pathloss ~tx_power:r.tx_power
-                ~rx_power:r.rx_power
-            in
-            me.neighbors <-
-              IMap.add r.src
-                (Neighbor.make ~id:r.src ~dir:r.rx_dir ~link_power
-                   ~tag:me.power)
-                me.neighbors
-          end
+          if not (IMap.mem r.src me.neighbors) then
+            (* [mutant] is the deliberate reordering bug the schedule
+               explorer must catch (see Check.Explore's mutation smoke
+               test): it assumes first-time acks arrive in ascending src
+               order and discards "late" ones.  Under the default FIFO
+               tie-break and a reliable channel that assumption actually
+               holds — broadcasts deliver to an audience sorted by id, so
+               each step's ack batch comes back ascending — which is
+               precisely what makes the bug invisible to every
+               single-schedule test and a fair target for exploration. *)
+            if mutant && r.src < me.last_ack_src then
+              Obs.Recorder.incr obs "mutant.dropped_acks"
+            else begin
+              if r.src > me.last_ack_src then me.last_ack_src <- r.src;
+              let link_power =
+                Radio.Pathloss.estimate_link_power pathloss
+                  ~tx_power:r.tx_power ~rx_power:r.rx_power
+              in
+              me.neighbors <-
+                IMap.add r.src
+                  (Neighbor.make ~id:r.src ~dir:r.rx_dir ~link_power
+                     ~tag:me.power)
+                  me.neighbors
+            end
       | Remove seq ->
           (* Idempotent: duplicates re-add to a set and re-ack. *)
           me.removed_by <- ISet.add r.src me.removed_by;
@@ -369,6 +390,7 @@ let run ?(obs = Obs.Recorder.nil) ?(channel = Dsim.Channel.reliable)
     removals = !removals;
     alive = alive_arr;
     injected;
+    schedule_log = Dsim.Sim.schedule_log sim;
     stats =
       {
         transmissions = Airnet.Net.transmissions net;

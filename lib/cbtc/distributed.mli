@@ -93,6 +93,11 @@ type outcome = {
   alive : bool array;  (** liveness at quiescence, per node *)
   injected : Faults.Inject.stats;  (** faults that actually fired *)
   stats : stats;
+  schedule_log : int array;
+      (** the event queue's tie-break decision log (see
+          {!Dsim.Eventq.log}): empty under the default [Fifo] policy,
+          else one priority per scheduled event.  Re-running with
+          [~policy:(Replay log)] reproduces the schedule exactly. *)
 }
 
 (** [run ?channel ?hello_repeats ?seed ?start_spread ?reliability ?faults
@@ -117,6 +122,20 @@ type outcome = {
       minimum power.  Messages already in flight from a node that then
       crashed are suppressed on receipt.
 
+    - [policy] (default {!Dsim.Eventq.Fifo}) selects the simulator's
+      same-timestamp tie-break rule.  [Fifo] is bit-identical to the
+      historical engine; [Seeded _] explores a random permutation of
+      every tie group and [Replay _] replays a recorded
+      [outcome.schedule_log] — the machinery of {!Check.Explore}.
+    - [mutant] (default [false]) arms a deliberately injected
+      reordering bug for the harness's mutation smoke test: first-time
+      Acks arriving out of ascending-src order are discarded.  Under
+      [Fifo] and a reliable channel the discarded set is empty (each
+      step's ack batch arrives ascending because broadcast audiences
+      are sorted by id), so the mutant is invisible to every
+      single-schedule test — only schedule exploration catches it.
+      Never enable outside the harness.
+
     @raise Invalid_argument if [config.growth] is [Exact], if
     [hello_repeats < 1], if [start_spread < 0], or if [reliability] is
     malformed ([hello_attempts < 1], [settle_rounds < 0],
@@ -129,7 +148,13 @@ val run :
   ?start_spread:float ->
   ?reliability:reliability ->
   ?faults:Faults.Plan.t ->
+  ?policy:Dsim.Eventq.policy ->
+  ?mutant:bool ->
   Config.t ->
   Radio.Pathloss.t ->
   Geom.Vec2.t array ->
   outcome
+
+(** [result]-typed invariant adapters for the schedule-exploration
+    harness live in {!Verify} ([Verify.check_guarantees],
+    [Verify.check_oracle], [Verify.discovery_equal]). *)

@@ -317,12 +317,13 @@ let start_ndp t node =
   ignore (Lazy.force expire_timer)
 
 let create ?(obs = Obs.Recorder.nil) ?(channel = Dsim.Channel.reliable)
-    ?(seed = 1) ?(params = default_params) config pathloss positions =
+    ?(seed = 1) ?(params = default_params) ?(policy = Dsim.Eventq.Fifo) config
+    pathloss positions =
   let p0, growth_factor = growth_params config in
   if params.beacon_interval <= 0. || params.miss_limit < 1
      || params.hello_repeats < 1
   then invalid_arg "Reconfig.create: bad params";
-  let sim = Dsim.Sim.create ~obs () in
+  let sim = Dsim.Sim.create ~obs ~policy () in
   let prng = Prng.create ~seed in
   let net =
     Airnet.Net.create ~obs ~sim ~pathloss ~channel ~prng:(Prng.split prng)
@@ -430,3 +431,15 @@ let discovery t =
     power = Array.map (fun node -> node.power) t.nodes;
     boundary = Array.map (fun node -> node.boundary) t.nodes;
   }
+
+let schedule_log t = Dsim.Sim.schedule_log t.sim
+
+(* Invariant adapter for the schedule-exploration harness: after the
+   network has settled, the survivors' converged state must satisfy the
+   CBTC guarantees whatever order the NDP/growth events interleaved in. *)
+let check_stable t =
+  let alive_arr = Array.init (nb_nodes t) (alive t) in
+  match Verify.surviving ~alive:alive_arr (discovery t) with
+  | () -> Ok ()
+  | exception Failure msg -> Error msg
+  | exception Invalid_argument msg -> Error msg

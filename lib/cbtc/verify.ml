@@ -180,3 +180,54 @@ let degradation ?reference (o : Distributed.outcome) =
     delivery_ratio;
     extra_rounds;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Invariant adapters for the schedule-exploration harness.  They turn
+   the exception-raising verifiers into [result]s so Check.Explore can
+   aggregate failures across thousands of trials without unwinding. *)
+
+let guard f =
+  match f () with
+  | () -> Ok ()
+  | exception Failure msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+let check_guarantees ?complete (o : Distributed.outcome) =
+  guard (fun () -> surviving ?complete ~alive:o.Distributed.alive o.Distributed.discovery)
+
+let discovery_equal ~oracle (d : Discovery.t) =
+  let ids nbs =
+    List.map (fun (nb : Neighbor.t) -> nb.id) nbs |> List.sort Int.compare
+  in
+  (* no break hints: these messages must stay single-line (they are
+     embedded in one-line JSON replay artifacts) *)
+  let pp_ids = Fmt.(list ~sep:(any ", ") int) in
+  let n = Discovery.nb_nodes oracle in
+  if n <> Discovery.nb_nodes d then
+    Error
+      (Fmt.str "node counts differ: oracle %d vs %d" n (Discovery.nb_nodes d))
+  else begin
+    let err = ref None in
+    let fail u msg = if !err = None then err := Some (u, msg) in
+    for u = 0 to n - 1 do
+      let a = ids oracle.Discovery.neighbors.(u)
+      and b = ids d.Discovery.neighbors.(u) in
+      if a <> b then
+        fail u (Fmt.str "N differs: oracle {%a} vs {%a}" pp_ids a pp_ids b);
+      if Float.abs (oracle.Discovery.power.(u) -. d.Discovery.power.(u)) > 1e-6
+      then
+        fail u
+          (Fmt.str "power differs: oracle %g vs %g" oracle.Discovery.power.(u)
+             d.Discovery.power.(u));
+      if oracle.Discovery.boundary.(u) <> d.Discovery.boundary.(u) then
+        fail u
+          (Fmt.str "boundary differs: oracle %b vs %b"
+             oracle.Discovery.boundary.(u) d.Discovery.boundary.(u))
+    done;
+    match !err with
+    | None -> Ok ()
+    | Some (u, msg) -> Error (Fmt.str "node %d: %s" u msg)
+  end
+
+let check_oracle ~oracle (o : Distributed.outcome) =
+  discovery_equal ~oracle o.Distributed.discovery

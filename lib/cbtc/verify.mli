@@ -57,3 +57,26 @@ type degradation = {
     is typically the fault-free, reliable-channel run of the same
     scenario and only influences [extra_rounds]. *)
 val degradation : ?reference:Distributed.outcome -> Distributed.outcome -> degradation
+
+(** {1 Invariant adapters}
+
+    [result]-typed wrappers around the verification passes, for the
+    schedule-exploration harness ([Check.Explore]): a failing trial
+    becomes an [Error] message instead of an exception, so sweeps
+    aggregate failures cheaply. *)
+
+(** [check_guarantees ?complete o] is {!surviving} on [o]'s surviving
+    nodes, as a [result]. *)
+val check_guarantees :
+  ?complete:bool -> Distributed.outcome -> (unit, string) result
+
+(** [discovery_equal ~oracle d] checks [d] against the centralized
+    oracle's converged state: same neighbor id sets, powers within
+    [1e-6], same boundary flags.  [Error] describes the first
+    mismatching node. *)
+val discovery_equal :
+  oracle:Discovery.t -> Discovery.t -> (unit, string) result
+
+(** [check_oracle ~oracle o] is [discovery_equal ~oracle o.discovery]. *)
+val check_oracle :
+  oracle:Discovery.t -> Distributed.outcome -> (unit, string) result

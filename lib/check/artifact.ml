@@ -1,0 +1,69 @@
+type t = { scenario : Scenario.t; prios : int array; message : string }
+
+let of_shrink (r : Shrink.result) =
+  { scenario = r.Shrink.scenario; prios = r.Shrink.prios;
+    message = r.Shrink.message }
+
+let to_json a =
+  let open Obs.Jsonl in
+  Obj
+    [
+      ("format", Str "cbtc-check-artifact");
+      ("version", Int 1);
+      ("scenario", Scenario.to_json a.scenario);
+      ("prios", List (Array.to_list a.prios |> List.map (fun p -> Int p)));
+      ("message", Str a.message);
+    ]
+
+let of_json j =
+  let get k =
+    match Obs.Jsonl.member k j with
+    | Some v -> v
+    | None -> invalid_arg ("Check.Artifact: missing field " ^ k)
+  in
+  (match get "format" with
+  | Obs.Jsonl.Str "cbtc-check-artifact" -> ()
+  | _ -> invalid_arg "Check.Artifact: not a check artifact");
+  let prios =
+    match get "prios" with
+    | Obs.Jsonl.List l ->
+        List.map
+          (function
+            | Obs.Jsonl.Int p -> p
+            | _ -> invalid_arg "Check.Artifact: bad priority")
+          l
+        |> Array.of_list
+    | _ -> invalid_arg "Check.Artifact: bad prios"
+  in
+  let message =
+    match get "message" with
+    | Obs.Jsonl.Str s -> s
+    | _ -> invalid_arg "Check.Artifact: bad message"
+  in
+  { scenario = Scenario.of_json (get "scenario"); prios; message }
+
+let save path a =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Obs.Jsonl.to_string (to_json a));
+      output_char oc '\n')
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let text = really_input_string ic (in_channel_length ic) in
+      of_json (Obs.Jsonl.of_string (String.trim text)))
+
+let replay ?obs a =
+  let policy = Dsim.Eventq.Replay a.prios in
+  match Scenario.run ?obs ~policy a.scenario with
+  | o -> (
+      let digest = Scenario.digest o in
+      match Scenario.check a.scenario o with
+      | Ok () -> Error digest
+      | Error msg -> Ok (msg, digest))
+  | exception e -> Ok ("exception: " ^ Printexc.to_string e, "!")

@@ -1,0 +1,35 @@
+(** Replayable failure artifacts.
+
+    A minimized failing trial ({!Shrink.result}) is persisted as a
+    single-line JSON document carrying the full scenario, the replay
+    priority log and the failure message — everything needed to
+    reproduce the failure bit-for-bit on any machine, with no seeds or
+    external state.  Artifacts double as regression tests: {!replay}
+    re-runs the scenario under [Replay prios] and reports whether the
+    failure still reproduces. *)
+
+type t = { scenario : Scenario.t; prios : int array; message : string }
+
+val of_shrink : Shrink.result -> t
+
+val to_json : t -> Obs.Jsonl.t
+
+(** @raise Invalid_argument when the document is not a version-1 check
+    artifact. *)
+val of_json : Obs.Jsonl.t -> t
+
+(** [save path a] writes the artifact as one JSON line. *)
+val save : string -> t -> unit
+
+(** [load path] parses an artifact written by {!save}.
+    @raise Invalid_argument or [Obs.Jsonl.Parse_error] on malformed
+    input, [Sys_error] on IO errors. *)
+val load : string -> t
+
+(** [replay ?obs a] re-runs the artifact's scenario under
+    [Replay a.prios].  [Ok (message, digest)] when the invariant still
+    fails (the reproduced failure and the run's outcome digest);
+    [Error digest] when the run now passes — the bug is fixed (or the
+    artifact is stale).  With [obs], the replay records a full trace. *)
+val replay :
+  ?obs:Obs.Recorder.t -> t -> (string * string, string) result

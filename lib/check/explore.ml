@@ -1,0 +1,105 @@
+type failure = {
+  trial : int;
+  policy : Dsim.Eventq.policy;
+  scenario : Scenario.t;
+  message : string;
+  log : int array;
+}
+
+type report = {
+  trials : int;
+  schedules : int;
+  plans : int;
+  failures : failure list;
+  digest : string;
+}
+
+type trial_spec = {
+  index : int;
+  t_policy : Dsim.Eventq.policy;
+  t_scenario : Scenario.t;
+}
+
+(* One trial = one protocol run + one invariant check, fully determined
+   by its spec.  Exceptions are demoted to failures so a sweep always
+   runs to completion and reports everything it saw. *)
+let run_trial ~oracle spec =
+  match Scenario.run ~policy:spec.t_policy spec.t_scenario with
+  | o -> (
+      let digest = Scenario.digest o in
+      match Scenario.check ~oracle spec.t_scenario o with
+      | Ok () -> (digest, None)
+      | Error msg -> (digest, Some (msg, o.Cbtc.Distributed.schedule_log)))
+  | exception e -> ("!", Some ("exception: " ^ Printexc.to_string e, [||]))
+
+let sweep ?pool ?(schedules = 20) ?(seed = 7) ?(plans = []) sc =
+  if schedules < 0 then invalid_arg "Check.Explore.sweep: schedules < 0";
+  let plans = if plans = [] then [ sc.Scenario.faults ] else plans in
+  let sseeds = Parallel.Seeds.ints (Prng.create ~seed) schedules in
+  let policies =
+    Dsim.Eventq.Fifo
+    :: (Array.to_list sseeds |> List.map (fun s -> Dsim.Eventq.Seeded s))
+  in
+  (* The trial list is built up-front in a fixed order (policy-major,
+     plan-minor), and results are folded back in that order: the report
+     is bit-identical for every pool size. *)
+  let specs =
+    List.concat_map
+      (fun policy ->
+        List.map
+          (fun plan ->
+            { index = 0; t_policy = policy;
+              t_scenario = { sc with Scenario.faults = plan } })
+          plans)
+      policies
+    |> List.mapi (fun i spec -> { spec with index = i })
+    |> Array.of_list
+  in
+  let oracle = Scenario.oracle sc in
+  let results =
+    match pool with
+    | Some pool -> Parallel.Pool.map pool (run_trial ~oracle) specs
+    | None -> Array.map (run_trial ~oracle) specs
+  in
+  let buf = Buffer.create (33 * Array.length results) in
+  let failures = ref [] in
+  Array.iteri
+    (fun i (digest, verdict) ->
+      Buffer.add_string buf digest;
+      Buffer.add_char buf '\n';
+      match verdict with
+      | None -> ()
+      | Some (message, log) ->
+          failures :=
+            {
+              trial = i;
+              policy = specs.(i).t_policy;
+              scenario = specs.(i).t_scenario;
+              message;
+              log;
+            }
+            :: !failures)
+    results;
+  {
+    trials = Array.length specs;
+    schedules;
+    plans = List.length plans;
+    failures = List.rev !failures;
+    digest = Digest.to_hex (Digest.string (Buffer.contents buf));
+  }
+
+let pp_policy ppf = function
+  | Dsim.Eventq.Fifo -> Fmt.pf ppf "fifo"
+  | Dsim.Eventq.Seeded s -> Fmt.pf ppf "seeded:%d" s
+  | Dsim.Eventq.Replay log -> Fmt.pf ppf "replay:%d" (Array.length log)
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>%d trials (%d schedules x %d plans): %d failure%s@,"
+    r.trials (r.schedules + 1) r.plans
+    (List.length r.failures)
+    (if List.length r.failures = 1 then "" else "s");
+  List.iter
+    (fun f ->
+      Fmt.pf ppf "  trial %d [%a]: %s@," f.trial pp_policy f.policy f.message)
+    r.failures;
+  Fmt.pf ppf "digest %s@]" r.digest

@@ -1,0 +1,49 @@
+(** Schedule exploration: sweep one scenario across many same-timestamp
+    tie-break orders (and, optionally, a grid of fault plans), checking
+    the scenario's invariant after every run.
+
+    The sweep always includes the default [Fifo] schedule as trial 0,
+    then [schedules] seeded random permutations; the whole grid runs in
+    parallel over a {!Parallel.Pool} when one is given.  Trials are
+    enumerated up-front in a fixed order and folded back in that order,
+    so the report — including its aggregate digest — is bit-identical
+    for every [-j]. *)
+
+type failure = {
+  trial : int;  (** index in the sweep's trial order *)
+  policy : Dsim.Eventq.policy;  (** the schedule that failed *)
+  scenario : Scenario.t;  (** concrete scenario incl. the trial's plan *)
+  message : string;  (** the violated invariant (or a caught exception) *)
+  log : int array;
+      (** the recorded tie-break decision log — replaying it reproduces
+          the failure; empty when the trial raised before completing *)
+}
+
+type report = {
+  trials : int;
+  schedules : int;  (** seeded schedules swept (excluding Fifo) *)
+  plans : int;  (** fault plans in the grid *)
+  failures : failure list;  (** in trial order *)
+  digest : string;
+      (** hex MD5 over all trial outcome digests in trial order — the
+          sweep's reproducibility fingerprint *)
+}
+
+(** [sweep ?pool ?schedules ?seed ?plans sc] runs
+    [(1 + schedules) * max 1 (length plans)] trials: policies
+    [Fifo, Seeded s1 ... Seeded sN] (seeds derived from [seed],
+    default 7; [schedules] defaults to 20) crossed with [plans]
+    (default: the scenario's own fault plan).  Invariant failures and
+    exceptions are collected, never raised.
+    @raise Invalid_argument when [schedules < 0]. *)
+val sweep :
+  ?pool:Parallel.Pool.t ->
+  ?schedules:int ->
+  ?seed:int ->
+  ?plans:Faults.Plan.t list ->
+  Scenario.t ->
+  report
+
+val pp_policy : Dsim.Eventq.policy Fmt.t
+
+val pp_report : report Fmt.t

@@ -1,0 +1,113 @@
+(** A self-contained, serializable description of one protocol trial —
+    placement, radio model, channel, fault plan, protocol knobs and the
+    invariant to check — that can be re-run under any {!Dsim.Eventq}
+    tie-break policy.
+
+    This is the unit the schedule explorer ({!Explore}) sweeps and the
+    shrinker ({!Shrink}) minimizes: everything needed to reproduce a run
+    bit-for-bit is in the record (plus a policy), and {!to_json} /
+    {!of_json} round-trip it through the replay artifact format. *)
+
+(** What a trial must satisfy:
+
+    - [Oracle]: the converged state equals the centralized oracle's
+      ({!Cbtc.Verify.check_oracle}) — the strongest check, valid for
+      reliable fault-free runs where the paper proves equivalence.
+    - [Guarantees]: the surviving nodes' state satisfies the CBTC
+      guarantees ({!Cbtc.Verify.check_guarantees}); completeness is
+      demanded only of reliable fault-free runs.
+    - [Powers_grow]: no surviving node converged below the fault-free
+      oracle power — the protocol only ever grows powers, so loss and
+      crashes may push them up, never down. *)
+type invariant = Oracle | Guarantees | Powers_grow
+
+type t = {
+  alpha : float;  (** cone angle *)
+  exponent : float;  (** pathloss exponent *)
+  coeff : float;  (** pathloss coefficient *)
+  max_range : float;  (** maximum radio range *)
+  p0 : float;  (** base of the [Double] growth schedule *)
+  positions : Geom.Vec2.t array;
+  start_spread : float;  (** stagger of node start times *)
+  loss : float;  (** Bernoulli per-copy loss, in [0, 1) *)
+  hello_repeats : int;
+  hardened : bool;  (** use the {!Cbtc.Distributed.hardened} profile *)
+  run_seed : int;  (** network PRNG seed (delays, loss, spread) *)
+  faults : Faults.Plan.t;
+  mutant : bool;  (** arm the deliberate reordering bug *)
+  invariant : invariant;
+}
+
+(** [make ~n ~seed ()] draws an [n]-node uniform placement from the
+    standard workload generator ([Workload.Scenario]) on a
+    [side x side] field (default 1500) with radio range [range]
+    (default 500), and packages it with the given knobs (defaults:
+    alpha 5pi/6, [Double 100.] growth, reliable channel, no faults,
+    legacy reliability, [Oracle] invariant).
+    @raise Invalid_argument when [n < 2] or [loss] is outside [0, 1). *)
+val make :
+  ?alpha:float ->
+  ?side:float ->
+  ?range:float ->
+  ?p0:float ->
+  ?start_spread:float ->
+  ?loss:float ->
+  ?hello_repeats:int ->
+  ?hardened:bool ->
+  ?run_seed:int ->
+  ?faults:Faults.Plan.t ->
+  ?mutant:bool ->
+  ?invariant:invariant ->
+  n:int ->
+  seed:int ->
+  unit ->
+  t
+
+val nb_nodes : t -> int
+
+val config : t -> Cbtc.Config.t
+
+val pathloss : t -> Radio.Pathloss.t
+
+(** [run ?obs ?policy t] executes the distributed protocol once under
+    [policy] (default [Fifo]).  A fresh channel is built per call, so
+    repeated runs are independent and bit-reproducible. *)
+val run :
+  ?obs:Obs.Recorder.t ->
+  ?policy:Dsim.Eventq.policy ->
+  t ->
+  Cbtc.Distributed.outcome
+
+(** The fault-free centralized oracle for [t]'s placement. *)
+val oracle : t -> Cbtc.Discovery.t
+
+(** [check ?oracle t o] applies [t.invariant] to outcome [o].  Pass
+    [oracle] to amortize the oracle run across many trials of the same
+    placement. *)
+val check :
+  ?oracle:Cbtc.Discovery.t ->
+  t ->
+  Cbtc.Distributed.outcome ->
+  (unit, string) result
+
+(** [digest o] is a hex MD5 fingerprint of the converged state (neighbor
+    ids, powers, boundary/liveness flags, Remove count).  Equal digests
+    mean equal converged states — the explorer's cross-[-j] determinism
+    contract is stated over these. *)
+val digest : Cbtc.Distributed.outcome -> string
+
+(** [drop_nodes t ~keep] deletes the nodes with [keep.(u) = false],
+    compacting ids and renaming the fault plan accordingly
+    ({!Faults.Plan.restrict}) — the shrinker's node-deletion move.
+    @raise Invalid_argument when [keep] has the wrong length or fewer
+    than 2 nodes survive. *)
+val drop_nodes : t -> keep:bool array -> t
+
+val invariant_to_string : invariant -> string
+
+val invariant_of_string : string -> invariant
+
+val to_json : t -> Obs.Jsonl.t
+
+(** @raise Invalid_argument on a malformed document. *)
+val of_json : Obs.Jsonl.t -> t

@@ -1,0 +1,110 @@
+type result = {
+  scenario : Scenario.t;
+  prios : int array;
+  message : string;
+  runs : int;
+}
+
+(* One shrink probe: run + check, demoting exceptions to failures (an
+   exception is as good a bug as an invariant violation, and shrinking
+   must not unwind past it). *)
+let probe sc policy =
+  match Scenario.run ~policy sc with
+  | o -> (
+      match Scenario.check sc o with
+      | Ok () -> None
+      | Error msg -> Some (msg, o.Cbtc.Distributed.schedule_log))
+  | exception e -> Some ("exception: " ^ Printexc.to_string e, [||])
+
+let minimize ?(budget = 400) sc policy =
+  if budget < 1 then invalid_arg "Check.Shrink.minimize: budget < 1";
+  let runs = ref 0 in
+  let attempt sc policy =
+    incr runs;
+    probe sc policy
+  in
+  match attempt sc policy with
+  | None ->
+      invalid_arg
+        "Check.Shrink.minimize: scenario does not fail under the given policy"
+  | Some (msg0, log0) ->
+      (* Phase 1 — node deletion (ddmin-style: halves, then singles),
+         re-running under the original policy.  Any surviving failure is
+         accepted, even if its message drifts: the minimized artifact
+         documents whatever bug remains reachable in the smaller
+         scenario. *)
+      let cur = ref sc and cur_msg = ref msg0 and cur_log = ref log0 in
+      let try_drop keep =
+        if !runs >= budget then false
+        else
+          match Scenario.drop_nodes !cur ~keep with
+          | exception Invalid_argument _ -> false
+          | sc' -> (
+              match attempt sc' policy with
+              | Some (msg, log) ->
+                  cur := sc';
+                  cur_msg := msg;
+                  cur_log := log;
+                  true
+              | None -> false)
+      in
+      let progress = ref true in
+      while !progress && !runs < budget do
+        progress := false;
+        let n = Scenario.nb_nodes !cur in
+        if n >= 4 then begin
+          let drop_range lo hi =
+            Array.init n (fun u -> not (lo <= u && u < hi))
+          in
+          if try_drop (drop_range 0 (n / 2)) then progress := true
+          else if try_drop (drop_range (n / 2) n) then progress := true
+        end;
+        let u = ref (Scenario.nb_nodes !cur - 1) in
+        while !u >= 0 && !runs < budget do
+          let n = Scenario.nb_nodes !cur in
+          if n > 2 && !u < n then begin
+            let keep = Array.init n (fun v -> v <> !u) in
+            if try_drop keep then progress := true
+          end;
+          decr u
+        done
+      done;
+      (* Phase 2 — decision-log prefixing.  The recorded log replayed in
+         full reproduces the failure ([Replay] assigns the very same
+         priorities); pushes beyond a truncated log fall back to FIFO,
+         so the shortest failing prefix isolates the earliest reordering
+         that matters.  Binary search assumes rough monotonicity; the
+         result is verified and falls back to the full log if the
+         failure is non-monotone in the prefix length. *)
+      let full = !cur_log in
+      let lo = ref 0 and hi = ref (Array.length full) in
+      while !lo < !hi && !runs < budget do
+        let mid = (!lo + !hi) / 2 in
+        match attempt !cur (Dsim.Eventq.Replay (Array.sub full 0 mid)) with
+        | Some _ -> hi := mid
+        | None -> lo := mid + 1
+      done;
+      let candidate = Array.sub full 0 !hi in
+      let prios, message =
+        match attempt !cur (Dsim.Eventq.Replay candidate) with
+        | Some (msg, _) -> (candidate, msg)
+        | None -> (
+            match attempt !cur (Dsim.Eventq.Replay full) with
+            | Some (msg, _) -> (full, msg)
+            | None -> (full, !cur_msg))
+      in
+      (* Phase 3 — fault-event dropping under the final replay log. *)
+      let prios = ref prios and message = ref message in
+      let events = ref (Faults.Plan.events !cur.Scenario.faults) in
+      let i = ref 0 in
+      while !i < List.length !events && !runs < budget do
+        let kept = List.filteri (fun j _ -> j <> !i) !events in
+        let sc' = { !cur with Scenario.faults = Faults.Plan.make kept } in
+        (match attempt sc' (Dsim.Eventq.Replay !prios) with
+        | Some (msg, _) ->
+            cur := sc';
+            events := kept;
+            message := msg
+        | None -> incr i)
+      done;
+      { scenario = !cur; prios = !prios; message = !message; runs = !runs }

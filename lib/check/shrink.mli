@@ -1,0 +1,35 @@
+(** Minimization of a failing (placement, schedule, fault-plan) triple.
+
+    Given a scenario that violates its invariant under some tie-break
+    policy (typically a [Seeded] schedule found by {!Explore}), the
+    shrinker searches for a smaller witness in three phases:
+
+    + {e node deletion} — drop halves, then single nodes, keeping any
+      deletion under which the failure (or {e a} failure) survives; the
+      fault plan is renamed to the surviving ids
+      ({!Scenario.drop_nodes});
+    + {e decision-log prefixing} — replay the recorded priority log and
+      binary-search the shortest failing prefix (pushes beyond the
+      prefix fall back to FIFO), isolating the earliest reordering that
+      matters;
+    + {e fault-event dropping} — remove fault events one at a time while
+      the failure persists.
+
+    The result replays deterministically: running [scenario] under
+    [Replay prios] fails with [message] on every machine and every
+    [-j]. *)
+
+type result = {
+  scenario : Scenario.t;  (** minimized scenario *)
+  prios : int array;  (** minimized replay log *)
+  message : string;  (** the failure it reproduces *)
+  runs : int;  (** protocol runs the shrink consumed *)
+}
+
+(** [minimize ?budget sc policy] shrinks a failing trial.  [budget]
+    (default 400) caps the number of protocol runs across all phases;
+    shrinking is best-effort within it and always returns a verified
+    failing witness.
+    @raise Invalid_argument when [budget < 1] or [sc] does not actually
+    fail under [policy]. *)
+val minimize : ?budget:int -> Scenario.t -> Dsim.Eventq.policy -> result

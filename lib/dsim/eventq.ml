@@ -1,18 +1,44 @@
-type 'a entry = { time : float; seq : int; value : 'a }
+type policy = Fifo | Seeded of int | Replay of int array
+
+(* Priorities are drawn below this bound; ties between equal priorities
+   fall back to FIFO (insertion sequence), so even colliding draws keep
+   the order fully deterministic. *)
+let prio_bound = 1 lsl 30
+
+type 'a entry = { time : float; prio : int; seq : int; value : 'a }
 
 type 'a t = {
   mutable heap : 'a entry option array;
   mutable size : int;
   mutable next_seq : int;
+  policy : policy;
+  prng : Prng.t option;  (* Some iff policy is Seeded *)
+  replay : int array;  (* the Replay log; [||] otherwise *)
+  mutable log_rev : int list;  (* assigned priorities, push order; [] for Fifo *)
 }
 
-let create () = { heap = Array.make 64 None; size = 0; next_seq = 0 }
+let create ?(policy = Fifo) () =
+  let prng, replay =
+    match policy with
+    | Fifo -> (None, [||])
+    | Seeded seed -> (Some (Prng.create ~seed), [||])
+    | Replay prios -> (None, prios)
+  in
+  { heap = Array.make 64 None; size = 0; next_seq = 0; policy; prng; replay;
+    log_rev = [] }
+
+let policy t = t.policy
+
+let log t = Array.of_list (List.rev t.log_rev)
 
 let is_empty t = t.size = 0
 
 let size t = t.size
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let before a b =
+  a.time < b.time
+  || (a.time = b.time
+     && (a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)))
 
 let get t i = match t.heap.(i) with Some e -> e | None -> assert false
 
@@ -40,6 +66,21 @@ let rec sift_down t i =
     sift_down t !first
   end
 
+(* The priority of the next push.  Fifo assigns a constant, so the
+   (time, prio, seq) order degenerates to the historical (time, seq)
+   order bit-for-bit.  Seeded draws one splitmix64 value per push —
+   among any set of same-timestamp events this yields a uniformly random
+   permutation, deterministic in the seed and the push sequence.  Replay
+   reuses a recorded log by push index; pushes beyond the log fall back
+   to the Fifo constant, which is what makes log-prefix shrinking
+   meaningful. *)
+let next_prio t =
+  match t.policy with
+  | Fifo -> 0
+  | Seeded _ -> Prng.int (Option.get t.prng) prio_bound
+  | Replay _ ->
+      if t.next_seq < Array.length t.replay then t.replay.(t.next_seq) else 0
+
 let push t ~time value =
   if Float.is_nan time then invalid_arg "Eventq.push: nan time";
   if t.size = Array.length t.heap then begin
@@ -47,7 +88,9 @@ let push t ~time value =
     Array.blit t.heap 0 bigger 0 t.size;
     t.heap <- bigger
   end;
-  t.heap.(t.size) <- Some { time; seq = t.next_seq; value };
+  let prio = next_prio t in
+  if t.policy <> Fifo then t.log_rev <- prio :: t.log_rev;
+  t.heap.(t.size) <- Some { time; prio; seq = t.next_seq; value };
   t.next_seq <- t.next_seq + 1;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)

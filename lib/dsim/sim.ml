@@ -7,10 +7,14 @@ type t = {
   obs : Obs.Recorder.t;
 }
 
-let create ?(obs = Obs.Recorder.nil) () =
-  { now = 0.; queue = Eventq.create (); fired = 0; obs }
+let create ?(obs = Obs.Recorder.nil) ?(policy = Eventq.Fifo) () =
+  { now = 0.; queue = Eventq.create ~policy (); fired = 0; obs }
 
 let now t = t.now
+
+let policy t = Eventq.policy t.queue
+
+let schedule_log t = Eventq.log t.queue
 
 let schedule_at t ~time f =
   if time < t.now then invalid_arg "Sim.schedule_at: time in the past";

@@ -10,12 +10,24 @@ type t
 (** A cancellable handle for a scheduled event. *)
 type handle
 
-(** [create ?obs ()] builds an empty simulation.  When [obs] is given,
-    every fired event bumps the [sim.events_fired] counter. *)
-val create : ?obs:Obs.Recorder.t -> unit -> t
+(** [create ?obs ?policy ()] builds an empty simulation.  When [obs] is
+    given, every fired event bumps the [sim.events_fired] counter.
+    [policy] (default {!Eventq.Fifo}) selects the same-timestamp
+    tie-break rule — see {!Eventq.policy}; the default is bit-identical
+    to the historical FIFO engine. *)
+val create : ?obs:Obs.Recorder.t -> ?policy:Eventq.policy -> unit -> t
 
 (** [now t] is the current simulated time (starts at [0.]). *)
 val now : t -> float
+
+(** The tie-break policy the engine was created with. *)
+val policy : t -> Eventq.policy
+
+(** [schedule_log t] is the decision log of the underlying queue so far
+    (see {!Eventq.log}): empty under [Fifo], else one priority per
+    scheduled event in scheduling order.  Replaying it via
+    [create ~policy:(Replay log)] reproduces the schedule. *)
+val schedule_log : t -> int array
 
 (** [schedule t ~delay f] runs [f ()] at [now t +. delay].
     @raise Invalid_argument on a negative delay. *)

@@ -93,6 +93,24 @@ let random_asymmetric_loss ~prng ~n ~pairs ~loss:(lo, hi) ~time =
   done;
   make !events
 
+let restrict ~keep t =
+  let node u = keep u in
+  let events =
+    List.filter_map
+      (fun e ->
+        match e.kind with
+        | Crash u -> Option.map (fun u' -> { e with kind = Crash u' }) (node u)
+        | Recover u ->
+            Option.map (fun u' -> { e with kind = Recover u' }) (node u)
+        | Link_loss { src; dst; loss } -> (
+            match (node src, node dst) with
+            | Some src, Some dst ->
+                Some { e with kind = Link_loss { src; dst; loss } }
+            | _ -> None))
+      t.events
+  in
+  { events }
+
 let pp_kind ppf = function
   | Crash u -> Fmt.pf ppf "crash %d" u
   | Recover u -> Fmt.pf ppf "recover %d" u

@@ -65,4 +65,11 @@ val partition : left:int list -> right:int list -> from_:float -> until:float ->
 val random_asymmetric_loss :
   prng:Prng.t -> n:int -> pairs:int -> loss:float * float -> time:float -> t
 
+(** [restrict ~keep t] renames node ids through [keep] and drops every
+    event touching a node for which [keep] is [None] (a [Link_loss]
+    survives only when both endpoints do).  Used when shrinking a
+    failing scenario: deleting nodes compacts the id space, and the
+    fault plan must follow the survivors. *)
+val restrict : keep:(int -> int option) -> t -> t
+
 val pp : t Fmt.t

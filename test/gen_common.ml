@@ -1,0 +1,45 @@
+(* Shared QCheck placement generators for the randomized suites
+   (test_theory, test_distributed).
+
+   The generator draws 2..35 uniform points on a 400 x 400 field; the
+   shrinker deletes nodes — contiguous chunks first, then singles — so a
+   failing property reports a (near-)minimal placement instead of the
+   full random one.  Node count never shrinks below 2 (the smallest
+   network with any topology to control). *)
+
+let positions_gen =
+  QCheck.Gen.(
+    int_range 2 35 >>= fun n ->
+    list_repeat n
+      (pair (float_bound_exclusive 400.) (float_bound_exclusive 400.))
+    >|= fun pts ->
+    Array.of_list (List.map (fun (x, y) -> Geom.Vec2.make x y) pts))
+
+(* QCheck 'a Shrink.t is 'a -> 'a Iter.t: call [yield] on each smaller
+   candidate, largest deletions first so the search descends fast. *)
+let positions_shrink a yield =
+  let n = Array.length a in
+  let drop lo len =
+    Array.init (n - len) (fun i -> if i < lo then a.(i) else a.(i + len))
+  in
+  let len = ref (n / 2) in
+  while !len >= 1 do
+    if n - !len >= 2 then begin
+      let lo = ref 0 in
+      while !lo + !len <= n do
+        yield (drop !lo !len);
+        lo := !lo + !len
+      done
+    end;
+    len := !len / 2
+  done
+
+let positions_print a =
+  Fmt.str "@[<v>%d nodes:@,%a@]" (Array.length a)
+    Fmt.(
+      list ~sep:cut (fun ppf (i, p) ->
+          Fmt.pf ppf "  %d: (%.2f, %.2f)" i p.Geom.Vec2.x p.Geom.Vec2.y))
+    (Array.to_list (Array.mapi (fun i p -> (i, p)) a))
+
+let positions_arb =
+  QCheck.make ~shrink:positions_shrink ~print:positions_print positions_gen

@@ -1,0 +1,31 @@
+The HTML report generator runs end to end on a small seed count and
+writes a self-contained document.  The byte count depends on float
+formatting, so it is normalized away.
+
+  $ cbtc_report 2 report_smoke.html | sed 's/([0-9]* bytes)/(N bytes)/'
+  wrote report_smoke.html (N bytes)
+  $ grep -c '<h2>Table 1</h2>' report_smoke.html
+  1
+  $ grep -c '<svg' report_smoke.html
+  4
+
+Malformed arguments are rejected up front, before any simulation runs.
+
+  $ cbtc_report oops
+  cbtc_report: SEEDS must be an integer (got "oops")
+  usage: cbtc_report [SEEDS] [OUTPUT.html]
+  [2]
+  $ cbtc_report 0
+  cbtc_report: SEEDS must be at least 1 (got 0)
+  usage: cbtc_report [SEEDS] [OUTPUT.html]
+  [2]
+  $ cbtc_report 2 out.html extra
+  cbtc_report: expected at most 2 arguments
+  usage: cbtc_report [SEEDS] [OUTPUT.html]
+  [2]
+
+An unwritable output path fails with the sink exit code.
+
+  $ cbtc_report 2 /nonexistent-dir/report.html
+  cbtc_report: cannot open output file: /nonexistent-dir/report.html: No such file or directory
+  [3]

@@ -1,0 +1,183 @@
+(* Tests for the schedule-exploration harness (lib/check): the mutation
+   smoke test proving Explore catches a deliberately injected reordering
+   bug, shrinking + artifact replay, cross-[-j] determinism of sweep
+   reports, and the scenario/plan surgery the shrinker relies on. *)
+
+(* The reference mutant trial: a placement where the "assume ordered
+   acks" bug is invisible under FIFO (broadcast audiences are sorted, so
+   ack batches arrive in ascending src order) but breaks under seeded
+   tie-break permutations. *)
+let mutant_scenario () = Check.Scenario.make ~n:14 ~seed:3 ~mutant:true ()
+
+let clean_scenario () = Check.Scenario.make ~n:14 ~seed:3 ()
+
+(* ---------- Mutation smoke ---------- *)
+
+let test_mutant_caught () =
+  let report = Check.Explore.sweep ~schedules:6 (mutant_scenario ()) in
+  Alcotest.(check int) "trials" 7 report.Check.Explore.trials;
+  Alcotest.(check bool) "sweep finds the mutant" true
+    (report.Check.Explore.failures <> []);
+  List.iter
+    (fun (f : Check.Explore.failure) ->
+      if f.trial = 0 then
+        Alcotest.failf "FIFO trial failed: %s (the mutant must be invisible \
+                        under the default schedule)" f.message;
+      (match f.policy with
+      | Dsim.Eventq.Seeded _ -> ()
+      | _ -> Alcotest.fail "failure on a non-seeded policy");
+      Alcotest.(check bool) "failure carries a decision log" true
+        (Array.length f.log > 0);
+      Alcotest.(check bool) "failure has a message" true (f.message <> ""))
+    report.Check.Explore.failures
+
+let test_clean_sweep_passes () =
+  let report = Check.Explore.sweep ~schedules:6 (clean_scenario ()) in
+  Alcotest.(check int) "no failures on the unmutated protocol" 0
+    (List.length report.Check.Explore.failures)
+
+(* The sweep report — failures and aggregate digest — must be
+   bit-identical for every [-j]. *)
+let test_sweep_deterministic_across_jobs () =
+  let run jobs =
+    Parallel.Pool.with_pool ~jobs (fun pool ->
+        Check.Explore.sweep ~pool ~schedules:4 (mutant_scenario ()))
+  in
+  let r1 = run 1 and r2 = run 2 in
+  let serial = Check.Explore.sweep ~schedules:4 (mutant_scenario ()) in
+  Alcotest.(check string) "digest j1 = j2" r1.Check.Explore.digest
+    r2.Check.Explore.digest;
+  Alcotest.(check string) "digest j1 = serial" r1.Check.Explore.digest
+    serial.Check.Explore.digest;
+  let sig_of r =
+    List.map
+      (fun (f : Check.Explore.failure) -> (f.trial, f.message))
+      r.Check.Explore.failures
+  in
+  Alcotest.(check (list (pair int string))) "failures j1 = j2" (sig_of r1)
+    (sig_of r2)
+
+(* ---------- Shrink + artifact replay ---------- *)
+
+let test_shrink_and_replay () =
+  let sc = mutant_scenario () in
+  let report = Check.Explore.sweep ~schedules:6 sc in
+  let f =
+    match report.Check.Explore.failures with
+    | f :: _ -> f
+    | [] -> Alcotest.fail "mutant not caught"
+  in
+  let r = Check.Shrink.minimize f.Check.Explore.scenario f.Check.Explore.policy in
+  Alcotest.(check bool) "shrink deleted nodes" true
+    (Check.Scenario.nb_nodes r.Check.Shrink.scenario
+    < Check.Scenario.nb_nodes sc);
+  Alcotest.(check bool) "witness message non-empty" true
+    (r.Check.Shrink.message <> "");
+  (* the minimized witness replays deterministically, twice *)
+  let a = Check.Artifact.of_shrink r in
+  (match Check.Artifact.replay a with
+  | Ok (msg, digest1) ->
+      Alcotest.(check string) "replay reproduces the shrunk message"
+        r.Check.Shrink.message msg;
+      (match Check.Artifact.replay a with
+      | Ok (_, digest2) ->
+          Alcotest.(check string) "replay digest stable" digest1 digest2
+      | Error _ -> Alcotest.fail "second replay passed")
+  | Error _ -> Alcotest.fail "replay passed: artifact does not reproduce");
+  (* JSON round-trip is exact *)
+  let json = Check.Artifact.to_json a in
+  let a' = Check.Artifact.of_json json in
+  Alcotest.(check string) "artifact JSON round-trips"
+    (Obs.Jsonl.to_string json)
+    (Obs.Jsonl.to_string (Check.Artifact.to_json a'))
+
+let test_artifact_rejects_malformed () =
+  Alcotest.check_raises "wrong format tag"
+    (Invalid_argument "Check.Artifact: not a check artifact")
+    (fun () ->
+      ignore
+        (Check.Artifact.of_json
+           (Obs.Jsonl.of_string "{\"format\":\"nope\",\"version\":1}")))
+
+(* ---------- Scenario and plan surgery ---------- *)
+
+let test_drop_nodes () =
+  let sc = Check.Scenario.make ~n:6 ~seed:1 () in
+  let keep = [| true; false; true; false; true; false |] in
+  let sc' = Check.Scenario.drop_nodes sc ~keep in
+  Alcotest.(check int) "survivors" 3 (Check.Scenario.nb_nodes sc');
+  Alcotest.(check bool) "positions follow survivors" true
+    (sc'.Check.Scenario.positions.(1) = sc.Check.Scenario.positions.(2));
+  Alcotest.check_raises "fewer than 2 survivors"
+    (Invalid_argument "Check.Scenario.drop_nodes: < 2 nodes kept")
+    (fun () ->
+      ignore
+        (Check.Scenario.drop_nodes sc
+           ~keep:[| true; false; false; false; false; false |]));
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Check.Scenario.drop_nodes: keep length mismatch")
+    (fun () -> ignore (Check.Scenario.drop_nodes sc ~keep:[| true; true |]))
+
+let test_plan_restrict () =
+  let open Faults.Plan in
+  let plan =
+    make
+      [
+        { time = 1.; kind = Crash 0 };
+        { time = 2.; kind = Link_loss { src = 1; dst = 2; loss = 1. } };
+        { time = 3.; kind = Recover 5 };
+      ]
+  in
+  (* delete node 0: ids shift down by one, events touching 0 vanish *)
+  let keep u = if u = 0 then None else Some (u - 1) in
+  let r = restrict ~keep plan in
+  Alcotest.(check int) "crash of deleted node dropped" 2 (nb_events r);
+  (match events r with
+  | [ { kind = Link_loss { src = 0; dst = 1; _ }; _ };
+      { kind = Recover 4; _ } ] ->
+      ()
+  | _ -> Alcotest.fail "renaming wrong");
+  (* a link loses either endpoint: the event must vanish *)
+  let keep u = if u = 2 then None else Some u in
+  let r = restrict ~keep plan in
+  Alcotest.(check int) "link event with dead endpoint dropped" 2 (nb_events r)
+
+let test_scenario_json_roundtrip () =
+  let plan =
+    Faults.Plan.make [ { Faults.Plan.time = 4.; kind = Faults.Plan.Crash 1 } ]
+  in
+  let sc =
+    Check.Scenario.make ~n:5 ~seed:9 ~loss:0.1 ~hardened:true ~faults:plan
+      ~invariant:Check.Scenario.Guarantees ()
+  in
+  let sc' = Check.Scenario.of_json (Check.Scenario.to_json sc) in
+  Alcotest.(check string) "scenario JSON round-trips"
+    (Obs.Jsonl.to_string (Check.Scenario.to_json sc))
+    (Obs.Jsonl.to_string (Check.Scenario.to_json sc'))
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "mutation-smoke",
+        [
+          Alcotest.test_case "seeded schedules catch the mutant" `Quick
+            test_mutant_caught;
+          Alcotest.test_case "clean protocol passes" `Quick
+            test_clean_sweep_passes;
+          Alcotest.test_case "report identical across -j" `Quick
+            test_sweep_deterministic_across_jobs;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "minimize and replay" `Quick test_shrink_and_replay;
+          Alcotest.test_case "malformed artifact rejected" `Quick
+            test_artifact_rejects_malformed;
+        ] );
+      ( "surgery",
+        [
+          Alcotest.test_case "drop_nodes" `Quick test_drop_nodes;
+          Alcotest.test_case "plan restrict" `Quick test_plan_restrict;
+          Alcotest.test_case "scenario JSON round-trip" `Quick
+            test_scenario_json_roundtrip;
+        ] );
+    ]

@@ -237,6 +237,24 @@ let test_two_isolated_nodes () =
   Alcotest.(check bool) "both boundary" true (d.boundary.(0) && d.boundary.(1));
   Cbtc.Discovery.check_invariants d
 
+(* Randomized oracle equivalence over the shared shrinking placement
+   generator: a failure reports a (near-)minimal placement, not the full
+   random one. *)
+let prop_matches_oracle =
+  let pl120 = Radio.Pathloss.make ~max_range:120. () in
+  QCheck.Test.make ~count:25
+    ~name:"distributed matches oracle on random placements"
+    Gen_common.positions_arb
+    (fun positions ->
+      let config = Cbtc.Config.make ~growth alpha56 in
+      let oracle = Cbtc.Geo.run config pl120 positions in
+      let outcome = Cbtc.Distributed.run config pl120 positions in
+      match
+        Cbtc.Verify.check_oracle ~oracle outcome
+      with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_report msg)
+
 let () =
   Alcotest.run "distributed"
     [
@@ -250,6 +268,7 @@ let () =
           Alcotest.test_case "mult growth" `Quick test_mult_growth_matches_oracle;
           Alcotest.test_case "combined asynchrony" `Quick test_combined_asynchrony;
           Alcotest.test_case "independent verification" `Quick test_verify_on_distributed;
+          QCheck_alcotest.to_alcotest ~long:false prop_matches_oracle;
         ] );
       ( "faults",
         [

@@ -99,6 +99,75 @@ let test_sim_invalid () =
     (Invalid_argument "Sim.schedule_at: time in the past") (fun () ->
       ignore (Dsim.Sim.schedule_at sim ~time:1. (fun () -> ())))
 
+(* ---------- Tie-break policies ---------- *)
+
+(* A fixed workload with heavy ties: 32 events over 4 timestamps, 8 tied
+   events per timestamp.  Every policy test replays exactly this push
+   sequence so firing orders are comparable across policies. *)
+let tied_workload sim =
+  let fired = ref [] in
+  for i = 0 to 31 do
+    ignore
+      (Dsim.Sim.schedule sim ~delay:(Stdlib.float_of_int (i mod 4)) (fun () ->
+           fired := i :: !fired))
+  done;
+  ignore (Dsim.Sim.run sim);
+  List.rev !fired
+
+let order_digest order =
+  Digest.to_hex (Digest.string (String.concat "," (List.map string_of_int order)))
+
+(* Pins the default FIFO tie-break order byte-for-byte.  Golden traces,
+   cram outputs and bench_out artifacts all assume this exact order; if
+   this digest ever changes, the engine's default schedule moved and
+   every recorded run in the repo is stale. *)
+let test_policy_fifo_digest () =
+  let sim = Dsim.Sim.create () in
+  let order = tied_workload sim in
+  let expected =
+    (* insertion order within each timestamp *)
+    List.concat_map (fun t -> List.init 8 (fun k -> (4 * k) + t)) [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "FIFO order" expected order;
+  Alcotest.(check string) "FIFO order digest"
+    "3efc3b03e0b7a890f859c73be4ac88f9" (order_digest order);
+  Alcotest.(check int) "no decision log under Fifo" 0
+    (Array.length (Dsim.Sim.schedule_log sim))
+
+let test_policy_seeded_differs () =
+  let fifo = tied_workload (Dsim.Sim.create ()) in
+  let sim = Dsim.Sim.create ~policy:(Dsim.Eventq.Seeded 42) () in
+  let seeded = tied_workload sim in
+  Alcotest.(check bool) "same event set" true
+    (List.sort Int.compare fifo = List.sort Int.compare seeded);
+  Alcotest.(check bool) "some tie broken differently" true (fifo <> seeded);
+  let log = Dsim.Sim.schedule_log sim in
+  Alcotest.(check int) "one decision per push" 32 (Array.length log);
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= Dsim.Eventq.prio_bound then
+        Alcotest.failf "priority %d out of [0, prio_bound)" p)
+    log;
+  (* deterministic in the seed *)
+  let again = tied_workload (Dsim.Sim.create ~policy:(Dsim.Eventq.Seeded 42) ()) in
+  Alcotest.(check (list int)) "same seed, same schedule" seeded again;
+  let other = tied_workload (Dsim.Sim.create ~policy:(Dsim.Eventq.Seeded 43) ()) in
+  Alcotest.(check bool) "different seed, different schedule" true
+    (seeded <> other)
+
+let test_policy_replay_reproduces () =
+  let sim = Dsim.Sim.create ~policy:(Dsim.Eventq.Seeded 4242) () in
+  let seeded = tied_workload sim in
+  let log = Dsim.Sim.schedule_log sim in
+  let replayed = tied_workload (Dsim.Sim.create ~policy:(Dsim.Eventq.Replay log) ()) in
+  Alcotest.(check (list int)) "replay reproduces the seeded schedule" seeded
+    replayed;
+  (* pushes beyond the recorded log fall back to the Fifo priority, so an
+     empty log replays the plain FIFO schedule *)
+  let fifo = tied_workload (Dsim.Sim.create ()) in
+  let empty = tied_workload (Dsim.Sim.create ~policy:(Dsim.Eventq.Replay [||]) ()) in
+  Alcotest.(check (list int)) "empty log = FIFO" fifo empty
+
 (* ---------- Channel ---------- *)
 
 let test_channel_reliable () =
@@ -348,6 +417,13 @@ let () =
           Alcotest.test_case "cancel" `Quick test_sim_cancel;
           Alcotest.test_case "run_until" `Quick test_sim_run_until;
           Alcotest.test_case "invalid" `Quick test_sim_invalid;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "FIFO digest pin" `Quick test_policy_fifo_digest;
+          Alcotest.test_case "seeded differs" `Quick test_policy_seeded_differs;
+          Alcotest.test_case "replay reproduces" `Quick
+            test_policy_replay_reproduces;
         ] );
       ( "channel",
         [

@@ -142,11 +142,9 @@ let test_theorem_2_4_validation () =
 
 let pl300 = Radio.Pathloss.make ~max_range:120. ()
 
-let positions_gen =
-  QCheck.Gen.(
-    int_range 2 35 >>= fun n ->
-    list_repeat n (pair (float_bound_exclusive 400.) (float_bound_exclusive 400.))
-    >|= fun pts -> Array.of_list (List.map (fun (x, y) -> Geom.Vec2.make x y) pts))
+(* placement generator + node-deletion shrinker shared with
+   test_distributed *)
+let positions_arb = Gen_common.positions_arb
 
 let preserves_at alpha positions =
   let d = Cbtc.Geo.run (Cbtc.Config.make alpha) pl300 positions in
@@ -156,7 +154,7 @@ let preserves_at alpha positions =
 let prop_theorem_2_1 =
   QCheck.Test.make ~count:80
     ~name:"Theorem 2.1: closure preserves connectivity for alpha <= 5pi/6"
-    (QCheck.make positions_gen)
+    positions_arb
     (fun positions ->
       List.for_all
         (fun alpha -> preserves_at alpha positions)
@@ -165,7 +163,7 @@ let prop_theorem_2_1 =
 let prop_theorem_3_2 =
   QCheck.Test.make ~count:80
     ~name:"Theorem 3.2: E- preserves connectivity for alpha <= 2pi/3"
-    (QCheck.make positions_gen)
+    positions_arb
     (fun positions ->
       List.for_all
         (fun alpha ->
@@ -177,7 +175,7 @@ let prop_theorem_3_2 =
 let prop_corollary_2_3 =
   QCheck.Test.make ~count:40
     ~name:"Corollary 2.3: every GR edge is bridged by shorter E_alpha edges"
-    (QCheck.make positions_gen)
+    positions_arb
     (fun positions ->
       let d = Cbtc.Geo.run (Cbtc.Config.make alpha56) pl300 positions in
       let galpha = Cbtc.Discovery.closure d in
