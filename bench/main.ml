@@ -820,6 +820,8 @@ type perf_row = {
   n : int;
   grid_s : float;
   brute_s : float option;
+  peak_rss_kb : int option;  (* process VmHWM after the bench; None off-Linux *)
+  alloc_mb : float;  (* Gc.allocated_bytes over one dedicated run *)
 }
 
 let brute_coverage positions ~radius =
@@ -844,11 +846,14 @@ let brute_coverage positions ~radius =
 let perf_json_write path rows =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-      output_string oc "{\n  \"schema\": 1,\n  \"unit\": \"seconds\",\n";
+      output_string oc "{\n  \"schema\": 2,\n  \"unit\": \"seconds\",\n";
       output_string oc
         "  \"note\": \"best-of-reps wall clock; constant-density fields \
          (avg degree ~25.6); brute_s null when the brute-force run was \
-         skipped as too slow\",\n";
+         skipped as too slow; peak_rss_kb is the process VmHWM sampled \
+         after the bench (monotone across rows: a row inherits the peak \
+         of everything before it); allocations_mb is Gc.allocated_bytes \
+         over one dedicated run of the grid/CSR side\",\n";
       output_string oc "  \"results\": [\n";
       List.iteri
         (fun i r ->
@@ -863,11 +868,17 @@ let perf_json_write path rows =
             | Some b -> Fmt.str "%.6f" b
             | None -> "null"
           in
+          let rss =
+            match r.peak_rss_kb with
+            | Some kb -> string_of_int kb
+            | None -> "null"
+          in
           output_string oc
             (Fmt.str
                "    {\"bench\": %S, \"n\": %d, \"brute_s\": %s, \"grid_s\": \
-                %.6f, \"speedup\": %s}%s\n"
-               r.bench r.n brute r.grid_s speedup
+                %.6f, \"speedup\": %s, \"peak_rss_kb\": %s, \
+                \"allocations_mb\": %.3f}%s\n"
+               r.bench r.n brute r.grid_s speedup rss r.alloc_mb
                (if i = List.length rows - 1 then "" else ",")))
         rows;
       output_string oc "  ]\n}\n")
@@ -875,10 +886,12 @@ let perf_json_write path rows =
 let run_perf_scaling ~fast ~out_dir =
   section "Spatial grid vs brute force (wall clock, constant density)";
   if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
-  let sizes = if fast then [ 100; 400 ] else [ 100; 1000; 10000 ] in
+  let sizes = if fast then [ 100; 400 ] else [ 100; 1000; 10000; 100000 ] in
   let table =
     Metrics.Table.create
-      ~columns:[ "benchmark"; "n"; "brute (s)"; "grid (s)"; "speedup" ]
+      ~columns:
+        [ "benchmark"; "n"; "brute (s)"; "grid (s)"; "speedup"; "alloc (MB)";
+          "peak RSS (MB)" ]
   in
   let rows = ref [] in
   let record bench n ~brute ~grid ~reps =
@@ -890,7 +903,13 @@ let run_perf_scaling ~fast ~out_dir =
           (g, Some b)
       | None -> (time_best ~inner ~reps grid, None)
     in
-    rows := { bench; n; grid_s; brute_s } :: !rows;
+    (* one dedicated untimed run for the allocation column, so timer
+       and allocator accounting never mix *)
+    let a0 = Gc.allocated_bytes () in
+    ignore (Sys.opaque_identity (grid ()));
+    let alloc_mb = (Gc.allocated_bytes () -. a0) /. (1024. *. 1024.) in
+    let peak_rss_kb = Obs.Rss.peak_rss_kb () in
+    rows := { bench; n; grid_s; brute_s; peak_rss_kb; alloc_mb } :: !rows;
     Metrics.Table.add_row table
       [
         bench;
@@ -900,6 +919,10 @@ let run_perf_scaling ~fast ~out_dir =
         (match brute_s with
         | Some b when grid_s > 0. -> Fmt.str "%.1fx" (b /. grid_s)
         | _ -> "-");
+        Fmt.str "%.1f" alloc_mb;
+        (match peak_rss_kb with
+        | Some kb -> Fmt.str "%.0f" (Stdlib.float_of_int kb /. 1024.)
+        | None -> "-");
       ]
   in
   List.iter
@@ -910,15 +933,23 @@ let run_perf_scaling ~fast ~out_dir =
       let positions = Workload.Scenario.positions sc in
       let reps = if n <= 100 then 100 else if n <= 1000 then 3 else 1 in
       let big = n > 1000 in
+      (* past 10k nodes the O(n²) references take minutes to hours: the
+         grid/CSR side is timed alone and brute_s stays null *)
+      let huge = n > 10000 in
+      let unless_huge f = if huge then None else Some f in
       record "discovery (oracle CBTC 5pi/6)" n ~reps
         ~grid:(fun () -> Cbtc.Geo.run c56 pl positions)
-        ~brute:(Some (fun () -> Cbtc.Geo.Brute.run c56 pl positions));
+        ~brute:(unless_huge (fun () -> Cbtc.Geo.Brute.run c56 pl positions));
+      record "discovery flat (SoA, no list shim)" n ~reps
+        ~grid:(fun () -> Cbtc.Geo.run_flat c56 pl positions)
+        ~brute:None;
       record "max-power graph (G_R)" n ~reps
         ~grid:(fun () -> Cbtc.Geo.max_power_graph pl positions)
-        ~brute:(Some (fun () -> Cbtc.Geo.Brute.max_power_graph pl positions));
+        ~brute:
+          (unless_huge (fun () -> Cbtc.Geo.Brute.max_power_graph pl positions));
       record "Yao k=6" n ~reps
         ~grid:(fun () -> Baselines.Yao.yao pl positions ~k:6)
-        ~brute:(Some (fun () -> Baselines.Yao.Brute.yao pl positions ~k:6));
+        ~brute:(unless_huge (fun () -> Baselines.Yao.Brute.yao pl positions ~k:6));
       record "RNG baseline" n ~reps
         ~grid:(fun () -> Baselines.Proximity.rng pl positions)
         ~brute:
@@ -927,8 +958,24 @@ let run_perf_scaling ~fast ~out_dir =
       let radius = Array.make n (Radio.Pathloss.max_range pl) in
       record "interference coverage" n ~reps
         ~grid:(fun () -> Metrics.Interference.coverage positions ~radius)
-        ~brute:(Some (fun () -> brute_coverage positions ~radius)))
+        ~brute:(unless_huge (fun () -> brute_coverage positions ~radius)))
     sizes;
+  (* n = 1M: discovery only — the feasibility row for one machine.  The
+     flat (SoA) pass is the headline; the list-shim run shows what the
+     compatibility layer costs at this scale. *)
+  if not fast then begin
+    let n = 1_000_000 in
+    let side = 1500. *. Float.sqrt (Stdlib.float_of_int n /. 100.) in
+    let sc = Workload.Scenario.make ~n ~width:side ~height:side ~seed:42 () in
+    let pl = Workload.Scenario.pathloss sc in
+    let positions = Workload.Scenario.positions sc in
+    record "discovery flat (SoA, no list shim)" n ~reps:1
+      ~grid:(fun () -> Cbtc.Geo.run_flat c56 pl positions)
+      ~brute:None;
+    record "discovery (oracle CBTC 5pi/6)" n ~reps:1
+      ~grid:(fun () -> Cbtc.Geo.run c56 pl positions)
+      ~brute:None
+  end;
   Fmt.pr "%a@." Metrics.Table.pp table;
   let path = Filename.concat out_dir "perf.json" in
   perf_json_write path (List.rev !rows);
@@ -1207,6 +1254,12 @@ let () =
   Fun.protect
     ~finally:(fun () ->
       Parallel.Pool.shutdown pool;
+      (* VmHWM is a process-lifetime high-water mark, so sampling once
+         at write time covers every section that ran *)
+      Obs.Recorder.set obs "peak_rss_kb"
+        (match Obs.Rss.peak_rss_kb () with
+        | Some kb -> Obs.Jsonl.Int kb
+        | None -> Obs.Jsonl.Null);
       Option.iter
         (fun oc ->
           Obs.Recorder.write_trace obs oc;

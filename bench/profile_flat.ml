@@ -1,0 +1,30 @@
+(* Dev-only phase profiler for the flat discovery kernel; not wired
+   into any alias.  Usage: dune exec bench/profile_flat.exe -- [n]. *)
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 100_000 in
+  let side = 1500. *. Float.sqrt (Stdlib.float_of_int n /. 100.) in
+  let sc = Workload.Scenario.make ~n ~width:side ~height:side ~max_range:500. ~seed:42 () in
+  let pl = Workload.Scenario.pathloss sc in
+  let positions = Workload.Scenario.positions sc in
+  let config = Cbtc.Config.make Geom.Angle.five_pi_six in
+  let phase name f =
+    Gc.compact ();
+    let a0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let t1 = Unix.gettimeofday () in
+    let a1 = Gc.allocated_bytes () in
+    Fmt.pr "%-28s %8.3f s  %8.1f MB alloc@." name (t1 -. t0)
+      ((a1 -. a0) /. 1048576.);
+    r
+  in
+  let grid =
+    phase "grid build" (fun () ->
+        Geom.Grid.create ~range:(Radio.Pathloss.max_range pl) positions)
+  in
+  ignore (Sys.opaque_identity grid);
+  let soa = phase "run_flat (total)" (fun () -> Cbtc.Geo.run_flat config pl positions) in
+  Fmt.pr "rows: %d@." (Array.length soa.Cbtc.Soa.ids);
+  let d = phase "to_discovery" (fun () -> Cbtc.Soa.to_discovery soa) in
+  ignore (Sys.opaque_identity d)

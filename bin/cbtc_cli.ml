@@ -140,6 +140,12 @@ let with_obs ~manifest (trace_out, metrics_out) f =
       List.iter (fun (k, v) -> Obs.Recorder.set obs k v) manifest;
       Fun.protect
         ~finally:(fun () ->
+          (* sampled once here: VmHWM is a process-lifetime high-water
+             mark, so the value at write time covers the whole run *)
+          Obs.Recorder.set obs "peak_rss_kb"
+            (match Obs.Rss.peak_rss_kb () with
+            | Some kb -> Obs.Jsonl.Int kb
+            | None -> Obs.Jsonl.Null);
           Option.iter
             (fun oc ->
               Obs.Recorder.write_trace obs oc;
@@ -179,17 +185,28 @@ let plan_of config = function
 (* ---------- run ---------- *)
 
 let run_cmd =
-  let action n side range seed alpha opts obsout =
+  let action n side range seed alpha opts jobs obsout =
     with_obs obsout
       ~manifest:
         (manifest_of ~command:"run" ~n ~side ~range ~seed ~alpha
-           [ ("growth", Obs.Jsonl.Str "exact") ])
+           [ ("growth", Obs.Jsonl.Str "exact"); jobs_field jobs ])
     @@ fun obs ->
     let sc = scenario_of ~n ~side ~range ~seed in
     let pl = Workload.Scenario.pathloss sc in
     let positions = Workload.Scenario.positions sc in
     let config = Cbtc.Config.make alpha in
-    let r = Cbtc.Pipeline.run_oracle ~obs pl positions (plan_of config opts) in
+    (* node-level parallelism for the oracle pass; output is
+       bit-identical at every -j (chunks write disjoint slots), which
+       the @scale-smoke alias pins by comparing summary digests *)
+    let with_pool_opt f =
+      match jobs with
+      | None -> f None
+      | Some jobs -> Parallel.Pool.with_pool ~jobs (fun p -> f (Some p))
+    in
+    with_pool_opt @@ fun pool ->
+    let r =
+      Cbtc.Pipeline.run_oracle ?pool ~obs pl positions (plan_of config opts)
+    in
     let gr = Baselines.Proximity.max_power pl positions in
     Fmt.pr "scenario: %a@." Workload.Scenario.pp sc;
     Fmt.pr "config:   %a@." Cbtc.Config.pp config;
@@ -206,7 +223,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one CBTC configuration and print metrics.")
     Term.(
-      const action $ nodes $ side $ range $ seed $ alpha $ opts_flag $ obs_out)
+      const action $ nodes $ side $ range $ seed $ alpha $ opts_flag $ jobs
+      $ obs_out)
 
 (* ---------- sweep ---------- *)
 

@@ -24,10 +24,8 @@ let core t = Graphkit.Digraph.symmetric_core (nalpha t)
 let radius_in t g =
   Array.mapi
     (fun u pos_u ->
-      List.fold_left
-        (fun acc v -> Float.max acc (Geom.Vec2.dist pos_u t.positions.(v)))
-        0.
-        (Graphkit.Ugraph.neighbors g u))
+      Graphkit.Ugraph.fold_neighbors g u ~init:0. ~f:(fun acc v ->
+          Float.max acc (Geom.Vec2.dist pos_u t.positions.(v))))
     t.positions
 
 let reach_power_in t g =

@@ -174,7 +174,293 @@ let run_with ?pool ?(obs = Obs.Recorder.nil) ~candidates config pathloss
   { Discovery.config; pathloss; positions = Array.copy positions; neighbors;
     power; boundary }
 
-let run ?pool ?(obs = Obs.Recorder.nil) config pathloss positions =
+(* ------------------------------------------------------------------ *)
+(* Struct-of-arrays discovery kernel.                                  *)
+(*                                                                     *)
+(* The list-based path above ([candidates] + [grow_node]) allocates a  *)
+(* Neighbor.t record per candidate and rebuilds lists at every power   *)
+(* step.  The kernel below computes the identical result — same        *)
+(* discovered sets in the same order, same powers, tags and step       *)
+(* counts, property-tested against [Brute] — out of reusable flat      *)
+(* arrays: candidates are collected into parallel int/float arrays, a  *)
+(* permutation is sorted once by (link power, id), the power walk is a *)
+(* pointer sweep over that permutation, and the gap test maintains a   *)
+(* sorted-unique direction array incrementally instead of re-sorting a *)
+(* list per step.  Nothing is allocated per node beyond amortized      *)
+(* scratch growth.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type scratch = {
+  mutable cap : int;
+  mutable cand : int array;  (* candidate ids, probe order *)
+  mutable link : float array;  (* link power per candidate *)
+  mutable dir : float array;  (* normalized direction per candidate *)
+  mutable perm : int array;  (* candidate indices sorted by (link, id) *)
+  mutable tag : float array;  (* discovery-step power per sorted rank *)
+  mutable sdirs : float array;  (* sorted-unique discovered directions *)
+}
+
+let scratch_create () =
+  {
+    cap = 0;
+    cand = [||];
+    link = [||];
+    dir = [||];
+    perm = [||];
+    tag = [||];
+    sdirs = [||];
+  }
+
+let scratch_grow s needed =
+  let cap = Stdlib.max 16 (Stdlib.max needed (2 * s.cap)) in
+  let grow_int a = let b = Array.make cap 0 in Array.blit a 0 b 0 s.cap; b in
+  let grow_f a = let b = Array.make cap 0. in Array.blit a 0 b 0 s.cap; b in
+  s.cand <- grow_int s.cand;
+  s.link <- grow_f s.link;
+  s.dir <- grow_f s.dir;
+  s.perm <- grow_int s.perm;
+  s.tag <- grow_f s.tag;
+  s.sdirs <- grow_f s.sdirs;
+  s.cap <- cap
+
+(* [collect u] fills the scratch with u's G_R candidates and returns
+   their count — the flat equivalent of [candidates], minus the sort.
+
+   This is the innermost loop of the whole pipeline (every grid-probed
+   pair passes through it), so without flambda it cannot afford the
+   boxed floats and intermediate records of the [Vec2.dist] /
+   [Pathloss.in_range] / [Vec2.direction] calls the list path makes.
+   The math is inlined with identical operations in identical order —
+   [dist] is [sqrt (dx*dx + dy*dy)] exactly as [Vec2.dist] computes it,
+   and the link test is [Pathloss.reaches] with its cap hoisted
+   ([Pathloss.reach_cap]) — so results stay bit-identical to
+   [candidates] (pinned by the differential properties in
+   test/test_grid.ml and test/test_csr.ml).  The [dist <= pre] guard
+   skips the pow call for the ~2/3 of probed candidates outside range:
+   [max_reach] bounds the support of [reaches] from above (the grid
+   probe already relies on that), and the same relative+absolute slack
+   as [Grid.probe_slack] absorbs its last-ulp rounding, so the guard
+   only ever admits extra candidates for the exact test to reject.
+   Directions are NOT computed here: most candidates are never absorbed
+   (growth stops at the first gap-free power), so [grow_scratch]
+   computes each direction on absorption via [norm_dir_between]. *)
+let collect ?grid pathloss positions s u =
+  check_node positions u;
+  let pc = Radio.Pathloss.coeff pathloss in
+  let pe = Radio.Pathloss.exponent pathloss in
+  let cap = Radio.Pathloss.reach_cap ~power:(Radio.Pathloss.max_power pathloss) in
+  let reach = max_reach pathloss in
+  let pre = (reach *. (1. +. 1e-9)) +. 1e-9 in
+  (* squared so the reject path (most probed candidates) skips the sqrt;
+     an in-range [dist] is within a ~1e-15 relative error of [reach], so
+     its square sits far inside [pre]'s 1e-9 relative slack *)
+  let pre2 = pre *. pre in
+  let pu = positions.(u) in
+  let m = ref 0 in
+  let consider v =
+    if v <> u then begin
+      let pv = positions.(v) in
+      let dx = pv.Geom.Vec2.x -. pu.Geom.Vec2.x
+      and dy = pv.Geom.Vec2.y -. pu.Geom.Vec2.y in
+      let d2 = (dx *. dx) +. (dy *. dy) in
+      if d2 <= pre2 then begin
+        let dist = sqrt d2 in
+        let link = pc *. (dist ** pe) in
+        if link <= cap then begin
+          let i = !m in
+          if i >= s.cap then scratch_grow s (i + 1);
+          s.cand.(i) <- v;
+          s.link.(i) <- link;
+          m := i + 1
+        end
+      end
+    end
+  in
+  (match grid with
+  | Some grid ->
+      Geom.Grid.iter_in_range grid positions.(u) ~dist:reach consider
+  | None ->
+      for v = 0 to Array.length positions - 1 do
+        consider v
+      done);
+  !m
+
+(* In-place heapsort of [perm.(0..m-1)] by (link power, id) — the
+   [Neighbor.compare_by_link_power] order.  No per-node allocation. *)
+let sort_perm s m =
+  let a = s.perm in
+  let link = s.link and cand = s.cand in
+  for i = 0 to m - 1 do
+    a.(i) <- i
+  done;
+  (* comparisons are inlined (not an [lt] closure) so the float loads
+     stay unboxed and each of the ~m log m probes is branch + compare,
+     not an indirect call *)
+  let rec sift root count =
+    let child = (2 * root) + 1 in
+    if child < count then begin
+      let child =
+        if child + 1 < count then begin
+          let i = a.(child) and j = a.(child + 1) in
+          let li = link.(i) and lj = link.(j) in
+          if li < lj || (li = lj && cand.(i) < cand.(j)) then child + 1
+          else child
+        end
+        else child
+      in
+      let i = a.(root) and j = a.(child) in
+      let li = link.(i) and lj = link.(j) in
+      if li < lj || (li = lj && cand.(i) < cand.(j)) then begin
+        a.(root) <- j;
+        a.(child) <- i;
+        sift child count
+      end
+    end
+  in
+  for i = (m / 2) - 1 downto 0 do
+    sift i m
+  done;
+  for i = m - 1 downto 1 do
+    let tmp = a.(0) in
+    a.(0) <- a.(i);
+    a.(i) <- tmp;
+    sift 0 i
+  done
+
+(* Insert [d] into the sorted-unique prefix [sdirs.(0..len-1)],
+   returning the new length (unchanged when already present) — the
+   incremental counterpart of Dirset's sort_uniq. *)
+let insert_dir s len d =
+  let lo = ref 0 and hi = ref len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if s.sdirs.(mid) < d then lo := mid + 1 else hi := mid
+  done;
+  let pos = !lo in
+  if pos < len && s.sdirs.(pos) = d then len
+  else begin
+    Array.blit s.sdirs pos s.sdirs (pos + 1) (len - pos);
+    s.sdirs.(pos) <- d;
+    len + 1
+  end
+
+(* [Vec2.direction] then [Angle.normalize], with identical float
+   operations in identical order (the [2. *. Float.pi] constant is
+   [angle_of]'s own spelling), so the result is bit-identical to the
+   list path's [Angle.normalize (Vec2.direction ...)]. *)
+let norm_dir_between pu pv =
+  let dx = pv.Geom.Vec2.x -. pu.Geom.Vec2.x
+  and dy = pv.Geom.Vec2.y -. pu.Geom.Vec2.y in
+  let d =
+    if dx = 0. && dy = 0. then 0.
+    else begin
+      let a = Float.atan2 dy dx in
+      if a < 0. then a +. (2. *. Float.pi) else a
+    end
+  in
+  let r = Float.rem d Geom.Angle.two_pi in
+  let r = if r < 0. then r +. Geom.Angle.two_pi else r in
+  if r >= Geom.Angle.two_pi then 0. else r
+
+(* Flat counterpart of [grow_node]: sweep the (link, id)-sorted
+   permutation along the power schedule.  [stepped] is the precomputed
+   schedule for Double/Mult growth; [None] means Exact growth, whose
+   steps are the distinct candidate link powers in increasing order.
+   Returns (discovered count, final power, boundary, steps used); the
+   discovered set is perm.(0..k-1) with tags in tag.(0..k-1) and
+   directions filled into dir on absorption. *)
+let grow_scratch s ~positions ~u ~alpha ~max_power ~stepped m =
+  sort_perm s m;
+  let pu = positions.(u) in
+  let ptr = ref 0 and ndirs = ref 0 and nsteps = ref 0 in
+  let absorb step ~drain =
+    while !ptr < m && (drain || s.link.(s.perm.(!ptr)) <= step) do
+      let i = s.perm.(!ptr) in
+      s.tag.(!ptr) <- step;
+      let d = norm_dir_between pu positions.(s.cand.(i)) in
+      s.dir.(i) <- d;
+      ndirs := insert_dir s !ndirs d;
+      incr ptr
+    done
+  in
+  let result = ref (max_power, true) in
+  (match stepped with
+  | Some steps ->
+      let rec walk = function
+        | [] -> assert false
+        | step :: rest ->
+            let is_last = rest = [] in
+            incr nsteps;
+            (* the last step is >= P up to rounding: absorb everything *)
+            absorb step ~drain:is_last;
+            if not (Geom.Dirset.has_gap_sorted ~alpha s.sdirs !ndirs) then
+              result := (step, false)
+            else if is_last then result := (max_power, true)
+            else walk rest
+      in
+      walk steps
+  | None ->
+      if m = 0 then
+        (* Config.power_steps gives [max_power] for no candidates: one
+           step, still gapped, boundary *)
+        nsteps := 1
+      else begin
+        let stop = ref false in
+        while not !stop do
+          let step = s.link.(s.perm.(!ptr)) in
+          incr nsteps;
+          absorb step ~drain:false;
+          if not (Geom.Dirset.has_gap_sorted ~alpha s.sdirs !ndirs) then begin
+            result := (step, false);
+            stop := true
+          end
+          else if !ptr = m then begin
+            result := (max_power, true);
+            stop := true
+          end
+        done
+      end);
+  let power, boundary = !result in
+  (!ptr, power, boundary, !nsteps)
+
+(* Growable per-chunk output rows, concatenated in chunk order into the
+   final CSR arrays.  Each worker writes only its own buffer. *)
+type rowbuf = {
+  mutable len : int;
+  mutable r_ids : int array;
+  mutable r_dirs : float array;
+  mutable r_links : float array;
+  mutable r_tags : float array;
+}
+
+let rowbuf_create () =
+  { len = 0; r_ids = [||]; r_dirs = [||]; r_links = [||]; r_tags = [||] }
+
+let rowbuf_reserve b extra =
+  let cap = Array.length b.r_ids in
+  if b.len + extra > cap then begin
+    let cap = Stdlib.max 64 (Stdlib.max (b.len + extra) (2 * cap)) in
+    let grow_int a = let c = Array.make cap 0 in Array.blit a 0 c 0 b.len; c in
+    let grow_f a = let c = Array.make cap 0. in Array.blit a 0 c 0 b.len; c in
+    b.r_ids <- grow_int b.r_ids;
+    b.r_dirs <- grow_f b.r_dirs;
+    b.r_links <- grow_f b.r_links;
+    b.r_tags <- grow_f b.r_tags
+  end
+
+let rowbuf_append b s k =
+  rowbuf_reserve b k;
+  for r = 0 to k - 1 do
+    let i = s.perm.(r) in
+    b.r_ids.(b.len + r) <- s.cand.(i);
+    b.r_dirs.(b.len + r) <- s.dir.(i);
+    b.r_links.(b.len + r) <- s.link.(i);
+    b.r_tags.(b.len + r) <- s.tag.(r)
+  done;
+  b.len <- b.len + k
+
+let run_flat ?pool ?(obs = Obs.Recorder.nil) config pathloss positions =
+  let n = Array.length positions in
   let grid = make_grid pathloss positions in
   if Obs.Recorder.enabled obs then
     List.iter
@@ -182,8 +468,111 @@ let run ?pool ?(obs = Obs.Recorder.nil) config pathloss positions =
         Obs.Recorder.observe obs "grid.cell_occupancy"
           (Stdlib.float_of_int occ))
       (Geom.Grid.occupancy grid);
-  run_with ?pool ~obs config pathloss positions
-    ~candidates:(fun u -> candidates ~grid pathloss positions u)
+  Obs.Recorder.span obs "discovery" @@ fun () ->
+  let alpha = config.Config.alpha in
+  let max_power = Radio.Pathloss.max_power pathloss in
+  let stepped =
+    match config.Config.growth with
+    | Config.Exact -> None
+    | Config.Double _ | Config.Mult _ ->
+        (* the stepped schedules ignore link powers entirely *)
+        Some (Config.power_steps config ~pathloss ~link_powers:[])
+  in
+  let power = Array.make n max_power in
+  let boundary = Array.make n false in
+  let off = Array.make (n + 1) 0 in
+  let recording = Obs.Recorder.enabled obs in
+  let steps_used = if recording then Array.make n 0 else [||] in
+  let cand_count = if recording then Array.make n 0 else [||] in
+  (* fixed chunk size so a chunk's buffer index is lo / chunk; each
+     chunk appends its rows to its own buffer and writes per-node slots
+     only in its own range, so the merge below is scheduling-independent *)
+  let chunk =
+    match pool with
+    | None -> Stdlib.max 1 n
+    | Some pool ->
+        let ways = 4 * Parallel.Pool.jobs pool in
+        Stdlib.max 1 ((n + ways - 1) / ways)
+  in
+  let nchunks = if n = 0 then 0 else ((n + chunk - 1) / chunk) in
+  let bufs = Array.init nchunks (fun _ -> rowbuf_create ()) in
+  (match pool with
+  | Some pool ->
+      Parallel.Pool.iter_chunks pool ~chunk n (fun lo hi ->
+          let s = scratch_create () in
+          let b = bufs.(lo / chunk) in
+          for u = lo to hi - 1 do
+            let m = collect ~grid pathloss positions s u in
+            let k, pw, bd, ns = grow_scratch s ~positions ~u ~alpha ~max_power ~stepped m in
+            off.(u + 1) <- k;
+            power.(u) <- pw;
+            boundary.(u) <- bd;
+            if recording then begin
+              steps_used.(u) <- ns;
+              cand_count.(u) <- m
+            end;
+            rowbuf_append b s k
+          done)
+  | None ->
+      if n > 0 then begin
+        let s = scratch_create () in
+        let b = bufs.(0) in
+        for u = 0 to n - 1 do
+          let m = collect ~grid pathloss positions s u in
+          let k, pw, bd, ns = grow_scratch s ~positions ~u ~alpha ~max_power ~stepped m in
+          off.(u + 1) <- k;
+          power.(u) <- pw;
+          boundary.(u) <- bd;
+          if recording then begin
+            steps_used.(u) <- ns;
+            cand_count.(u) <- m
+          end;
+          rowbuf_append b s k
+        done
+      end);
+  for u = 1 to n do
+    off.(u) <- off.(u) + off.(u - 1)
+  done;
+  let total = off.(n) in
+  let ids = Array.make total 0 in
+  let dirs = Array.make total 0. in
+  let links = Array.make total 0. in
+  let tags = Array.make total 0. in
+  let at = ref 0 in
+  Array.iter
+    (fun b ->
+      Array.blit b.r_ids 0 ids !at b.len;
+      Array.blit b.r_dirs 0 dirs !at b.len;
+      Array.blit b.r_links 0 links !at b.len;
+      Array.blit b.r_tags 0 tags !at b.len;
+      at := !at + b.len)
+    bufs;
+  if recording then begin
+    Obs.Recorder.incr ~by:n obs "discovery.nodes";
+    for u = 0 to n - 1 do
+      Obs.Recorder.incr ~by:steps_used.(u) obs "discovery.power_steps";
+      if boundary.(u) then Obs.Recorder.incr obs "discovery.boundary_nodes";
+      Obs.Recorder.observe obs "discovery.candidates"
+        (Stdlib.float_of_int cand_count.(u));
+      Obs.Recorder.observe obs "discovery.degree"
+        (Stdlib.float_of_int (off.(u + 1) - off.(u)))
+    done
+  end;
+  {
+    Soa.config;
+    pathloss;
+    positions = Array.copy positions;
+    off;
+    ids;
+    dirs;
+    links;
+    tags;
+    power;
+    boundary;
+  }
+
+let run ?pool ?obs config pathloss positions =
+  Soa.to_discovery (run_flat ?pool ?obs config pathloss positions)
 
 module Brute = struct
   let candidates pathloss positions u = candidates pathloss positions u

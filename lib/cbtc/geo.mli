@@ -38,6 +38,19 @@ val run :
   ?obs:Obs.Recorder.t ->
   Config.t -> Radio.Pathloss.t -> Geom.Vec2.t array -> Discovery.t
 
+(** [run_flat ?pool ?obs config pathloss positions] is {!run} without
+    the final expansion to per-node neighbor lists: the converged state
+    stays in the struct-of-arrays form ({!Soa.t}) it is computed in.
+    [run] is [Soa.to_discovery] of this, so
+    [Soa.to_discovery (run_flat ...)] is bit-identical to
+    [run ...] (property-tested); at n = 10⁵–10⁶ prefer [run_flat] to
+    avoid allocating millions of boxed [Neighbor.t] records.  Spans,
+    counters and histograms recorded on [obs] are the same as {!run}'s. *)
+val run_flat :
+  ?pool:Parallel.Pool.t ->
+  ?obs:Obs.Recorder.t ->
+  Config.t -> Radio.Pathloss.t -> Geom.Vec2.t array -> Soa.t
+
 (** [candidates ?grid pathloss positions u] lists the nodes physically
     within range [R] of [u] (its [G_R] neighbors) as {!Neighbor.t} values
     with true link powers and directions, sorted by increasing link

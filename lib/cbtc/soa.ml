@@ -1,0 +1,49 @@
+type t = {
+  config : Config.t;
+  pathloss : Radio.Pathloss.t;
+  positions : Geom.Vec2.t array;
+  off : int array;
+  ids : int array;
+  dirs : float array;
+  links : float array;
+  tags : float array;
+  power : float array;
+  boundary : bool array;
+}
+
+let nb_nodes t = Array.length t.off - 1
+
+let degree t u = t.off.(u + 1) - t.off.(u)
+
+let iter_neighbors t u f =
+  for i = t.off.(u) to t.off.(u + 1) - 1 do
+    f ~id:t.ids.(i) ~dir:t.dirs.(i) ~link_power:t.links.(i) ~tag:t.tags.(i)
+  done
+
+let to_discovery t =
+  let n = nb_nodes t in
+  let neighbors =
+    Array.init n (fun u ->
+        let lo = t.off.(u) in
+        let rec build i acc =
+          if i < lo then acc
+          else
+            build (i - 1)
+              ({
+                 Neighbor.id = t.ids.(i);
+                 dir = t.dirs.(i);
+                 link_power = t.links.(i);
+                 tag = t.tags.(i);
+               }
+              :: acc)
+        in
+        build (t.off.(u + 1) - 1) [])
+  in
+  {
+    Discovery.config = t.config;
+    pathloss = t.pathloss;
+    positions = Array.copy t.positions;
+    neighbors;
+    power = Array.copy t.power;
+    boundary = Array.copy t.boundary;
+  }

@@ -21,6 +21,18 @@ val max_gap : float list -> float
     conservative (keep-growing) side. *)
 val has_gap : ?eps:float -> alpha:float -> float list -> bool
 
+(** [max_gap_sorted dirs len] is {!max_gap} over the prefix
+    [dirs.(0 .. len-1)], which the caller guarantees is sorted
+    increasing, duplicate-free and already normalized — the invariant
+    kept by the SoA discovery core, which inserts each new direction in
+    place instead of re-sorting a list per power step.  Uses the exact
+    float operations of {!max_gap}, so results are bit-identical. *)
+val max_gap_sorted : float array -> int -> float
+
+(** [has_gap_sorted ?eps ~alpha dirs len] is {!has_gap} over the same
+    sorted-unique prefix. *)
+val has_gap_sorted : ?eps:float -> alpha:float -> float array -> int -> bool
+
 (** [widest_gap dirs] is [Some (start, width)] for the widest gap, where
     [start] is the direction at which the gap begins (going
     counterclockwise), or [None] when [dirs] is empty. *)

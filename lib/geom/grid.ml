@@ -1,8 +1,27 @@
+(* CSR cell storage: node ids live in one flat [ids] array, grouped by
+   cell; [off] gives each cell's segment inside a dense rectangular
+   window of cells.  Queries walk int-array segments instead of chasing
+   hash-table buckets and list cells.  Mobility is handled by
+   tombstoning the moved id in place and parking it in a small [overflow]
+   side table, compacted back into the flat layout lazily once enough
+   nodes have drifted. *)
+
 type t = {
   cell : float;
   positions : Vec2.t array;
-  buckets : (int * int, int list) Hashtbl.t;
   keys : (int * int) array;  (* current cell of each node *)
+  (* dense window of cells covered by the CSR arrays *)
+  mutable x0 : int;
+  mutable y0 : int;
+  mutable nx : int;
+  mutable ny : int;
+  mutable off : int array;  (* length nx*ny + 1: cell c owns ids.(off.(c) .. off.(c+1)-1) *)
+  mutable ids : int array;  (* flat node ids; -1 marks a tombstone left by move *)
+  mutable slot : int array;  (* node -> its index in ids, -1 when in overflow *)
+  overflow : (int * int, int list ref) Hashtbl.t;
+  mutable n_overflow : int;
+  mutable n_tombstones : int;
+  mutable compact_at : int;  (* rebuild once n_overflow + n_tombstones exceeds this *)
 }
 
 let default_brute_cutoff = 200
@@ -17,17 +36,87 @@ let cell_key cell (p : Vec2.t) =
   ( int_of_float (Float.floor (p.x /. cell)),
     int_of_float (Float.floor (p.y /. cell)) )
 
-let bucket_add t key u =
-  let ids = match Hashtbl.find_opt t.buckets key with None -> [] | Some l -> l in
-  Hashtbl.replace t.buckets key (u :: ids)
+let nb_nodes t = Array.length t.positions
 
-let bucket_remove t key u =
-  match Hashtbl.find_opt t.buckets key with
-  | None -> ()
-  | Some ids -> (
-      match List.filter (fun v -> v <> u) ids with
-      | [] -> Hashtbl.remove t.buckets key
-      | ids -> Hashtbl.replace t.buckets key ids)
+let cell_size t = t.cell
+
+let attach_overflow t u key =
+  (match Hashtbl.find_opt t.overflow key with
+  | Some l -> l := u :: !l
+  | None -> Hashtbl.add t.overflow key (ref [ u ]));
+  t.n_overflow <- t.n_overflow + 1
+
+(* Rebuild the CSR arrays from the current keys in two counting passes.
+   The dense window is capped (pathological coordinate spreads would
+   need more cells than nodes by orders of magnitude); past the cap all
+   nodes live in the overflow table, which degrades to the plain
+   hash-bucket behaviour with identical results. *)
+let rebuild t =
+  let n = nb_nodes t in
+  Hashtbl.reset t.overflow;
+  t.n_overflow <- 0;
+  t.n_tombstones <- 0;
+  let dense_ok =
+    n > 0
+    && begin
+         let minx = ref max_int and maxx = ref min_int in
+         let miny = ref max_int and maxy = ref min_int in
+         for u = 0 to n - 1 do
+           let kx, ky = t.keys.(u) in
+           if kx < !minx then minx := kx;
+           if kx > !maxx then maxx := kx;
+           if ky < !miny then miny := ky;
+           if ky > !maxy then maxy := ky
+         done;
+         (* window size in float: the int product can overflow *)
+         let w = float_of_int !maxx -. float_of_int !minx +. 1. in
+         let h = float_of_int !maxy -. float_of_int !miny +. 1. in
+         if w *. h > float_of_int (Stdlib.max 4096 (8 * n)) then false
+         else begin
+           let nx = !maxx - !minx + 1 and ny = !maxy - !miny + 1 in
+           t.x0 <- !minx;
+           t.y0 <- !miny;
+           t.nx <- nx;
+           t.ny <- ny;
+           let ncells = nx * ny in
+           let off = Array.make (ncells + 1) 0 in
+           for u = 0 to n - 1 do
+             let kx, ky = t.keys.(u) in
+             let c = ((kx - t.x0) * ny) + (ky - t.y0) in
+             off.(c + 1) <- off.(c + 1) + 1
+           done;
+           for c = 1 to ncells do
+             off.(c) <- off.(c) + off.(c - 1)
+           done;
+           let cur = Array.sub off 0 ncells in
+           let ids = Array.make n (-1) in
+           for u = 0 to n - 1 do
+             let kx, ky = t.keys.(u) in
+             let c = ((kx - t.x0) * ny) + (ky - t.y0) in
+             let s = cur.(c) in
+             cur.(c) <- s + 1;
+             ids.(s) <- u;
+             t.slot.(u) <- s
+           done;
+           t.off <- off;
+           t.ids <- ids;
+           true
+         end
+       end
+  in
+  if not dense_ok then begin
+    t.x0 <- 0;
+    t.y0 <- 0;
+    t.nx <- 0;
+    t.ny <- 0;
+    t.off <- [| 0 |];
+    t.ids <- [||];
+    for u = 0 to n - 1 do
+      t.slot.(u) <- -1;
+      attach_overflow t u t.keys.(u)
+    done
+  end;
+  t.compact_at <- t.n_overflow + Stdlib.max 64 (n / 4)
 
 let create ~range positions =
   if not (Float.is_finite range) || range <= 0. then
@@ -37,24 +126,48 @@ let create ~range positions =
     {
       cell = range;
       positions = Array.copy positions;
-      buckets = Hashtbl.create (Stdlib.max 16 n);
       keys = Array.init n (fun u -> cell_key range positions.(u));
+      x0 = 0;
+      y0 = 0;
+      nx = 0;
+      ny = 0;
+      off = [| 0 |];
+      ids = [||];
+      slot = Array.make n (-1);
+      overflow = Hashtbl.create 16;
+      n_overflow = 0;
+      n_tombstones = 0;
+      compact_at = 0;
     }
   in
-  for u = 0 to n - 1 do
-    bucket_add t t.keys.(u) u
-  done;
+  rebuild t;
   t
 
-let nb_nodes t = Array.length t.positions
-
-let cell_size t = t.cell
-
 (* Sorted descending so the result depends only on the multiset of
-   bucket sizes, not on hash-table iteration order. *)
+   bucket sizes, not on any iteration order. *)
 let occupancy t =
-  Hashtbl.fold (fun _ ids acc -> List.length ids :: acc) t.buckets []
-  |> List.sort (fun a b -> Int.compare b a)
+  let sizes =
+    if t.n_overflow = 0 && t.n_tombstones = 0 then begin
+      (* pristine layout: one linear pass over the CSR offsets *)
+      let acc = ref [] in
+      for c = 0 to (t.nx * t.ny) - 1 do
+        let size = t.off.(c + 1) - t.off.(c) in
+        if size > 0 then acc := size :: !acc
+      done;
+      !acc
+    end
+    else begin
+      (* after moves: count by current cell key, one pass over nodes *)
+      let counts = Hashtbl.create 64 in
+      for u = 0 to nb_nodes t - 1 do
+        match Hashtbl.find_opt counts t.keys.(u) with
+        | Some r -> incr r
+        | None -> Hashtbl.add counts t.keys.(u) (ref 1)
+      done;
+      Hashtbl.fold (fun _ r acc -> !r :: acc) counts []
+    end
+  in
+  List.sort (fun a b -> Int.compare b a) sizes
 
 let check t u =
   if u < 0 || u >= nb_nodes t then invalid_arg "Grid: node out of range"
@@ -63,14 +176,31 @@ let position t u =
   check t u;
   t.positions.(u)
 
+let detach t u =
+  let s = t.slot.(u) in
+  if s >= 0 then begin
+    t.ids.(s) <- -1;
+    t.slot.(u) <- -1;
+    t.n_tombstones <- t.n_tombstones + 1
+  end
+  else begin
+    match Hashtbl.find_opt t.overflow t.keys.(u) with
+    | None -> ()
+    | Some l ->
+        l := List.filter (fun v -> v <> u) !l;
+        if !l = [] then Hashtbl.remove t.overflow t.keys.(u);
+        t.n_overflow <- t.n_overflow - 1
+  end
+
 let move t u p =
   check t u;
   t.positions.(u) <- p;
   let key = cell_key t.cell p in
   if key <> t.keys.(u) then begin
-    bucket_remove t t.keys.(u) u;
-    bucket_add t key u;
-    t.keys.(u) <- key
+    detach t u;
+    t.keys.(u) <- key;
+    attach_overflow t u key;
+    if t.n_overflow + t.n_tombstones > t.compact_at then rebuild t
   end
 
 let probe_bounds t (p : Vec2.t) dist =
@@ -82,20 +212,62 @@ let probe_bounds t (p : Vec2.t) dist =
 let fold_in_range t p ~dist ~init ~f =
   if dist < 0. then init
   else begin
-    let x0, x1, y0, y1 = probe_bounds t p dist in
+    let cx0, cx1, cy0, cy1 = probe_bounds t p dist in
     let acc = ref init in
-    for cx = x0 to x1 do
-      for cy = y0 to y1 do
-        match Hashtbl.find_opt t.buckets (cx, cy) with
-        | None -> ()
-        | Some ids -> List.iter (fun u -> acc := f !acc u) ids
+    let ny = t.ny in
+    let has_overflow = t.n_overflow > 0 in
+    for cx = cx0 to cx1 do
+      let dx = cx - t.x0 in
+      let in_x = dx >= 0 && dx < t.nx in
+      for cy = cy0 to cy1 do
+        (if in_x then begin
+           let dy = cy - t.y0 in
+           if dy >= 0 && dy < ny then begin
+             let c = (dx * ny) + dy in
+             for i = t.off.(c) to t.off.(c + 1) - 1 do
+               let u = Array.unsafe_get t.ids i in
+               if u >= 0 then acc := f !acc u
+             done
+           end
+         end);
+        if has_overflow then
+          match Hashtbl.find_opt t.overflow (cx, cy) with
+          | Some l -> List.iter (fun u -> acc := f !acc u) !l
+          | None -> ()
       done
     done;
     !acc
   end
 
+(* Not the [fold_in_range] wrapper: this is the innermost loop of every
+   grid-backed construction, so it calls [f] directly instead of paying
+   a second closure indirection per enumerated id. *)
 let iter_in_range t p ~dist f =
-  fold_in_range t p ~dist ~init:() ~f:(fun () u -> f u)
+  if dist >= 0. then begin
+    let cx0, cx1, cy0, cy1 = probe_bounds t p dist in
+    let ny = t.ny in
+    let has_overflow = t.n_overflow > 0 in
+    for cx = cx0 to cx1 do
+      let dx = cx - t.x0 in
+      let in_x = dx >= 0 && dx < t.nx in
+      for cy = cy0 to cy1 do
+        (if in_x then begin
+           let dy = cy - t.y0 in
+           if dy >= 0 && dy < ny then begin
+             let c = (dx * ny) + dy in
+             for i = t.off.(c) to t.off.(c + 1) - 1 do
+               let u = Array.unsafe_get t.ids i in
+               if u >= 0 then f u
+             done
+           end
+         end);
+        if has_overflow then
+          match Hashtbl.find_opt t.overflow (cx, cy) with
+          | Some l -> List.iter f !l
+          | None -> ()
+      done
+    done
+  end
 
 exception Found
 
@@ -104,12 +276,15 @@ let exists_in_range t p ~dist f =
   | () -> false
   | exception Found -> true
 
-let neighbors_within t u ~dist =
+let fold_neighbors_within t u ~dist ~init ~f =
   check t u;
   let pu = t.positions.(u) in
-  let ids =
-    fold_in_range t pu ~dist ~init:[] ~f:(fun acc v ->
-        if v <> u && Vec2.dist pu t.positions.(v) <= dist then v :: acc
-        else acc)
-  in
-  List.sort Int.compare ids
+  fold_in_range t pu ~dist ~init ~f:(fun acc v ->
+      if v <> u && Vec2.dist pu t.positions.(v) <= dist then f acc v else acc)
+
+let iter_neighbors_within t u ~dist f =
+  fold_neighbors_within t u ~dist ~init:() ~f:(fun () v -> f v)
+
+let neighbors_within t u ~dist =
+  List.sort Int.compare
+    (fold_neighbors_within t u ~dist ~init:[] ~f:(fun acc v -> v :: acc))

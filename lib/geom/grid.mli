@@ -1,17 +1,28 @@
-(** Uniform spatial hash grid over node positions.
+(** Uniform spatial grid over node positions, stored in CSR form.
 
     Every geometric hot path of the system — oracle discovery, the
     simulated radio broadcast, the proximity baselines, the interference
     metric — needs "which nodes lie within distance [d] of here?".  A
     brute-force answer scans all [n] positions, making whole-network
     passes O(n²).  This index buckets nodes into square cells of side
-    [range] (normally the maximum radio range [R]) keyed by a hash
-    table, so a query for radius [d <= range] probes only the 3x3 block
-    of cells around the query point — O(occupancy) instead of O(n) —
-    and larger radii probe proportionally larger blocks.
+    [range] (normally the maximum radio range [R]), so a query for
+    radius [d <= range] probes only the 3x3 block of cells around the
+    query point — O(occupancy) instead of O(n) — and larger radii probe
+    proportionally larger blocks.
+
+    Cell contents live in a CSR (compressed-sparse-row) layout: one
+    flat [int array] of node ids grouped by cell, plus a per-cell
+    offset array over a dense window of cells, built in two counting
+    passes.  Queries therefore stream over contiguous int-array
+    segments with no per-bucket allocation or pointer chasing, which is
+    what lets a full discovery pass scale to n = 10⁵–10⁶ (see
+    docs/PERFORMANCE.md, "Memory layout at scale").
 
     The grid holds its own copy of the positions; under mobility, keep
-    it current with {!move} (O(1) expected per update).
+    it current with {!move} (amortized O(1) per update: the moved id is
+    tombstoned in the flat array and parked in a small overflow table,
+    and the CSR layout is compacted lazily once enough nodes have
+    drifted).
 
     {2 Exactness contract}
 
@@ -62,7 +73,8 @@ val occupancy : t -> int list
 val position : t -> int -> Vec2.t
 
 (** [move t u p] updates [u]'s position to [p], rebucketing it if it
-    changed cell.  O(1) expected (O(cell occupancy) worst case). *)
+    changed cell.  Amortized O(1): most moves tombstone in place, and a
+    full two-pass rebuild is triggered only after O(n) of them. *)
 val move : t -> int -> Vec2.t -> unit
 
 (** [fold_in_range t p ~dist ~init ~f] folds [f] over a superset of the
@@ -82,3 +94,15 @@ val exists_in_range : t -> Vec2.t -> dist:float -> (int -> bool) -> bool
     [Vec2.dist (position t u) (position t v) <= dist], sorted in
     increasing order. *)
 val neighbors_within : t -> int -> dist:float -> int list
+
+(** [fold_neighbors_within t u ~dist ~init ~f] folds over the same exact
+    neighbor set as {!neighbors_within} — the distance predicate is
+    applied here, unlike {!fold_in_range} — but allocation-free and in
+    unspecified order.  Use it on hot paths that do not need the sorted
+    list. *)
+val fold_neighbors_within :
+  t -> int -> dist:float -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+(** [iter_neighbors_within t u ~dist f] is {!fold_neighbors_within} for
+    side effects. *)
+val iter_neighbors_within : t -> int -> dist:float -> (int -> unit) -> unit

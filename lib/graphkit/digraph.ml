@@ -39,6 +39,14 @@ let succ g u =
   check g u;
   ISet.elements g.adj.(u)
 
+let iter_succ g u f =
+  check g u;
+  ISet.iter f g.adj.(u)
+
+let fold_succ g u ~init ~f =
+  check g u;
+  ISet.fold (fun v acc -> f acc v) g.adj.(u) init
+
 let out_degree g u =
   check g u;
   ISet.cardinal g.adj.(u)

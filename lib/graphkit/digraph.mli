@@ -24,6 +24,14 @@ val mem_edge : t -> int -> int -> bool
 (** [succ g u] is [u]'s out-neighbors, in increasing id order. *)
 val succ : t -> int -> int list
 
+(** [iter_succ g u f] applies [f] to each out-neighbor of [u] in
+    increasing id order, without allocating the {!succ} list. *)
+val iter_succ : t -> int -> (int -> unit) -> unit
+
+(** [fold_succ g u ~init ~f] folds over [u]'s out-neighbors in
+    increasing id order, allocation-free. *)
+val fold_succ : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+
 val out_degree : t -> int -> int
 
 (** [edges g] lists all directed edges, lexicographically. *)

@@ -1,5 +1,12 @@
+(* BFS over the flat CSR rows: freezing the adjacency once per call is
+   one O(n + m) pass, and the traversal then streams contiguous int
+   segments instead of walking per-node sets.  Enumeration order is
+   increasing id in both representations, so labels and distances are
+   identical to a direct walk of the mutable graph. *)
+
 let components g =
-  let n = Ugraph.nb_nodes g in
+  let csr = Csr.of_ugraph g in
+  let n = Csr.nb_nodes csr in
   let label = Array.make n (-1) in
   let next = ref 0 in
   let queue = Queue.create () in
@@ -11,13 +18,11 @@ let components g =
       Queue.add src queue;
       while not (Queue.is_empty queue) do
         let u = Queue.pop queue in
-        List.iter
-          (fun v ->
+        Csr.iter_neighbors csr u (fun v ->
             if label.(v) < 0 then begin
               label.(v) <- id;
               Queue.add v queue
             end)
-          (Ugraph.neighbors g u)
       done
     end
   done;
@@ -44,18 +49,17 @@ let same_partition a b =
 let hop_distances g src =
   let n = Ugraph.nb_nodes g in
   if src < 0 || src >= n then invalid_arg "Traversal.hop_distances";
+  let csr = Csr.of_ugraph g in
   let dist = Array.make n Stdlib.max_int in
   dist.(src) <- 0;
   let queue = Queue.create () in
   Queue.add src queue;
   while not (Queue.is_empty queue) do
     let u = Queue.pop queue in
-    List.iter
-      (fun v ->
+    Csr.iter_neighbors csr u (fun v ->
         if dist.(v) = Stdlib.max_int then begin
           dist.(v) <- dist.(u) + 1;
           Queue.add v queue
         end)
-      (Ugraph.neighbors g u)
   done;
   dist

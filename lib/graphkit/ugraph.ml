@@ -41,6 +41,14 @@ let neighbors g u =
   check g u;
   ISet.elements g.adj.(u)
 
+let iter_neighbors g u f =
+  check g u;
+  ISet.iter f g.adj.(u)
+
+let fold_neighbors g u ~init ~f =
+  check g u;
+  ISet.fold (fun v acc -> f acc v) g.adj.(u) init
+
 let degree g u =
   check g u;
   ISet.cardinal g.adj.(u)

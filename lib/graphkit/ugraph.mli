@@ -23,6 +23,15 @@ val mem_edge : t -> int -> int -> bool
 (** [neighbors g u] in increasing id order. *)
 val neighbors : t -> int -> int list
 
+(** [iter_neighbors g u f] applies [f] to each neighbor of [u] in
+    increasing id order — same enumeration as {!neighbors} without
+    allocating the list.  Preferred on traversal hot paths. *)
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+
+(** [fold_neighbors g u ~init ~f] folds over the neighbors of [u] in
+    increasing id order, allocation-free. *)
+val fold_neighbors : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+
 val degree : t -> int -> int
 
 (** [edges g] lists each edge once as [(u, v)] with [u < v],

@@ -1,0 +1,41 @@
+(* VmHWM ("high water mark") is the peak resident set size of the
+   process, in kB, as reported by the Linux procfs status file.  The
+   parser is separated from the file read so it can be tested on canned
+   status content. *)
+
+let parse_vmhwm contents =
+  let parse_line line =
+    match String.index_opt line ':' with
+    | Some i when String.sub line 0 i = "VmHWM" -> begin
+        let rest = String.sub line (i + 1) (String.length line - i - 1) in
+        (* "   1234 kB" — take the first integer token *)
+        let toks =
+          String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) rest)
+        in
+        List.find_map
+          (fun tok -> if tok = "" then None else int_of_string_opt tok)
+          toks
+      end
+    | _ -> None
+  in
+  List.find_map parse_line (String.split_on_char '\n' contents)
+
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      let len = 4096 in
+      let buf = Buffer.create len in
+      (try
+         let chunk = Bytes.create len in
+         let rec pump () =
+           let got = input ic chunk 0 len in
+           if got > 0 then begin
+             Buffer.add_subbytes buf chunk 0 got;
+             pump ()
+           end
+         in
+         pump ()
+       with End_of_file -> ());
+      close_in ic;
+      parse_vmhwm (Buffer.contents buf)

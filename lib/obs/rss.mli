@@ -1,0 +1,18 @@
+(** Peak resident set size of the current process.
+
+    Run manifests report [peak_rss_kb] so scaling experiments record
+    how much memory a run actually touched, not just how long it took.
+    The value is read from ["VmHWM"] in [/proc/self/status] — a
+    monotone high-water mark over the whole process lifetime, so it is
+    sampled once at summary-write time and reflects the peak across
+    every phase of the run (see docs/PERFORMANCE.md for the
+    methodology). *)
+
+(** [peak_rss_kb ()] is the process peak RSS in kB, or [None] where
+    procfs is unavailable (non-Linux systems). *)
+val peak_rss_kb : unit -> int option
+
+(** [parse_vmhwm contents] extracts the [VmHWM] value in kB from the
+    text of a [/proc/<pid>/status] file; [None] when the field is
+    missing or malformed.  Exposed for testing on canned content. *)
+val parse_vmhwm : string -> int option

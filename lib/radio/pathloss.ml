@@ -31,8 +31,9 @@ let distance_for_power t p =
 
 let power_eps = 1e-9
 
-let reaches t ~power ~dist =
-  power_for_distance t dist <= power *. (1. +. power_eps) +. power_eps
+let reach_cap ~power = (power *. (1. +. power_eps)) +. power_eps
+
+let reaches t ~power ~dist = power_for_distance t dist <= reach_cap ~power
 
 let in_range t ~dist = reaches t ~power:t.max_power ~dist
 

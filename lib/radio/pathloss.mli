@@ -42,6 +42,12 @@ val distance_for_power : t -> float -> float
     node at distance [dist] (with a tiny tolerance for float round-trips). *)
 val reaches : t -> power:float -> dist:float -> bool
 
+(** [reach_cap ~power] is the largest link power {!reaches} accepts for
+    [power] — the power plus its exact float tolerance.  [reaches] is
+    literally [power_for_distance t dist <= reach_cap ~power]; hot loops
+    hoist the cap once and compare link powers against it directly. *)
+val reach_cap : power:float -> float
+
 (** [in_range t ~dist] is [reaches t ~power:(max_power t) ~dist]: whether
     the pair would be an edge of [G_R]. *)
 val in_range : t -> dist:float -> bool

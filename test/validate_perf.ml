@@ -1,0 +1,87 @@
+(* Schema validator for <out>/perf.json (schema 2), run by the
+   @bench-smoke alias: the document must carry schema/unit/results, and
+   every result row must have the full column set with the right types —
+   bench (string), n (positive int), grid_s (float >= 0), brute_s and
+   speedup (float or null), peak_rss_kb (int or null), allocations_mb
+   (float or null).  Exits non-zero naming the offending row. *)
+
+let fail fmt =
+  Fmt.kstr
+    (fun msg ->
+      Fmt.epr "validate_perf: %s@." msg;
+      exit 1)
+    fmt
+
+let num = function
+  | Some (Obs.Jsonl.Float f) -> Some f
+  | Some (Obs.Jsonl.Int i) -> Some (Stdlib.float_of_int i)
+  | _ -> None
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+        Fmt.epr "usage: validate_perf PERF.json@.";
+        exit 2
+  in
+  let contents =
+    match open_in path with
+    | exception Sys_error e ->
+        Fmt.epr "validate_perf: %s@." e;
+        exit 2
+    | ic ->
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        s
+  in
+  let doc =
+    try Obs.Jsonl.of_string contents
+    with Obs.Jsonl.Parse_error e -> fail "unparsable JSON: %s" e
+  in
+  (match Obs.Jsonl.member "schema" doc with
+  | Some (Obs.Jsonl.Int 2) -> ()
+  | Some (Obs.Jsonl.Int v) -> fail "unsupported schema %d (expected 2)" v
+  | _ -> fail "missing integer field \"schema\"");
+  (match Obs.Jsonl.member "unit" doc with
+  | Some (Obs.Jsonl.Str "seconds") -> ()
+  | _ -> fail "missing field \"unit\" = \"seconds\"");
+  let results =
+    match Obs.Jsonl.member "results" doc with
+    | Some (Obs.Jsonl.List rows) -> rows
+    | _ -> fail "missing list field \"results\""
+  in
+  if results = [] then fail "\"results\" is empty";
+  List.iteri
+    (fun i row ->
+      let ctx = Fmt.str "results[%d]" i in
+      let bench =
+        match Obs.Jsonl.member "bench" row with
+        | Some (Obs.Jsonl.Str s) -> s
+        | _ -> fail "%s: missing string field \"bench\"" ctx
+      in
+      let ctx = Fmt.str "%s (%s)" ctx bench in
+      (match Obs.Jsonl.member "n" row with
+      | Some (Obs.Jsonl.Int n) when n > 0 -> ()
+      | _ -> fail "%s: missing positive integer \"n\"" ctx);
+      (match num (Obs.Jsonl.member "grid_s" row) with
+      | Some g when g >= 0. -> ()
+      | _ -> fail "%s: missing non-negative number \"grid_s\"" ctx);
+      (match Obs.Jsonl.member "brute_s" row with
+      | Some Obs.Jsonl.Null -> ()
+      | v when num v <> None -> ()
+      | _ -> fail "%s: \"brute_s\" must be a number or null" ctx);
+      (match Obs.Jsonl.member "speedup" row with
+      | Some Obs.Jsonl.Null -> ()
+      | v when num v <> None -> ()
+      | _ -> fail "%s: \"speedup\" must be a number or null" ctx);
+      (match Obs.Jsonl.member "peak_rss_kb" row with
+      | Some Obs.Jsonl.Null | Some (Obs.Jsonl.Int _) -> ()
+      | _ -> fail "%s: \"peak_rss_kb\" must be an integer or null" ctx);
+      (match Obs.Jsonl.member "allocations_mb" row with
+      | Some Obs.Jsonl.Null -> ()
+      | v when num v <> None -> ()
+      | _ -> fail "%s: \"allocations_mb\" must be a number or null" ctx))
+    results;
+  Fmt.pr "validate_perf: %s OK (%d rows)@." path (List.length results)
