@@ -7,6 +7,8 @@
      protocol   run the distributed protocol and print message statistics
      stress     sweep burst-loss x crash fault scenarios, JSON report
      check      explore event schedules, shrink and replay failures
+     daemon     self-healing topology daemon over a continuous event stream
+     daemon-sweep  equivalence sweep across seeded streams x fault grid
      theory     check the paper's two constructions
      compare    compare CBTC against the proximity-graph baselines *)
 
@@ -919,6 +921,357 @@ let check_cmd =
       $ schedule_seed $ loss $ crash $ spread $ mutant $ invariant $ artifact
       $ replay $ budget $ out $ jobs $ obs_out)
 
+(* ---------- daemon ---------- *)
+
+let daemon_cmd =
+  let pos_float ~flag default names doc =
+    let parse s =
+      match float_of_string_opt s with
+      | Some v when v > 0. -> Ok v
+      | _ -> Error (`Msg (Fmt.str "%s: %s is not > 0" flag s))
+    in
+    Arg.(
+      value
+      & opt (conv (parse, Fmt.float)) default
+      & info names ~docv:"T" ~doc)
+  in
+  let duration =
+    pos_float ~flag:"--duration" 60. [ "duration" ]
+      "Stream duration in simulated time units (> 0)."
+  in
+  let event_dt =
+    pos_float ~flag:"--event-dt" 1. [ "event-dt" ]
+      "Epoch length: commit/verify cadence (> 0)."
+  in
+  let move_rate =
+    let parse s =
+      match float_of_string_opt s with
+      | Some v when v >= 0. -> Ok v
+      | _ -> Error (`Msg (Fmt.str "--move-rate: %s is not >= 0" s))
+    in
+    Arg.(
+      value
+      & opt (conv (parse, Fmt.float)) 40.
+      & info [ "move-rate" ] ~docv:"R"
+          ~doc:"Network-wide position reports per time unit (>= 0).")
+  in
+  let crash =
+    let parse s =
+      match float_of_string_opt s with
+      | Some f when f >= 0. && f <= 1. -> Ok f
+      | _ -> Error (`Msg (Fmt.str "--crash: %s out of [0,1]" s))
+    in
+    Arg.(
+      value
+      & opt (conv (parse, Fmt.float)) 0.
+      & info [ "crash" ] ~docv:"F"
+          ~doc:"Crash this fraction of the nodes mid-stream.")
+  in
+  let recover_after =
+    let parse s =
+      match float_of_string_opt s with
+      | Some v when v > 0. -> Ok v
+      | _ -> Error (`Msg (Fmt.str "--recover-after: %s is not > 0" s))
+    in
+    Arg.(
+      value
+      & opt (some (conv (parse, Fmt.float))) None
+      & info [ "recover-after" ] ~docv:"T"
+          ~doc:
+            "Recover each crashed node this long after its crash \
+             (default: crashes are permanent).")
+  in
+  let storm =
+    (* T0:T1:MULT — a load spike for exercising the shedding policy *)
+    let parse s =
+      let err =
+        `Msg
+          (Fmt.str
+             "--storm: %S is not T0:T1:MULT with 0 <= T0 < T1 and MULT > 0" s)
+      in
+      match String.split_on_char ':' s with
+      | [ a; b; m ] -> (
+          match
+            (float_of_string_opt a, float_of_string_opt b,
+             float_of_string_opt m)
+          with
+          | Some t0, Some t1, Some mult
+            when t0 >= 0. && t0 < t1 && mult > 0. ->
+              Ok (t0, t1, mult)
+          | _ -> Error err)
+      | _ -> Error err
+    in
+    let print ppf (t0, t1, m) = Fmt.pf ppf "%g:%g:%g" t0 t1 m in
+    Arg.(
+      value
+      & opt (some (conv (parse, print))) None
+      & info [ "storm" ] ~docv:"T0:T1:MULT"
+          ~doc:
+            "Multiply the move rate by MULT while stream time is in \
+             [T0, T1) — a fault/load storm.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 0
+      & info [ "budget" ] ~docv:"B"
+          ~doc:"Max events applied per epoch (<= 0 = unlimited).")
+  in
+  let queue_cap =
+    let parse s =
+      match int_of_string_opt s with
+      | Some c when c >= 1 -> Ok c
+      | _ -> Error (`Msg (Fmt.str "--queue-cap: %s is not >= 1" s))
+    in
+    Arg.(
+      value
+      & opt (conv (parse, Fmt.int)) 4096
+      & info [ "queue-cap" ] ~docv:"C"
+          ~doc:"Event-queue capacity before overload shedding.")
+  in
+  let watchdog =
+    let parse s =
+      match float_of_string_opt s with
+      | Some f when f >= 0. -> Ok f
+      | _ -> Error (`Msg (Fmt.str "--watchdog: %s is not >= 0" s))
+    in
+    Arg.(
+      value
+      & opt (conv (parse, Fmt.float)) 0.25
+      & info [ "watchdog" ] ~docv:"FRAC"
+          ~doc:
+            "Fall back to a full recompute when an epoch dirties more \
+             than FRAC of the live nodes (0 = always full, > 1 = never).")
+  in
+  let every ~flag default names doc =
+    let parse s =
+      match int_of_string_opt s with
+      | Some k when k >= 0 -> Ok k
+      | _ -> Error (`Msg (Fmt.str "%s: %s is not >= 0" flag s))
+    in
+    Arg.(
+      value
+      & opt (conv (parse, Fmt.int)) default
+      & info names ~docv:"K" ~doc)
+  in
+  let verify_every =
+    every ~flag:"--verify-every" 10 [ "verify-every" ]
+      "Verify guarantees + degradation every K epochs (0 = final only)."
+  in
+  let equivalence_every =
+    every ~flag:"--equivalence-every" 0 [ "equivalence-every" ]
+      "Check incremental state equals a full recompute every K epochs \
+       (0 = never)."
+  in
+  let checkpoint_every =
+    every ~flag:"--checkpoint-every" 0 [ "checkpoint-every" ]
+      "Write a checkpoint every K epochs (0 = never; needs --checkpoint)."
+  in
+  let checkpoint_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:"Checkpoint file (single-line JSON, atomically rewritten).")
+  in
+  let restore =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "restore" ] ~docv:"FILE"
+          ~doc:
+            "Resume from a checkpoint written by an identical command \
+             line; the run converges to the same topology digest as the \
+             uninterrupted one.")
+  in
+  let wall =
+    Arg.(
+      value & flag
+      & info [ "wall" ]
+          ~doc:
+            "Measure wall-clock time and report events/sec (makes the \
+             report non-reproducible; benchmarks only).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write the JSON daemon report to $(docv).")
+  in
+  let action n side range seed alpha duration event_dt move_rate crash
+      recover_after storm budget queue_cap watchdog verify_every
+      equivalence_every checkpoint_every checkpoint_path restore wall
+      metrics_out jobs =
+    let sc = scenario_of ~n ~side ~range ~seed in
+    let churn =
+      if crash <= 0. then Faults.Plan.empty
+      else
+        Faults.Plan.random_crashes
+          ~prng:(Prng.create ~seed:(seed + 1))
+          ~n ~fraction:crash
+          ~window:(0.1 *. duration, 0.6 *. duration)
+          ?recover_after ()
+    in
+    let stream =
+      {
+        Daemon.Driver.seed;
+        field = sc.Workload.Scenario.field;
+        mobility = Workload.Mobility.default_params;
+        move_rate;
+        storm;
+        churn;
+        positions = Workload.Scenario.positions sc;
+      }
+    in
+    let params =
+      {
+        Daemon.Driver.duration;
+        event_dt;
+        budget;
+        queue_cap;
+        watchdog_frac = watchdog;
+        verify_every;
+        equivalence_every;
+        checkpoint_every;
+        checkpoint_path;
+      }
+    in
+    let restore =
+      Option.map
+        (fun path ->
+          try Daemon.Checkpoint.load path
+          with Failure m ->
+            Fmt.epr "daemon: %s@." m;
+            exit 2)
+        restore
+    in
+    let clock = if wall then Some Unix.gettimeofday else None in
+    let r, pool_jobs =
+      Parallel.Pool.with_pool ?jobs (fun pool ->
+          ( Daemon.Driver.run ~pool ?clock ?restore ~params
+              ~config:(Cbtc.Config.make alpha)
+              ~pathloss:(Workload.Scenario.pathloss sc)
+              stream,
+            Parallel.Pool.jobs pool ))
+    in
+    let open Daemon.Driver in
+    Fmt.pr "epochs:     %d (dt %g)@." r.epochs event_dt;
+    Fmt.pr "live:       %d/%d nodes@." r.live n;
+    Fmt.pr "events:     %d applied, %d shed, %d overflow (peak backlog %d)@."
+      r.engine.Daemon.Engine.events r.queue.Daemon.Equeue.shed
+      r.queue.Daemon.Equeue.overflow r.queue.Daemon.Equeue.peak;
+    Fmt.pr "regrown:    %d cones incremental, %d full recomputes@."
+      r.engine.Daemon.Engine.regrown r.engine.Daemon.Engine.full_recomputes;
+    Option.iter
+      (fun (l : latency) ->
+        Fmt.pr "latency:    p50 %g p95 %g p99 %g max %g (%d samples)@." l.p50
+          l.p95 l.p99 l.max l.samples)
+      r.latency;
+    Fmt.pr "verify:     %d checks, %d degraded; equivalence: %d checks@."
+      r.verify_checks r.degraded_checks r.equivalence_checks;
+    Fmt.pr "final:      drift %d, lag %d, connectivity preserved %b@."
+      r.final_degradation.drift r.final_degradation.liveness_lag
+      r.final_degradation.connectivity_preserved;
+    Fmt.pr "digest:     %s@." r.topology_digest;
+    (match r.wall_s with
+    | Some w when w > 0. ->
+        Fmt.pr "throughput: %.0f events/s (%.2fs wall)@."
+          (Stdlib.float_of_int r.engine.Daemon.Engine.events /. w)
+          w
+    | _ -> ());
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc
+          (Obs.Jsonl.to_string (report_json r ~jobs:pool_jobs));
+        output_char oc '\n';
+        close_out oc;
+        Fmt.pr "wrote %s@." path)
+      metrics_out;
+    List.iter (fun m -> Fmt.epr "verify failure: %s@." m) r.verify_failures;
+    List.iter
+      (fun m -> Fmt.epr "equivalence failure: %s@." m)
+      r.equivalence_failures;
+    if r.verify_failures <> [] || r.equivalence_failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "daemon"
+       ~doc:
+         "Run the self-healing topology daemon on a continuous \
+          join/leave/move stream: incremental reconfiguration with \
+          bounded-queue shedding, watchdog fallback, periodic \
+          checkpoints and continuous verification.  Degradation is \
+          reported, not fatal; exits 1 only on a guarantee or \
+          equivalence violation (an engine bug).")
+    Term.(
+      const action $ nodes $ side $ range $ seed $ alpha $ duration
+      $ event_dt $ move_rate $ crash $ recover_after $ storm $ budget
+      $ queue_cap $ watchdog $ verify_every $ equivalence_every
+      $ checkpoint_every $ checkpoint_path $ restore $ wall $ metrics_out
+      $ jobs)
+
+(* ---------- daemon-sweep ---------- *)
+
+let daemon_sweep_cmd =
+  let seeds =
+    let parse s =
+      match int_of_string_opt s with
+      | Some k when k >= 1 && k <= 100_000 -> Ok k
+      | _ -> Error (`Msg (Fmt.str "--seeds: %s out of [1, 100000]" s))
+    in
+    Arg.(
+      value
+      & opt (conv (parse, Fmt.int)) 8
+      & info [ "seeds" ] ~docv:"K"
+          ~doc:"Stream seeds to sweep (each crossed with every grid cell).")
+  in
+  let action n seed seeds out jobs =
+    let report =
+      Parallel.Pool.with_pool ?jobs (fun pool ->
+          Check.Daemon_sweep.sweep ~pool ~seeds ~seed ~n ())
+    in
+    Fmt.pr "%a@." Check.Daemon_sweep.pp_report report;
+    Option.iter
+      (fun path ->
+        let doc =
+          Obs.Jsonl.Obj
+            [
+              ("command", Obs.Jsonl.Str "daemon-sweep");
+              ("n", Obs.Jsonl.Int n);
+              ("seed", Obs.Jsonl.Int seed);
+              ("seeds", Obs.Jsonl.Int report.Check.Daemon_sweep.seeds);
+              ("cells", Obs.Jsonl.Int report.Check.Daemon_sweep.cells);
+              ("trials", Obs.Jsonl.Int report.Check.Daemon_sweep.trials);
+              ( "failures",
+                Obs.Jsonl.Int
+                  (List.length report.Check.Daemon_sweep.failures) );
+              ("digest", Obs.Jsonl.Str report.Check.Daemon_sweep.digest);
+            ]
+        in
+        let oc = open_out path in
+        output_string oc (Obs.Jsonl.to_string doc);
+        output_char oc '\n';
+        close_out oc;
+        Fmt.pr "wrote %s@." path)
+      out;
+    if report.Check.Daemon_sweep.failures <> [] then exit 1
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write a JSON sweep manifest (trial count, digest, failures).")
+  in
+  Cmd.v
+    (Cmd.info "daemon-sweep"
+       ~doc:
+         "Sweep the daemon's incremental-vs-full equivalence invariant \
+          across seeded mobility/fault streams and a fault/watchdog \
+          grid.  The report is bit-identical at every -j; exits 1 on \
+          any violation.")
+    Term.(const action $ nodes $ seed $ seeds $ out $ jobs)
+
 (* ---------- theory ---------- *)
 
 let theory_cmd =
@@ -1071,4 +1424,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; sweep_cmd; topology_cmd; protocol_cmd; stress_cmd;
-            check_cmd; theory_cmd; compare_cmd; route_cmd; lifetime_cmd ]))
+            check_cmd; daemon_cmd; daemon_sweep_cmd; theory_cmd; compare_cmd;
+            route_cmd; lifetime_cmd ]))

@@ -22,18 +22,19 @@ let max_reach pathloss =
   Radio.Pathloss.reach_distance pathloss
     ~power:(Radio.Pathloss.max_power pathloss)
 
-let candidates ?grid pathloss positions u =
+let candidates ?grid ?(alive = fun _ -> true) pathloss positions u =
   check_node positions u;
   let acc =
     match grid with
     | Some grid ->
         Geom.Grid.fold_in_range grid positions.(u) ~dist:(max_reach pathloss)
           ~init:[]
-          ~f:(fun acc v -> consider pathloss positions u v acc)
+          ~f:(fun acc v ->
+            if alive v then consider pathloss positions u v acc else acc)
     | None ->
         let acc = ref [] in
         for v = 0 to Array.length positions - 1 do
-          acc := consider pathloss positions u v !acc
+          if alive v then acc := consider pathloss positions u v !acc
         done;
         !acc
   in
@@ -123,6 +124,23 @@ let grow_node ~alpha ~max_power cands steps =
   in
   let discovered, power, boundary, nsteps = walk 1 [] [] cands steps in
   (List.sort Neighbor.compare_by_link_power discovered, power, boundary, nsteps)
+
+(* Per-node oracle step: [u]'s converged CBTC(alpha) state against the
+   candidates passing the [alive] filter — exactly the per-node body of
+   [run_with].  Discovery is a pure function of the (live) positions
+   within range of [u], so re-growing only the nodes an event can affect
+   (the incremental daemon engine) is provably equivalent to a full
+   recompute of every node. *)
+let grow_one ?grid ?alive config pathloss positions u =
+  let cands = candidates ?grid ?alive pathloss positions u in
+  let link_powers = List.map (fun (nb : Neighbor.t) -> nb.link_power) cands in
+  let steps = Config.power_steps config ~pathloss ~link_powers in
+  let discovered, power, boundary, _nsteps =
+    grow_node ~alpha:config.Config.alpha
+      ~max_power:(Radio.Pathloss.max_power pathloss)
+      cands steps
+  in
+  (discovered, power, boundary)
 
 let run_with ?pool ?(obs = Obs.Recorder.nil) ~candidates config pathloss
     positions =

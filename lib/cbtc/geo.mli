@@ -51,15 +51,31 @@ val run_flat :
   ?obs:Obs.Recorder.t ->
   Config.t -> Radio.Pathloss.t -> Geom.Vec2.t array -> Soa.t
 
-(** [candidates ?grid pathloss positions u] lists the nodes physically
-    within range [R] of [u] (its [G_R] neighbors) as {!Neighbor.t} values
-    with true link powers and directions, sorted by increasing link
-    power; tags are set to the link power.  When [grid] (an index built
-    over exactly [positions]) is given, only nearby cells are probed;
-    otherwise all positions are scanned. *)
+(** [candidates ?grid ?alive pathloss positions u] lists the nodes
+    physically within range [R] of [u] (its [G_R] neighbors) as
+    {!Neighbor.t} values with true link powers and directions, sorted by
+    increasing link power; tags are set to the link power.  When [grid]
+    (an index built over exactly [positions]) is given, only nearby
+    cells are probed; otherwise all positions are scanned.  [alive]
+    (default: everyone) filters the candidate set — crashed nodes are
+    invisible to discovery. *)
 val candidates :
   ?grid:Geom.Grid.t ->
+  ?alive:(int -> bool) ->
   Radio.Pathloss.t -> Geom.Vec2.t array -> int -> Neighbor.t list
+
+(** [grow_one ?grid ?alive config pathloss positions u] is [u]'s
+    converged per-node state — (discovered neighbors sorted by link
+    power, final power, boundary flag) — against the candidates passing
+    [alive]: exactly the per-node body of {!run}.  Discovery is a pure
+    function of the live positions within range of [u], which is what
+    makes incremental dirty-node regrowth (lib/daemon) provably
+    equivalent to a full recompute. *)
+val grow_one :
+  ?grid:Geom.Grid.t ->
+  ?alive:(int -> bool) ->
+  Config.t -> Radio.Pathloss.t -> Geom.Vec2.t array -> int ->
+  Neighbor.t list * float * bool
 
 (** [max_power_graph ?pool ?cutoff pathloss positions] is [G_R]: the
     graph induced by every node transmitting at maximum power.

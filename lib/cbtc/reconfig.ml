@@ -112,30 +112,38 @@ let schedule_from t ~start =
   in
   build [] p
 
-let rec growth_step t node =
-  match node.schedule with
-  | [] ->
-      node.growing <- false;
-      node.boundary <- true;
-      node.basic_power <- node.power;
-      touch t
-  | power :: rest ->
-      node.schedule <- rest;
-      node.power <- power;
-      for i = 0 to t.params.hello_repeats - 1 do
+(* Growth closures carry the epoch they were started in and go inert
+   once the node is recovered into a later epoch: a crash/recover cycle
+   quicker than [eval_delay] would otherwise leave the dead run's
+   pending hello/evaluate callbacks firing into the fresh epoch's
+   growth (same guard discipline as the NDP timers in [start_ndp]). *)
+let rec growth_step t node ~epoch =
+  if node.epoch = epoch then
+    match node.schedule with
+    | [] ->
+        node.growing <- false;
+        node.boundary <- true;
+        node.basic_power <- node.power;
+        touch t
+    | power :: rest ->
+        node.schedule <- rest;
+        node.power <- power;
+        for i = 0 to t.params.hello_repeats - 1 do
+          ignore
+            (Dsim.Sim.schedule t.sim
+               ~delay:(Stdlib.float_of_int i *. t.channel.Dsim.Channel.max_delay)
+               (fun () ->
+                 if node.epoch = epoch then begin
+                   Obs.Recorder.incr t.obs "msg.hello";
+                   ignore (Airnet.Net.bcast t.net ~src:node.id ~power Hello)
+                 end))
+        done;
         ignore
-          (Dsim.Sim.schedule t.sim
-             ~delay:(Stdlib.float_of_int i *. t.channel.Dsim.Channel.max_delay)
-             (fun () ->
-               Obs.Recorder.incr t.obs "msg.hello";
-               ignore (Airnet.Net.bcast t.net ~src:node.id ~power Hello)))
-      done;
-      ignore
-        (Dsim.Sim.schedule t.sim ~delay:(eval_delay t) (fun () ->
-             evaluate t node))
+          (Dsim.Sim.schedule t.sim ~delay:(eval_delay t) (fun () ->
+               evaluate t node ~epoch))
 
-and evaluate t node =
-  if node.growing then
+and evaluate t node ~epoch =
+  if node.epoch = epoch && node.growing then
     if not (has_gap t node) then begin
       node.growing <- false;
       node.boundary <- false;
@@ -148,7 +156,7 @@ and evaluate t node =
       node.basic_power <- node.power;
       touch t
     end
-    else growth_step t node
+    else growth_step t node ~epoch
 
 let trigger_growth t node ~start =
   if (not node.growing) && alive t node.id then begin
@@ -156,7 +164,7 @@ let trigger_growth t node ~start =
     node.growing <- true;
     node.schedule <- schedule_from t ~start;
     touch t;
-    growth_step t node
+    growth_step t node ~epoch:node.epoch
   end
 
 (* Shrink-back pass used by join / aChange handling: trim farthest tags
@@ -165,16 +173,31 @@ let shrink t node =
   let listed = IMap.fold (fun _ nb acc -> nb :: acc) node.neighbors [] in
   match Optimize.shrink_neighbors ~alpha:(alpha t) listed with
   | kept, Some _ ->
-      node.neighbors <-
-        List.fold_left
-          (fun m (nb : Neighbor.t) -> IMap.add nb.id nb m)
-          IMap.empty kept;
       let needed =
         List.fold_left
           (fun acc (nb : Neighbor.t) -> Float.max acc nb.link_power)
           0. kept
       in
-      node.power <- Float.max t.p0 (Float.min (max_power t) needed)
+      (* Trimming preserves coverage, so the kept set has an alpha-gap
+         iff the node currently does.  While the gap persists the node
+         is a boundary node and must hold max power; a join that just
+         closed the gap ends its boundary status and lets it shrink to
+         the power reaching its farthest kept neighbor. *)
+      let gap = has_gap t node in
+      let power =
+        if gap then max_power t
+        else Float.max t.p0 (Float.min (max_power t) needed)
+      in
+      (* Every kept neighbor is reachable at the recomputed power, so its
+         effective selection class is at most that power; without the
+         clamp a growth-step tag can stay above the shrunk power. *)
+      node.neighbors <-
+        List.fold_left
+          (fun m (nb : Neighbor.t) ->
+            IMap.add nb.id { nb with Neighbor.tag = Float.min nb.tag power } m)
+          IMap.empty kept;
+      node.boundary <- gap;
+      node.power <- power
   | _, None -> ()
 
 let heard t node src = node.last_heard <- IMap.add src (now t) node.last_heard
@@ -249,7 +272,32 @@ let on_beacon t (r : msg Airnet.Net.recv) =
     match IMap.find_opt r.src me.neighbors with
     | None -> ()
     | Some nb ->
-        if Geom.Angle.diff nb.Neighbor.dir r.rx_dir > t.params.dir_tolerance
+        if link_power > Radio.Pathloss.reach_cap ~power:me.power then begin
+          (* The neighbor slid beyond what [me] can reach at its current
+             data power.  A purely radial move never trips the direction
+             test below, and the neighbor's own beacons keep refreshing
+             [last_heard], so the expire path never fires either: the
+             stale link record would silently linger (and violate the
+             "every neighbor within converged power" guarantee).  NDP
+             semantics for a reachability-boundary crossing are
+             leave-then-join: relog the neighbor from the fresh estimate
+             and re-cover the cone. *)
+          log_event t r.dst r.src Leave;
+          log_event t r.dst r.src Join;
+          me.neighbors <-
+            IMap.add r.src
+              (Neighbor.make ~id:r.src ~dir:r.rx_dir ~link_power
+                 ~tag:link_power)
+              me.neighbors;
+          if has_gap t me then
+            trigger_growth t me ~start:(out_reach_power me)
+          else
+            (* directions still cover: shrink recomputes the data power
+               from the kept set, which *raises* it to the new link *)
+            shrink t me
+        end
+        else if
+          Geom.Angle.diff nb.Neighbor.dir r.rx_dir > t.params.dir_tolerance
         then begin
           log_event t r.dst r.src Achange;
           me.neighbors <-

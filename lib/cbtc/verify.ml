@@ -195,6 +195,12 @@ let guard f =
 let check_guarantees ?complete (o : Distributed.outcome) =
   guard (fun () -> surviving ?complete ~alive:o.Distributed.alive o.Distributed.discovery)
 
+(* Same guarantees check, but on a bare (alive mask, discovery snapshot)
+   pair: the adapter the topology daemon's continuous verification calls
+   between event batches, where there is no Distributed.outcome. *)
+let check_surviving ?complete ~alive (d : Discovery.t) =
+  guard (fun () -> surviving ?complete ~alive d)
+
 let discovery_equal ~oracle (d : Discovery.t) =
   let ids nbs =
     List.map (fun (nb : Neighbor.t) -> nb.id) nbs |> List.sort Int.compare

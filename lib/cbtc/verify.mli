@@ -70,6 +70,13 @@ val degradation : ?reference:Distributed.outcome -> Distributed.outcome -> degra
 val check_guarantees :
   ?complete:bool -> Distributed.outcome -> (unit, string) result
 
+(** [check_surviving ?complete ~alive d] is {!surviving} on a bare
+    (alive mask, discovery snapshot) pair, as a [result] — the adapter
+    the topology daemon's continuous verification calls between event
+    batches, where no [Distributed.outcome] exists. *)
+val check_surviving :
+  ?complete:bool -> alive:bool array -> Discovery.t -> (unit, string) result
+
 (** [discovery_equal ~oracle d] checks [d] against the centralized
     oracle's converged state: same neighbor id sets, powers within
     [1e-6], same boundary flags.  [Error] describes the first

@@ -1,0 +1,144 @@
+(* Equivalence sweep for the topology daemon: many deterministic
+   mobility + fault streams driven through [Daemon.Driver.run] with the
+   incremental-vs-full equivalence invariant checked every epoch, across
+   a grid of fault/watchdog cells.  Trials are enumerated up-front
+   (seed-major, cell-minor) and folded back in that order, so the report
+   — including its aggregate digest — is bit-identical at every -j. *)
+
+type cell = {
+  crash_frac : float;
+  recover_after : float option;
+  watchdog_frac : float;
+}
+
+let default_cells =
+  [
+    (* pure mobility, incremental-dominant *)
+    { crash_frac = 0.; recover_after = None; watchdog_frac = 0.25 };
+    (* light churn with recovery *)
+    { crash_frac = 0.15; recover_after = Some 4.; watchdog_frac = 0.25 };
+    (* heavy churn, watchdog trips often *)
+    { crash_frac = 0.3; recover_after = Some 2.; watchdog_frac = 0.1 };
+    (* heavy permanent crashes, watchdog never trips *)
+    { crash_frac = 0.3; recover_after = None; watchdog_frac = 1.5 };
+  ]
+
+type failure = { trial : int; seed : int; cell : cell; message : string }
+
+type report = {
+  trials : int;
+  seeds : int;
+  cells : int;
+  failures : failure list;
+  digest : string;
+}
+
+type spec = { s_seed : int; s_cell : cell }
+
+let epochs = 8.
+
+(* One trial = one daemon run + its per-epoch equivalence checks and
+   final verification, fully determined by its spec.  Exceptions are
+   demoted to failures so a sweep always runs to completion. *)
+let run_trial ~n spec =
+  let cell = spec.s_cell in
+  let sc = Workload.Scenario.make ~n ~seed:spec.s_seed () in
+  let churn =
+    if cell.crash_frac <= 0. then Faults.Plan.empty
+    else
+      Faults.Plan.random_crashes
+        ~prng:(Prng.create ~seed:(spec.s_seed lxor 0x5bf03635))
+        ~n ~fraction:cell.crash_frac
+        ~window:(1., epochs -. 2.)
+        ?recover_after:cell.recover_after ()
+  in
+  let stream =
+    {
+      Daemon.Driver.seed = spec.s_seed;
+      field = sc.Workload.Scenario.field;
+      mobility = Workload.Mobility.default_params;
+      move_rate = 25.;
+      storm = None;
+      churn;
+      positions = Workload.Scenario.positions sc;
+    }
+  in
+  let params =
+    {
+      Daemon.Driver.default_params with
+      duration = epochs;
+      event_dt = 1.;
+      watchdog_frac = cell.watchdog_frac;
+      equivalence_every = 1;
+    }
+  in
+  let config = Cbtc.Config.make Geom.Angle.five_pi_six in
+  match
+    Daemon.Driver.run ~params ~config
+      ~pathloss:(Workload.Scenario.pathloss sc)
+      stream
+  with
+  | r ->
+      ( r.Daemon.Driver.topology_digest,
+        r.Daemon.Driver.equivalence_failures @ r.Daemon.Driver.verify_failures
+      )
+  | exception e -> ("!", [ "exception: " ^ Printexc.to_string e ])
+
+let sweep ?pool ?(seeds = 8) ?(seed = 11) ?(cells = default_cells) ?(n = 24)
+    () =
+  if seeds < 1 then invalid_arg "Check.Daemon_sweep.sweep: seeds < 1";
+  if cells = [] then invalid_arg "Check.Daemon_sweep.sweep: empty cell grid";
+  let sseeds = Parallel.Seeds.ints (Prng.create ~seed) seeds in
+  let specs =
+    Array.to_list sseeds
+    |> List.concat_map (fun s ->
+           List.map (fun c -> { s_seed = s; s_cell = c }) cells)
+    |> Array.of_list
+  in
+  let results =
+    match pool with
+    | Some pool -> Parallel.Pool.map pool (run_trial ~n) specs
+    | None -> Array.map (run_trial ~n) specs
+  in
+  let buf = Buffer.create (33 * Array.length results) in
+  let failures = ref [] in
+  Array.iteri
+    (fun i (digest, msgs) ->
+      Buffer.add_string buf digest;
+      Buffer.add_char buf '\n';
+      List.iter
+        (fun message ->
+          failures :=
+            {
+              trial = i;
+              seed = specs.(i).s_seed;
+              cell = specs.(i).s_cell;
+              message;
+            }
+            :: !failures)
+        msgs)
+    results;
+  {
+    trials = Array.length specs;
+    seeds;
+    cells = List.length cells;
+    failures = List.rev !failures;
+    digest = Digest.to_hex (Digest.string (Buffer.contents buf));
+  }
+
+let pp_cell ppf c =
+  Fmt.pf ppf "crash=%g recover=%a watchdog=%g" c.crash_frac
+    (Fmt.option ~none:(Fmt.any "never") Fmt.float)
+    c.recover_after c.watchdog_frac
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>%d trials (%d seeds x %d cells): %d failure%s@," r.trials
+    r.seeds r.cells
+    (List.length r.failures)
+    (if List.length r.failures = 1 then "" else "s");
+  List.iter
+    (fun f ->
+      Fmt.pf ppf "  trial %d [seed %d, %a]: %s@," f.trial f.seed pp_cell
+        f.cell f.message)
+    r.failures;
+  Fmt.pf ppf "digest %s@]" r.digest

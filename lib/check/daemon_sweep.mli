@@ -1,0 +1,55 @@
+(** Equivalence sweep for the self-healing topology daemon.
+
+    Each trial drives one deterministic mobility + fault stream through
+    {!Daemon.Driver.run} with the incremental-vs-full equivalence
+    invariant checked {e every} epoch (plus the final survivor
+    verification), across a grid of fault/watchdog cells.  Trials are
+    enumerated up-front in a fixed order (seed-major, cell-minor) and
+    folded back in that order, so the report — including its aggregate
+    digest — is bit-identical for every [-j]. *)
+
+type cell = {
+  crash_frac : float;  (** fraction of nodes the plan crashes *)
+  recover_after : float option;  (** crash-to-recovery delay, if any *)
+  watchdog_frac : float;  (** see {!Daemon.Engine.create} *)
+}
+
+(** Four cells spanning pure mobility, recovering churn, heavy churn
+    with a twitchy watchdog, and permanent crashes with the watchdog
+    disabled. *)
+val default_cells : cell list
+
+type failure = {
+  trial : int;  (** index in the sweep's trial order *)
+  seed : int;  (** the stream seed that failed *)
+  cell : cell;
+  message : string;  (** violated invariant (or a caught exception) *)
+}
+
+type report = {
+  trials : int;
+  seeds : int;
+  cells : int;
+  failures : failure list;  (** in trial order *)
+  digest : string;
+      (** hex MD5 over all trial topology digests in trial order — the
+          sweep's reproducibility fingerprint *)
+}
+
+(** [sweep ?pool ?seeds ?seed ?cells ?n ()] runs [seeds * length cells]
+    trials ([seeds] stream seeds derived from [seed], default 11;
+    [seeds] defaults to 8, [n] — nodes per stream — to 24).  Invariant
+    failures and exceptions are collected, never raised.
+    @raise Invalid_argument when [seeds < 1] or [cells] is empty. *)
+val sweep :
+  ?pool:Parallel.Pool.t ->
+  ?seeds:int ->
+  ?seed:int ->
+  ?cells:cell list ->
+  ?n:int ->
+  unit ->
+  report
+
+val pp_cell : cell Fmt.t
+
+val pp_report : report Fmt.t

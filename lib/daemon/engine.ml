@@ -1,0 +1,298 @@
+(* Incrementally maintained CBTC state.
+
+   Per-node discovery ([Cbtc.Geo.grow_one]) is a pure function of the live
+   positions within radio range of the node, so an event can only change
+   the cones of nodes within range R of a position it touches.  [apply]
+   marks exactly those nodes dirty (grid probe + exact in-range
+   predicate — a provable superset of the affected set, symmetric in the
+   two endpoints) and [commit] regrows them; the equivalence of this
+   incremental maintenance with a from-scratch recompute is the daemon's
+   central invariant, checked by [check_full_equivalence] and swept
+   across seeded schedules in [Check.Explore.sweep_daemon].
+
+   The engine owns a [Geom.Grid] kept current by [Geom.Grid.move]; the
+   full-equivalence check rebuilds a fresh grid, so it also cross-checks
+   the index's tombstone/overflow mobility path. *)
+
+type stats = {
+  mutable events : int;
+  mutable moves : int;
+  mutable leaves : int;
+  mutable joins : int;
+  mutable commits : int;  (* commit calls with at least one dirty node *)
+  mutable regrown : int;  (* nodes regrown, incremental + full *)
+  mutable full_recomputes : int;  (* watchdog trips *)
+}
+
+type t = {
+  config : Cbtc.Config.t;
+  pathloss : Radio.Pathloss.t;
+  positions : Geom.Vec2.t array;
+  alive : bool array;
+  neighbors : Cbtc.Neighbor.t list array;
+  power : float array;
+  boundary : bool array;
+  grid : Geom.Grid.t;
+  reach : float;  (* conservative probe radius for range R *)
+  watchdog_frac : float;
+  dirty : bool array;
+  mutable dirty_list : int list;
+  mutable live : int;
+  stats : stats;
+}
+
+let nb_nodes t = Array.length t.positions
+
+let live t = t.live
+
+let stats t = t.stats
+
+let alive t u = t.alive.(u)
+
+let position t u = t.positions.(u)
+
+let grid_health t = Geom.Grid.health t.grid
+
+let regrow ?pool t targets =
+  let alive_fn v = t.alive.(v) in
+  let grow u =
+    let nbs, p, b =
+      Cbtc.Geo.grow_one ~grid:t.grid ~alive:alive_fn t.config t.pathloss
+        t.positions u
+    in
+    t.neighbors.(u) <- nbs;
+    t.power.(u) <- p;
+    t.boundary.(u) <- b
+  in
+  (match pool with
+  | None -> Array.iter grow targets
+  | Some pool ->
+      (* disjoint slot writes: bit-identical for every pool size *)
+      Parallel.Pool.iter_chunks pool (Array.length targets) (fun lo hi ->
+          for i = lo to hi - 1 do
+            grow targets.(i)
+          done));
+  t.stats.regrown <- t.stats.regrown + Array.length targets
+
+let live_targets t =
+  let acc = ref [] in
+  for u = nb_nodes t - 1 downto 0 do
+    if t.alive.(u) then acc := u :: !acc
+  done;
+  Array.of_list !acc
+
+let create ?pool ?alive ~watchdog_frac config pathloss positions =
+  if not (watchdog_frac >= 0.) then
+    invalid_arg "Daemon.Engine.create: watchdog_frac must be >= 0";
+  let n = Array.length positions in
+  let alive =
+    match alive with
+    | None -> Array.make n true
+    | Some a ->
+        if Array.length a <> n then
+          invalid_arg "Daemon.Engine.create: alive/positions length mismatch";
+        Array.copy a
+  in
+  let t =
+    {
+      config;
+      pathloss;
+      positions = Array.copy positions;
+      alive;
+      neighbors = Array.make n [];
+      power = Array.make n 0.;
+      boundary = Array.make n false;
+      grid = Geom.Grid.create ~range:(Radio.Pathloss.max_range pathloss) positions;
+      reach =
+        Radio.Pathloss.reach_distance pathloss
+          ~power:(Radio.Pathloss.max_power pathloss);
+      watchdog_frac;
+      dirty = Array.make n false;
+      dirty_list = [];
+      live = Array.fold_left (fun k b -> if b then k + 1 else k) 0 alive;
+      stats =
+        {
+          events = 0;
+          moves = 0;
+          leaves = 0;
+          joins = 0;
+          commits = 0;
+          regrown = 0;
+          full_recomputes = 0;
+        };
+    }
+  in
+  regrow ?pool t (live_targets t);
+  t
+
+let mark t u =
+  if t.alive.(u) && not t.dirty.(u) then begin
+    t.dirty.(u) <- true;
+    t.dirty_list <- u :: t.dirty_list
+  end
+
+(* Mark every live node whose cone a change at [p] can affect: the grid
+   probe over-approximates, the exact [in_range] predicate (symmetric in
+   the endpoints) trims it to the true G_R neighborhood of [p]. *)
+let mark_around t p =
+  Geom.Grid.iter_in_range t.grid p ~dist:t.reach (fun v ->
+      if
+        t.alive.(v)
+        && Radio.Pathloss.in_range t.pathloss
+             ~dist:(Geom.Vec2.dist p t.positions.(v))
+      then mark t v)
+
+let clear_node t u =
+  t.neighbors.(u) <- [];
+  t.power.(u) <- 0.;
+  t.boundary.(u) <- false
+
+let set_position t u p =
+  t.positions.(u) <- p;
+  Geom.Grid.move t.grid u p
+
+let apply t (e : Event.t) =
+  let u = e.node in
+  if u < 0 || u >= nb_nodes t then
+    invalid_arg "Daemon.Engine.apply: node out of range";
+  t.stats.events <- t.stats.events + 1;
+  match e.kind with
+  | Event.Move p ->
+      t.stats.moves <- t.stats.moves + 1;
+      if t.alive.(u) then begin
+        mark_around t t.positions.(u);
+        set_position t u p;
+        mark_around t p;
+        mark t u
+      end
+      else
+        (* dead nodes are tracked silently: nobody's cone sees them,
+           but a later recovery must join at the right place *)
+        set_position t u p
+  | Event.Leave ->
+      t.stats.leaves <- t.stats.leaves + 1;
+      if t.alive.(u) then begin
+        t.alive.(u) <- false;
+        t.live <- t.live - 1;
+        clear_node t u;
+        mark_around t t.positions.(u)
+      end
+  | Event.Join p ->
+      t.stats.joins <- t.stats.joins + 1;
+      if t.alive.(u) then begin
+        (* duplicate join = a move *)
+        mark_around t t.positions.(u);
+        set_position t u p;
+        mark_around t p;
+        mark t u
+      end
+      else begin
+        set_position t u p;
+        t.alive.(u) <- true;
+        t.live <- t.live + 1;
+        mark_around t p;
+        mark t u
+      end
+
+let commit ?pool t =
+  let ds = List.sort_uniq Int.compare t.dirty_list in
+  List.iter (fun u -> t.dirty.(u) <- false) ds;
+  t.dirty_list <- [];
+  let ds = List.filter (fun u -> t.alive.(u)) ds in
+  let k = List.length ds in
+  if k = 0 then `Clean
+  else begin
+    t.stats.commits <- t.stats.commits + 1;
+    let threshold =
+      int_of_float (Float.ceil (t.watchdog_frac *. float_of_int t.live))
+    in
+    if t.live > 0 && k >= Stdlib.max 1 threshold then begin
+      (* watchdog: the dirty set is a large fraction of the network —
+         a full recompute is no more work (within 1/frac) and squashes
+         any drift in one shot *)
+      t.stats.full_recomputes <- t.stats.full_recomputes + 1;
+      let targets = live_targets t in
+      regrow ?pool t targets;
+      `Full (Array.length targets)
+    end
+    else begin
+      regrow ?pool t (Array.of_list ds);
+      `Incremental k
+    end
+  end
+
+let discovery t =
+  {
+    Cbtc.Discovery.config = t.config;
+    pathloss = t.pathloss;
+    positions = Array.copy t.positions;
+    neighbors = Array.copy t.neighbors;
+    power = Array.copy t.power;
+    boundary = Array.copy t.boundary;
+  }
+
+let topology t = Cbtc.Discovery.closure (discovery t)
+
+let digest t =
+  let b = Buffer.create (64 * nb_nodes t) in
+  let f x = Buffer.add_int64_le b (Int64.bits_of_float x) in
+  for u = 0 to nb_nodes t - 1 do
+    Buffer.add_uint8 b (if t.alive.(u) then 1 else 0);
+    f t.positions.(u).Geom.Vec2.x;
+    f t.positions.(u).Geom.Vec2.y;
+    f t.power.(u);
+    Buffer.add_uint8 b (if t.boundary.(u) then 1 else 0);
+    List.iter
+      (fun (nb : Cbtc.Neighbor.t) ->
+        Buffer.add_int64_le b (Int64.of_int nb.id);
+        f nb.link_power;
+        f nb.dir;
+        f nb.tag)
+      t.neighbors.(u)
+  done;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* The central invariant: tracked state == from-scratch recompute over
+   the tracked world.  The reference pass uses a *fresh* grid, so this
+   also cross-checks the incremental index against a clean build.
+   Float-exact comparison is intentional — both sides run the identical
+   per-node float computation on identical inputs. *)
+let check_full_equivalence ?pool t =
+  let grid = Geom.Grid.create ~range:(Radio.Pathloss.max_range t.pathloss) t.positions in
+  let alive_fn v = t.alive.(v) in
+  let n = nb_nodes t in
+  let bad = Array.make n None in
+  let check u =
+    if t.alive.(u) then begin
+      let nbs, p, b =
+        Cbtc.Geo.grow_one ~grid ~alive:alive_fn t.config t.pathloss t.positions u
+      in
+      let nb_eq (a : Cbtc.Neighbor.t) (x : Cbtc.Neighbor.t) =
+        a.id = x.id && a.dir = x.dir && a.link_power = x.link_power
+        && a.tag = x.tag
+      in
+      if p <> t.power.(u) then
+        bad.(u) <- Some (Printf.sprintf "node %d: power %.17g, full recompute %.17g" u t.power.(u) p)
+      else if b <> t.boundary.(u) then
+        bad.(u) <- Some (Printf.sprintf "node %d: boundary %b, full recompute %b" u t.boundary.(u) b)
+      else if
+        List.length nbs <> List.length t.neighbors.(u)
+        || not (List.for_all2 nb_eq t.neighbors.(u) nbs)
+      then bad.(u) <- Some (Printf.sprintf "node %d: neighbor sets differ" u)
+    end
+    else if t.neighbors.(u) <> [] || t.power.(u) <> 0. || t.boundary.(u) then
+      bad.(u) <- Some (Printf.sprintf "node %d: dead but has residual state" u)
+  in
+  (match pool with
+  | None ->
+      for u = 0 to n - 1 do
+        check u
+      done
+  | Some pool ->
+      Parallel.Pool.iter_chunks pool n (fun lo hi ->
+          for u = lo to hi - 1 do
+            check u
+          done));
+  match Array.find_map (fun x -> x) bad with
+  | None -> Ok ()
+  | Some m -> Error m

@@ -1,0 +1,87 @@
+(** Incrementally maintained CBTC topology state.
+
+    Tracks positions, liveness, and every node's converged cone
+    (neighbors, power, boundary flag) under a stream of join/leave/move
+    events.  Because per-node discovery ({!Cbtc.Geo.grow_one}) is a pure
+    function of the live positions within radio range, an event can only
+    affect nodes within range R of the positions it touches: {!apply}
+    marks exactly those dirty, {!commit} regrows them, and the result is
+    provably equal to recomputing everything from scratch — the
+    invariant {!check_full_equivalence} verifies and
+    [Check.Explore.sweep_daemon] sweeps across seeded schedules. *)
+
+type stats = {
+  mutable events : int;
+  mutable moves : int;
+  mutable leaves : int;
+  mutable joins : int;
+  mutable commits : int;  (** commits that had work to do *)
+  mutable regrown : int;  (** node regrowths, incremental + full *)
+  mutable full_recomputes : int;  (** watchdog trips *)
+}
+
+type t
+
+(** [create ?pool ?alive ~watchdog_frac config pathloss positions]
+    grows every (initially) live node's cone from scratch.  [alive]
+    defaults to all-true; [watchdog_frac] is the dirty-set fraction of
+    the live population at which {!commit} abandons incremental regrowth
+    for a full recompute ([0.] = always full, [> 1.] = never).
+    @raise Invalid_argument on a negative [watchdog_frac] or an [alive]
+    mask of the wrong length. *)
+val create :
+  ?pool:Parallel.Pool.t ->
+  ?alive:bool array ->
+  watchdog_frac:float ->
+  Cbtc.Config.t -> Radio.Pathloss.t -> Geom.Vec2.t array -> t
+
+val nb_nodes : t -> int
+
+val live : t -> int
+
+val alive : t -> int -> bool
+
+val position : t -> int -> Geom.Vec2.t
+
+(** Live view of the counters — not a copy. *)
+val stats : t -> stats
+
+(** Tombstone/overflow health of the engine's spatial index
+    (satellite: surfaced per epoch by the daemon driver). *)
+val grid_health : t -> Geom.Grid.health
+
+(** [apply t e] updates tracked positions/liveness and marks the
+    affected nodes dirty.  Cones are not touched until {!commit}.
+    Events for dead nodes update their tracked position silently.
+    @raise Invalid_argument on a node id out of range. *)
+val apply : t -> Event.t -> unit
+
+(** [commit ?pool t] regrows the dirty live nodes — incrementally, or
+    fully when the dirty set reaches [watchdog_frac] of the live
+    population — and empties the dirty set.  The payload is the number
+    of nodes regrown. *)
+val commit :
+  ?pool:Parallel.Pool.t -> t -> [ `Clean | `Incremental of int | `Full of int ]
+
+(** {1 Snapshots and invariants} *)
+
+(** Copy of the tracked state as a {!Cbtc.Discovery.t} (dead nodes carry
+    empty neighbor sets and power 0 — {!Cbtc.Verify.check_surviving} skips
+    them). *)
+val discovery : t -> Cbtc.Discovery.t
+
+(** [G_alpha] restricted to the tracked state: symmetric closure of the
+    discovered-neighbor relation. *)
+val topology : t -> Graphkit.Ugraph.t
+
+(** MD5 hex over the full tracked state (positions, liveness, powers,
+    boundary flags, neighbor records): two runs converged to the same
+    topology iff their digests match — the checkpoint-recovery smoke
+    test's oracle. *)
+val digest : t -> string
+
+(** [check_full_equivalence ?pool t] recomputes every live node from
+    scratch — against a {e fresh} spatial index — and float-exactly
+    compares with the tracked state; dead nodes must hold no residual
+    state.  [Error] names the first mismatching node. *)
+val check_full_equivalence : ?pool:Parallel.Pool.t -> t -> (unit, string) result

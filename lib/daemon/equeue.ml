@@ -1,0 +1,117 @@
+(* Bounded FIFO with drop-oldest-move shedding.
+
+   The main queue holds (seq, event) in arrival order.  Move events also
+   record their seq in [moves]; shedding marks the *oldest* queued move
+   dead (an O(1) pop of [moves] plus a hashtable entry) and pop skips
+   dead seqs lazily.  The two structures stay consistent because both
+   removal paths — popping a move in FIFO order and shedding the oldest
+   move — remove exactly the front of [moves]. *)
+
+type stats = {
+  mutable pushed : int;
+  mutable popped : int;
+  mutable shed : int;
+  mutable overflow : int;
+  mutable peak : int;
+}
+
+type t = {
+  capacity : int;
+  main : (int * Event.t) Queue.t;
+  moves : int Queue.t;  (* seqs of queued (not shed, not popped) moves *)
+  dead : (int, unit) Hashtbl.t;  (* shed seqs still physically in [main] *)
+  mutable next_seq : int;
+  mutable len : int;  (* logical backlog: len main - len dead *)
+  stats : stats;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Daemon.Equeue.create: capacity < 1";
+  {
+    capacity;
+    main = Queue.create ();
+    moves = Queue.create ();
+    dead = Hashtbl.create 64;
+    next_seq = 0;
+    len = 0;
+    stats = { pushed = 0; popped = 0; shed = 0; overflow = 0; peak = 0 };
+  }
+
+let capacity t = t.capacity
+
+let length t = t.len
+
+let stats t = t.stats
+
+let admit t e =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Queue.push (seq, e) t.main;
+  if Event.is_move e then Queue.push seq t.moves;
+  t.len <- t.len + 1;
+  if t.len > t.stats.peak then t.stats.peak <- t.len
+
+(* Mark the oldest queued move dead.  Returns false when no move is
+   queued (the backlog is all joins/leaves). *)
+let shed_oldest_move t =
+  match Queue.take_opt t.moves with
+  | None -> false
+  | Some seq ->
+      Hashtbl.replace t.dead seq ();
+      t.len <- t.len - 1;
+      t.stats.shed <- t.stats.shed + 1;
+      true
+
+let push t e =
+  t.stats.pushed <- t.stats.pushed + 1;
+  if t.len < t.capacity then admit t e
+  else if Event.is_move e then begin
+    (* Overload: drop the *oldest* move — the incoming report is fresher
+       for its node — or, when the incoming move is the only one, drop
+       it instead.  Joins and leaves are never shed. *)
+    if shed_oldest_move t then admit t e
+    else t.stats.shed <- t.stats.shed + 1
+  end
+  else if shed_oldest_move t then admit t e
+  else begin
+    (* a backlog made entirely of critical events: grow past capacity
+       rather than lose a membership change *)
+    t.stats.overflow <- t.stats.overflow + 1;
+    admit t e
+  end
+
+let rec pop t =
+  match Queue.take_opt t.main with
+  | None -> None
+  | Some (seq, e) ->
+      if Hashtbl.mem t.dead seq then begin
+        Hashtbl.remove t.dead seq;
+        pop t
+      end
+      else begin
+        if Event.is_move e then begin
+          (* FIFO pop order equals seq order, so a popped move is
+             necessarily the front of [moves] *)
+          match Queue.take_opt t.moves with
+          | Some s when s = seq -> ()
+          | _ -> assert false
+        end;
+        t.len <- t.len - 1;
+        t.stats.popped <- t.stats.popped + 1;
+        Some e
+      end
+
+let to_list t =
+  Queue.fold
+    (fun acc (seq, e) -> if Hashtbl.mem t.dead seq then acc else e :: acc)
+    [] t.main
+  |> List.rev
+
+(* Checkpoint restore: the backlog was already admitted (and shed) by
+   the original run, so it bypasses the shedding policy entirely — a
+   critical-overflow backlog longer than [capacity] must reload as is. *)
+let restore ~capacity backlog =
+  let t = create ~capacity in
+  List.iter (fun e -> admit t e) backlog;
+  t.stats.peak <- 0;
+  t

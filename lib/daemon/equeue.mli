@@ -1,0 +1,46 @@
+(** Bounded event queue with overload shedding.
+
+    Arrival order is preserved.  When the logical backlog reaches
+    [capacity], an incoming event makes room by shedding the {e oldest
+    queued move} (its node's position will be corrected by any later
+    report, since moves carry absolute positions); when no move is
+    queued, an incoming move is itself dropped, while joins and leaves
+    are {e always} admitted — the queue grows past capacity rather than
+    lose a membership change, and [stats.overflow] counts how often. *)
+
+type stats = {
+  mutable pushed : int;  (** events offered via {!push} *)
+  mutable popped : int;  (** events handed out via {!pop} *)
+  mutable shed : int;  (** moves dropped under overload *)
+  mutable overflow : int;  (** criticals admitted past capacity *)
+  mutable peak : int;  (** high-water mark of the logical backlog *)
+}
+
+type t
+
+(** @raise Invalid_argument when [capacity < 1]. *)
+val create : capacity:int -> t
+
+val capacity : t -> int
+
+(** Logical backlog length (shed events excluded). *)
+val length : t -> int
+
+(** Live view of the counters — not a copy. *)
+val stats : t -> stats
+
+val push : t -> Event.t -> unit
+
+(** Oldest surviving event, FIFO. *)
+val pop : t -> Event.t option
+
+(** Surviving backlog, oldest first.  Non-destructive; used by the
+    checkpoint writer. *)
+val to_list : t -> Event.t list
+
+(** [restore ~capacity backlog] rebuilds a queue holding exactly
+    [backlog] (oldest first), {e bypassing} the shedding policy: the
+    original run already admitted these events, so a restored run must
+    not drop any of them even when [backlog] exceeds [capacity].
+    Counters restart at zero. *)
+val restore : capacity:int -> Event.t list -> t

@@ -22,6 +22,7 @@ type t = {
   mutable n_overflow : int;
   mutable n_tombstones : int;
   mutable compact_at : int;  (* rebuild once n_overflow + n_tombstones exceeds this *)
+  mutable n_compactions : int;  (* move-triggered lazy rebuilds since create *)
 }
 
 let default_brute_cutoff = 200
@@ -138,6 +139,7 @@ let create ~range positions =
       n_overflow = 0;
       n_tombstones = 0;
       compact_at = 0;
+      n_compactions = 0;
     }
   in
   rebuild t;
@@ -200,8 +202,20 @@ let move t u p =
     detach t u;
     t.keys.(u) <- key;
     attach_overflow t u key;
-    if t.n_overflow + t.n_tombstones > t.compact_at then rebuild t
+    if t.n_overflow + t.n_tombstones > t.compact_at then begin
+      t.n_compactions <- t.n_compactions + 1;
+      rebuild t
+    end
   end
+
+type health = { drifted : int; overflow : int; compactions : int }
+
+let health t =
+  {
+    drifted = t.n_tombstones;
+    overflow = t.n_overflow;
+    compactions = t.n_compactions;
+  }
 
 let probe_bounds t (p : Vec2.t) dist =
   let r = (dist *. (1. +. probe_slack)) +. probe_slack in

@@ -77,6 +77,18 @@ val position : t -> int -> Vec2.t
     full two-pass rebuild is triggered only after O(n) of them. *)
 val move : t -> int -> Vec2.t -> unit
 
+(** Mobility health of the index, for correlating query-latency spikes
+    with lazy compaction (see docs/DAEMON.md):
+    [drifted] — tombstoned CSR slots, i.e. nodes that changed cell since
+    the last rebuild and now live in the overflow table; [overflow] —
+    current overflow-table entry count (equals [drifted] plus any nodes
+    the last rebuild could not place densely); [compactions] —
+    {!move}-triggered full rebuilds since {!create}. *)
+type health = { drifted : int; overflow : int; compactions : int }
+
+(** [health t] is a constant-time snapshot of the counters above. *)
+val health : t -> health
+
 (** [fold_in_range t p ~dist ~init ~f] folds [f] over a superset of the
     node ids within [dist] of point [p] (see the exactness contract
     above); order is unspecified.  [dist < 0.] yields [init]. *)

@@ -80,6 +80,12 @@ let step t ~dt =
   if dt < 0. then invalid_arg "Mobility.step: negative dt";
   if not t.frozen then Array.iter (fun node -> step_node t node ~dt) t.nodes
 
+let step_one t u ~dt =
+  if dt < 0. then invalid_arg "Mobility.step_one: negative dt";
+  if u < 0 || u >= Array.length t.nodes then
+    invalid_arg "Mobility.step_one: node out of range";
+  if not t.frozen then step_node t t.nodes.(u) ~dt
+
 let positions t = Array.map (fun node -> node.pos) t.nodes
 
 let position t u = t.nodes.(u).pos

@@ -22,6 +22,14 @@ val create :
     uniform waypoint and speed. *)
 val step : t -> dt:float -> unit
 
+(** [step_one t u ~dt] advances only node [u] by [dt].  Lets an event
+    stream sample nodes sparsely (each node advanced lazily to its own
+    event time) instead of ticking the whole population; waypoint and
+    speed redraws consume the shared PRNG, so the stream is deterministic
+    in the order of [step_one] calls.
+    @raise Invalid_argument on negative [dt] or a node out of range. *)
+val step_one : t -> int -> dt:float -> unit
+
 (** [positions t] is a snapshot (copy) of current positions. *)
 val positions : t -> Geom.Vec2.t array
 

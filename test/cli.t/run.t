@@ -95,3 +95,43 @@ has no topology to control.
   Usage: cbtc sweep [OPTION]…
   Try 'cbtc sweep --help' or 'cbtc --help' for more information.
   [124]
+
+The daemon subcommand validates its stream and loop parameters up
+front: negative rates, zero durations and malformed storm specs are
+command-line errors, and a checkpoint that cannot be loaded is a
+distinct runtime failure (exit 2), mirroring check --replay.
+
+  $ cbtc_cli daemon --move-rate=-3
+  cbtc: option '--move-rate': --move-rate: -3 is not >= 0
+  Usage: cbtc daemon [OPTION]…
+  Try 'cbtc daemon --help' or 'cbtc --help' for more information.
+  [124]
+  $ cbtc_cli daemon --duration 0
+  cbtc: option '--duration': --duration: 0 is not > 0
+  Usage: cbtc daemon [OPTION]…
+  Try 'cbtc daemon --help' or 'cbtc --help' for more information.
+  [124]
+  $ cbtc_cli daemon --event-dt 0
+  cbtc: option '--event-dt': --event-dt: 0 is not > 0
+  Usage: cbtc daemon [OPTION]…
+  Try 'cbtc daemon --help' or 'cbtc --help' for more information.
+  [124]
+  $ cbtc_cli daemon --storm 4:2:10
+  cbtc: option '--storm': --storm: "4:2:10" is not T0:T1:MULT with 0 <= T0 < T1
+        and MULT > 0
+  Usage: cbtc daemon [OPTION]…
+  Try 'cbtc daemon --help' or 'cbtc --help' for more information.
+  [124]
+  $ cbtc_cli daemon --queue-cap 0
+  cbtc: option '--queue-cap': --queue-cap: 0 is not >= 1
+  Usage: cbtc daemon [OPTION]…
+  Try 'cbtc daemon --help' or 'cbtc --help' for more information.
+  [124]
+  $ cbtc_cli daemon --restore /nonexistent/daemon.ckpt
+  daemon: Daemon.Checkpoint: cannot open: /nonexistent/daemon.ckpt: No such file or directory
+  [2]
+  $ cbtc_cli daemon-sweep --seeds 0
+  cbtc: option '--seeds': --seeds: 0 out of [1, 100000]
+  Usage: cbtc daemon-sweep [OPTION]…
+  Try 'cbtc daemon-sweep --help' or 'cbtc --help' for more information.
+  [124]

@@ -155,6 +155,29 @@ let test_scenario_json_roundtrip () =
     (Obs.Jsonl.to_string (Check.Scenario.to_json sc))
     (Obs.Jsonl.to_string (Check.Scenario.to_json sc'))
 
+(* ---------- Daemon equivalence sweep ---------- *)
+
+let test_daemon_sweep_passes () =
+  let report = Check.Daemon_sweep.sweep ~seeds:3 () in
+  Alcotest.(check int) "12 trials" 12 report.Check.Daemon_sweep.trials;
+  List.iter
+    (fun (f : Check.Daemon_sweep.failure) ->
+      Alcotest.failf "trial %d [seed %d, %a]: %s" f.trial f.seed
+        Check.Daemon_sweep.pp_cell f.cell f.message)
+    report.Check.Daemon_sweep.failures
+
+let test_daemon_sweep_deterministic_across_jobs () =
+  let run jobs =
+    Parallel.Pool.with_pool ~jobs (fun pool ->
+        Check.Daemon_sweep.sweep ~pool ~seeds:2 ())
+  in
+  let r1 = run 1 and r2 = run 2 in
+  let serial = Check.Daemon_sweep.sweep ~seeds:2 () in
+  Alcotest.(check string) "digest j1 = j2" r1.Check.Daemon_sweep.digest
+    r2.Check.Daemon_sweep.digest;
+  Alcotest.(check string) "digest j1 = serial" r1.Check.Daemon_sweep.digest
+    serial.Check.Daemon_sweep.digest
+
 let () =
   Alcotest.run "check"
     [
@@ -179,5 +202,12 @@ let () =
           Alcotest.test_case "plan restrict" `Quick test_plan_restrict;
           Alcotest.test_case "scenario JSON round-trip" `Quick
             test_scenario_json_roundtrip;
+        ] );
+      ( "daemon-sweep",
+        [
+          Alcotest.test_case "equivalence grid passes" `Quick
+            test_daemon_sweep_passes;
+          Alcotest.test_case "report identical across -j" `Quick
+            test_daemon_sweep_deterministic_across_jobs;
         ] );
     ]

@@ -334,6 +334,38 @@ let test_bcast_after_move () =
   Alcotest.(check int) "moved-out node dropped" 1
     (Airnet.Net.bcast net ~src:0 ~power "c")
 
+let test_health_counters () =
+  let n = 100 in
+  let positions = Array.init n (fun i -> v2 (Stdlib.float_of_int i *. 15.) 0.) in
+  let g = Geom.Grid.create ~range:10. positions in
+  let h = Geom.Grid.health g in
+  Alcotest.(check bool) "fresh index is pristine" true
+    (h = { Geom.Grid.drifted = 0; overflow = 0; compactions = 0 });
+  (* a same-cell move never tombstones *)
+  Geom.Grid.move g 0 (v2 1. 1.);
+  Alcotest.(check int) "same-cell move leaves no drift" 0
+    (Geom.Grid.health g).Geom.Grid.drifted;
+  (* a cell-changing move tombstones its CSR slot and parks the node in
+     the overflow table *)
+  Geom.Grid.move g 0 (v2 500. 500.);
+  let h = Geom.Grid.health g in
+  Alcotest.(check int) "one drifted node" 1 h.Geom.Grid.drifted;
+  Alcotest.(check int) "one overflow entry" 1 h.Geom.Grid.overflow;
+  Alcotest.(check int) "no compaction yet" 0 h.Geom.Grid.compactions;
+  (* drift past the lazy-compaction threshold (max 64 (n/4) here):
+     the rebuild absorbs the overflow back into the flat layout *)
+  for u = 1 to n - 1 do
+    Geom.Grid.move g u (v2 (Stdlib.float_of_int u *. 15.) 500.)
+  done;
+  let h = Geom.Grid.health g in
+  Alcotest.(check bool) "compaction happened" true (h.Geom.Grid.compactions >= 1);
+  Alcotest.(check bool) "rebuild absorbed the drift" true
+    (h.Geom.Grid.drifted < n - 1);
+  (* queries stay exact across the whole tombstone/compaction cycle *)
+  Alcotest.(check (list int)) "post-compaction probe exact" [ 1 ]
+    (Geom.Grid.neighbors_within g 0 ~dist:520.
+    |> List.filter (fun v -> v < 2))
+
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
 let () =
@@ -347,6 +379,7 @@ let () =
           Alcotest.test_case "cell boundary nodes" `Quick test_cell_boundary_nodes;
           Alcotest.test_case "negative coordinates" `Quick test_negative_coordinates;
           Alcotest.test_case "move rebuckets" `Quick test_move_rebuckets;
+          Alcotest.test_case "health counters" `Quick test_health_counters;
           Alcotest.test_case "bcast after move" `Quick test_bcast_after_move;
         ] );
       ( "probe properties",

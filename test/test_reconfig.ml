@@ -235,6 +235,75 @@ let test_create_validation () =
            ~params:{ Cbtc.Reconfig.default_params with beacon_interval = 0. }
            config pl positions))
 
+let test_radial_reach_flip () =
+  (* Regression: a move that keeps a neighbor's direction unchanged but
+     carries it beyond reach at the observer's current power must be
+     handled as a leave+join (the link's power class flipped), not a
+     silent neighbor-set refresh.  Node 1 moves radially away from node
+     0 — its direction from node 0 stays exactly 0, so no aChange can
+     fire — from distance 100 to 200.  Node 0's converged power (at
+     most 12800, the first Double-100 step past p(100) = 10000) no
+     longer reaches it, yet node 1's beacons (sent at its basic power,
+     51200) still arrive and keep refreshing the timeout. *)
+  let pl = Radio.Pathloss.make ~max_range:500. () in
+  let positions =
+    [| Geom.Vec2.zero; Geom.Vec2.make 100. 0.;
+       Geom.Vec2.make (-50.) 86.6; Geom.Vec2.make (-50.) (-86.6) |]
+  in
+  let rc = Cbtc.Reconfig.create config pl positions in
+  Cbtc.Reconfig.run_for rc ~duration:50.;
+  let t0 = Cbtc.Reconfig.now rc in
+  Cbtc.Reconfig.set_position rc 1 (Geom.Vec2.make 200. 0.);
+  settle rc;
+  let observed k =
+    List.exists
+      (fun e ->
+        e.Cbtc.Reconfig.time > t0 && e.Cbtc.Reconfig.node = 0
+        && e.Cbtc.Reconfig.about = 1 && e.Cbtc.Reconfig.kind = k)
+      (Cbtc.Reconfig.events rc)
+  in
+  Alcotest.(check bool) "leave observed at node 0" true
+    (observed Cbtc.Reconfig.Leave);
+  Alcotest.(check bool) "join observed at node 0" true
+    (observed Cbtc.Reconfig.Join);
+  let d = Cbtc.Reconfig.discovery rc in
+  Alcotest.(check bool) "node 0's power reaches the new distance" true
+    (d.Cbtc.Discovery.power.(0)
+     >= Radio.Pathloss.power_for_distance pl 200.);
+  (match Cbtc.Reconfig.check_stable rc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "check_stable: %s" e)
+
+let prop_recovery_converges_any_schedule =
+  (* Under any tie-break seed, a crashed-then-recovered node's cone
+     coverage reconverges within the watchdog bound (the [settle]
+     duration): either it is a boundary node or its alpha-gap is
+     closed, and the whole network passes the surviving-set checks. *)
+  QCheck.Test.make ~count:15
+    ~name:"recovered cone converges under every tie-break seed"
+    QCheck.(pair (int_bound 9999) (int_bound 24))
+    (fun (seed, victim) ->
+      let sc = Workload.Scenario.make ~n:25 ~seed:31 () in
+      let pl = Workload.Scenario.pathloss sc in
+      let positions = Workload.Scenario.positions sc in
+      let rc =
+        Cbtc.Reconfig.create ~policy:(Dsim.Eventq.Seeded seed) config pl
+          positions
+      in
+      Cbtc.Reconfig.crash rc victim;
+      Cbtc.Reconfig.run_for rc ~duration:100.;
+      Cbtc.Reconfig.recover rc victim;
+      settle rc;
+      (match Cbtc.Reconfig.check_stable rc with
+      | Ok () -> ()
+      | Error e ->
+          QCheck.Test.fail_reportf "seed %d victim %d: check_stable: %s"
+            seed victim e);
+      let d = Cbtc.Reconfig.discovery rc in
+      Cbtc.Reconfig.alive rc victim
+      && (d.Cbtc.Discovery.boundary.(victim)
+         || not (Cbtc.Discovery.has_gap d victim)))
+
 let () =
   Alcotest.run "reconfig"
     [
@@ -260,6 +329,9 @@ let () =
             test_mobility_preserves_connectivity;
           Alcotest.test_case "partition heal" `Quick test_partition_heal;
           Alcotest.test_case "aChange detected" `Quick test_achange_detected;
+          Alcotest.test_case "radial reach flip" `Quick test_radial_reach_flip;
         ] );
+      ( "schedules",
+        [ QCheck_alcotest.to_alcotest prop_recovery_converges_any_schedule ] );
       ("validation", [ Alcotest.test_case "create" `Quick test_create_validation ]);
     ]
