@@ -9,12 +9,13 @@
    - Figure 6 (one network rendered under eight configurations, as SVG);
    plus connectivity sweeps, ablations of our own, Bechamel
    microbenchmarks of the computational kernels, and a spatial-grid vs
-   brute-force scaling comparison (writes <out>/perf.json).
+   brute-force scaling comparison (writes <out>/perf.json), and the
+   streaming-daemon capacity study (writes <out>/daemon.json).
 
    Usage: main.exe [--seeds N] [--fast] [--out DIR] [-j N]
                    [--trace-out FILE] [--metrics-out FILE] [section ...]
    Sections: table1 figures figure6 connectivity ablations extensions
-   series perf parallel (default: all of them).
+   series perf parallel daemon (default: all of them).
 
    [--trace-out] / [--metrics-out] enable the observability layer with a
    wall clock (this is a timing harness, so spans carry durations and the
@@ -982,6 +983,155 @@ let run_perf_scaling ~fast ~out_dir =
   Fmt.pr "wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* Streaming daemon capacity (writes <out>/daemon.json, schema 2)      *)
+(* ------------------------------------------------------------------ *)
+
+(* End-to-end daemon streams at constant density: the n = 10k row keeps
+   the parameters of the historical capacity benchmark (1000 moves/s +
+   10 % crash churn with recovery, 20 s of stream) so full_recomputes /
+   events_per_s stay comparable across PRs; the n = 100k and n = 1M
+   rows are the scale story — move-only streams where the incremental
+   path must dominate.  wall_s covers the whole run including the
+   initial from-scratch grow and the final verification pass, so
+   events_per_s is an end-to-end figure, not a steady-state one. *)
+
+let daemon_json_write path rows =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc "{\n  \"schema\": 2,\n";
+      output_string oc
+        "  \"note\": \"end-to-end daemon streams at constant density \
+         (avg degree ~25.6); wall_s includes the initial grow and the \
+         final verification; incremental_fraction is the share of \
+         working commits served without a full recompute; peak_rss_kb \
+         is the process VmHWM sampled after the row (monotone across \
+         rows); allocations_mb is Gc.allocated_bytes over the row's \
+         run\",\n";
+      output_string oc "  \"results\": [\n";
+      List.iteri
+        (fun i row ->
+          output_string oc "    ";
+          output_string oc (Obs.Jsonl.to_string row);
+          output_string oc (if i = List.length rows - 1 then "\n" else ",\n"))
+        rows;
+      output_string oc "  ]\n}\n")
+
+let run_daemon_scaling ~pool ~fast ~out_dir =
+  section "Streaming daemon capacity (end-to-end, constant density)";
+  if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+  let cases =
+    (* (n, duration, move_rate, crash fraction) *)
+    if fast then [ (2_000, 5., 200., 0.1) ]
+    else
+      [
+        (10_000, 20., 1000., 0.1);
+        (100_000, 30., 1000., 0.);
+        (1_000_000, 20., 1000., 0.);
+      ]
+  in
+  let table =
+    Metrics.Table.create
+      ~columns:
+        [ "n"; "events"; "events/s"; "commits"; "fulls"; "incr frac";
+          "regrown"; "p95 lat"; "alloc (MB)"; "peak RSS (MB)" ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun (n, duration, move_rate, crash) ->
+      let side = 1500. *. Float.sqrt (Stdlib.float_of_int n /. 100.) in
+      let sc = Workload.Scenario.make ~n ~width:side ~height:side ~seed:42 () in
+      let churn =
+        if crash <= 0. then Faults.Plan.empty
+        else
+          Faults.Plan.random_crashes
+            ~prng:(Prng.create ~seed:43)
+            ~n ~fraction:crash
+            ~window:(0.1 *. duration, 0.6 *. duration)
+            ~recover_after:(0.25 *. duration) ()
+      in
+      let stream =
+        {
+          Daemon.Driver.seed = 42;
+          field = sc.Workload.Scenario.field;
+          mobility = Workload.Mobility.default_params;
+          move_rate;
+          storm = None;
+          churn;
+          positions = Workload.Scenario.positions sc;
+        }
+      in
+      let params = { Daemon.Driver.default_params with duration } in
+      let a0 = Gc.allocated_bytes () in
+      let r =
+        Daemon.Driver.run ~pool ~clock:Unix.gettimeofday ~params ~config:c56
+          ~pathloss:(Workload.Scenario.pathloss sc)
+          stream
+      in
+      let alloc_mb = (Gc.allocated_bytes () -. a0) /. (1024. *. 1024.) in
+      let peak_rss_kb = Obs.Rss.peak_rss_kb () in
+      let stats = r.Daemon.Driver.engine in
+      let incr_frac =
+        if stats.Daemon.Engine.commits = 0 then 1.
+        else
+          Stdlib.float_of_int
+            (stats.Daemon.Engine.commits
+            - stats.Daemon.Engine.full_recomputes)
+          /. Stdlib.float_of_int stats.Daemon.Engine.commits
+      in
+      let report_fields =
+        match
+          Daemon.Driver.report_json r ~jobs:(Parallel.Pool.jobs pool)
+        with
+        | Obs.Jsonl.Obj kvs -> kvs
+        | _ -> assert false
+      in
+      let row =
+        Obs.Jsonl.Obj
+          ([
+             ("bench", Obs.Jsonl.Str "daemon stream");
+             ("n", Obs.Jsonl.Int n);
+             ("move_rate", Obs.Jsonl.Float move_rate);
+             ("crash_frac", Obs.Jsonl.Float crash);
+             ("incremental_fraction", Obs.Jsonl.Float incr_frac);
+             ( "allocations_mb",
+               Obs.Jsonl.Float
+                 (Stdlib.Float.round (alloc_mb *. 1000.) /. 1000.) );
+             ( "peak_rss_kb",
+               match peak_rss_kb with
+               | Some kb -> Obs.Jsonl.Int kb
+               | None -> Obs.Jsonl.Null );
+           ]
+          @ report_fields)
+      in
+      rows := row :: !rows;
+      Metrics.Table.add_row table
+        [
+          string_of_int n;
+          string_of_int stats.Daemon.Engine.events;
+          (match r.Daemon.Driver.wall_s with
+          | Some w when w > 0. ->
+              Fmt.str "%.0f"
+                (Stdlib.float_of_int stats.Daemon.Engine.events /. w)
+          | _ -> "-");
+          string_of_int stats.Daemon.Engine.commits;
+          string_of_int stats.Daemon.Engine.full_recomputes;
+          Fmt.str "%.3f" incr_frac;
+          string_of_int stats.Daemon.Engine.regrown;
+          (match r.Daemon.Driver.latency with
+          | Some l -> Fmt.str "%.3f" l.Daemon.Driver.p95
+          | None -> "-");
+          Fmt.str "%.1f" alloc_mb;
+          (match peak_rss_kb with
+          | Some kb -> Fmt.str "%.0f" (Stdlib.float_of_int kb /. 1024.)
+          | None -> "-");
+        ])
+    cases;
+  Fmt.pr "%a@." Metrics.Table.pp table;
+  let path = Filename.concat out_dir "daemon.json" in
+  daemon_json_write path (List.rev !rows);
+  Fmt.pr "wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* Parallel scaling (domain pool)                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1290,6 +1440,9 @@ let () =
       if want "parallel" then
         sect "parallel" (fun () ->
             run_parallel_bench ~fast:!fast ~out_dir:!out_dir);
+      if want "daemon" then
+        sect "daemon" (fun () ->
+            run_daemon_scaling ~pool ~fast:!fast ~out_dir:!out_dir);
       if want "perf" then
         sect "perf" (fun () ->
             run_perf_scaling ~fast:!fast ~out_dir:!out_dir;

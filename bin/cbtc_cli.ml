@@ -1036,11 +1036,28 @@ let daemon_cmd =
     in
     Arg.(
       value
-      & opt (conv (parse, Fmt.float)) 0.25
+      & opt (conv (parse, Fmt.float)) Daemon.Engine.default_watchdog_frac
       & info [ "watchdog" ] ~docv:"FRAC"
           ~doc:
             "Fall back to a full recompute when an epoch dirties more \
-             than FRAC of the live nodes (0 = always full, > 1 = never).")
+             than FRAC of the live nodes (0 = always full, > 1 = never; \
+             the default 1.0 trips only when every live node is dirty, \
+             where the full pass is the same work plus a drift squash).")
+  in
+  let shards =
+    let parse s =
+      match int_of_string_opt s with
+      | Some k when k >= 0 -> Ok k
+      | _ -> Error (`Msg (Fmt.str "--shards: %s is not >= 0" s))
+    in
+    Arg.(
+      value
+      & opt (conv (parse, Fmt.int)) 0
+      & info [ "shards" ] ~docv:"K"
+          ~doc:
+            "Spatial shards per pooled commit (0 = one per pool chunk). \
+             Reports are byte-identical for every value; tune only for \
+             load balance.")
   in
   let every ~flag default names doc =
     let parse s =
@@ -1098,10 +1115,21 @@ let daemon_cmd =
       & info [ "metrics-out" ] ~docv:"FILE"
           ~doc:"Write the JSON daemon report to $(docv).")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a JSON-lines trace (run manifest, then per-epoch \
+             drain/dirty-propagate/regrow/verify spans and counters) to \
+             $(docv).  Recorded clockless, so the file is byte-identical \
+             across runs and every -j.")
+  in
   let action n side range seed alpha duration event_dt move_rate crash
-      recover_after storm budget queue_cap watchdog verify_every
+      recover_after storm budget queue_cap watchdog shards verify_every
       equivalence_every checkpoint_every checkpoint_path restore wall
-      metrics_out jobs =
+      metrics_out trace_out jobs =
     let sc = scenario_of ~n ~side ~range ~seed in
     let churn =
       if crash <= 0. then Faults.Plan.empty
@@ -1130,6 +1158,7 @@ let daemon_cmd =
         budget;
         queue_cap;
         watchdog_frac = watchdog;
+        shards;
         verify_every;
         equivalence_every;
         checkpoint_every;
@@ -1146,9 +1175,34 @@ let daemon_cmd =
         restore
     in
     let clock = if wall then Some Unix.gettimeofday else None in
+    (* the trace recorder is always clockless (even with --wall): spans
+       carry deterministic structure and counters only, so the file is
+       byte-identical across runs and every -j *)
+    let with_trace f =
+      match trace_out with
+      | None -> f None
+      | Some path ->
+          let oc =
+            try open_out path
+            with Sys_error e ->
+              Fmt.epr "cbtc: cannot open output file: %s@." e;
+              exit 3
+          in
+          let obs = Obs.Recorder.create () in
+          List.iter
+            (fun (k, v) -> Obs.Recorder.set obs k v)
+            (manifest_of ~command:"daemon" ~n ~side ~range ~seed ~alpha
+               [ jobs_field jobs ]);
+          Fun.protect
+            ~finally:(fun () ->
+              Obs.Recorder.write_trace obs oc;
+              close_out oc)
+            (fun () -> f (Some obs))
+    in
     let r, pool_jobs =
+      with_trace @@ fun obs ->
       Parallel.Pool.with_pool ?jobs (fun pool ->
-          ( Daemon.Driver.run ~pool ?clock ?restore ~params
+          ( Daemon.Driver.run ~pool ?obs ?clock ?restore ~params
               ~config:(Cbtc.Config.make alpha)
               ~pathloss:(Workload.Scenario.pathloss sc)
               stream,
@@ -1206,9 +1260,9 @@ let daemon_cmd =
     Term.(
       const action $ nodes $ side $ range $ seed $ alpha $ duration
       $ event_dt $ move_rate $ crash $ recover_after $ storm $ budget
-      $ queue_cap $ watchdog $ verify_every $ equivalence_every
+      $ queue_cap $ watchdog $ shards $ verify_every $ equivalence_every
       $ checkpoint_every $ checkpoint_path $ restore $ wall $ metrics_out
-      $ jobs)
+      $ trace_out $ jobs)
 
 (* ---------- daemon-sweep ---------- *)
 

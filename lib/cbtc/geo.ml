@@ -208,31 +208,50 @@ let run_with ?pool ?(obs = Obs.Recorder.nil) ~candidates config pathloss
 (* scratch growth.                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* Float scratch lives in float64 Bigarrays: flat 8-byte lanes with no
+   header in the OCaml heap, accessed through [unsafe_get]/[unsafe_set]
+   (capacity is checked once per candidate in [collect], so the kernel
+   loops skip the per-element bound checks boxed [float array] access
+   would re-pay), and invisible to the GC scan. *)
+type fbuf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let fbuf_create n : fbuf =
+  Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
+
+let fget : fbuf -> int -> float = Bigarray.Array1.unsafe_get
+let fset : fbuf -> int -> float -> unit = Bigarray.Array1.unsafe_set
+
 type scratch = {
   mutable cap : int;
   mutable cand : int array;  (* candidate ids, probe order *)
-  mutable link : float array;  (* link power per candidate *)
-  mutable dir : float array;  (* normalized direction per candidate *)
+  mutable link : fbuf;  (* link power per candidate *)
+  mutable dir : fbuf;  (* normalized direction per candidate *)
   mutable perm : int array;  (* candidate indices sorted by (link, id) *)
-  mutable tag : float array;  (* discovery-step power per sorted rank *)
-  mutable sdirs : float array;  (* sorted-unique discovered directions *)
+  mutable tag : fbuf;  (* discovery-step power per sorted rank *)
+  mutable sdirs : fbuf;  (* sorted-unique discovered directions *)
 }
 
 let scratch_create () =
   {
     cap = 0;
     cand = [||];
-    link = [||];
-    dir = [||];
+    link = fbuf_create 0;
+    dir = fbuf_create 0;
     perm = [||];
-    tag = [||];
-    sdirs = [||];
+    tag = fbuf_create 0;
+    sdirs = fbuf_create 0;
   }
 
 let scratch_grow s needed =
   let cap = Stdlib.max 16 (Stdlib.max needed (2 * s.cap)) in
   let grow_int a = let b = Array.make cap 0 in Array.blit a 0 b 0 s.cap; b in
-  let grow_f a = let b = Array.make cap 0. in Array.blit a 0 b 0 s.cap; b in
+  let grow_f (a : fbuf) =
+    let b = fbuf_create cap in
+    for i = 0 to s.cap - 1 do
+      fset b i (fget a i)
+    done;
+    b
+  in
   s.cand <- grow_int s.cand;
   s.link <- grow_f s.link;
   s.dir <- grow_f s.dir;
@@ -262,7 +281,7 @@ let scratch_grow s needed =
    Directions are NOT computed here: most candidates are never absorbed
    (growth stops at the first gap-free power), so [grow_scratch]
    computes each direction on absorption via [norm_dir_between]. *)
-let collect ?grid pathloss positions s u =
+let collect ?grid ?alive pathloss positions s u =
   check_node positions u;
   let pc = Radio.Pathloss.coeff pathloss in
   let pe = Radio.Pathloss.exponent pathloss in
@@ -276,7 +295,7 @@ let collect ?grid pathloss positions s u =
   let pu = positions.(u) in
   let m = ref 0 in
   let consider v =
-    if v <> u then begin
+    if v <> u && (match alive with None -> true | Some a -> a v) then begin
       let pv = positions.(v) in
       let dx = pv.Geom.Vec2.x -. pu.Geom.Vec2.x
       and dy = pv.Geom.Vec2.y -. pu.Geom.Vec2.y in
@@ -288,7 +307,7 @@ let collect ?grid pathloss positions s u =
           let i = !m in
           if i >= s.cap then scratch_grow s (i + 1);
           s.cand.(i) <- v;
-          s.link.(i) <- link;
+          fset s.link i link;
           m := i + 1
         end
       end
@@ -320,14 +339,14 @@ let sort_perm s m =
       let child =
         if child + 1 < count then begin
           let i = a.(child) and j = a.(child + 1) in
-          let li = link.(i) and lj = link.(j) in
+          let li = fget link i and lj = fget link j in
           if li < lj || (li = lj && cand.(i) < cand.(j)) then child + 1
           else child
         end
         else child
       in
       let i = a.(root) and j = a.(child) in
-      let li = link.(i) and lj = link.(j) in
+      let li = fget link i and lj = fget link j in
       if li < lj || (li = lj && cand.(i) < cand.(j)) then begin
         a.(root) <- j;
         a.(child) <- i;
@@ -352,13 +371,15 @@ let insert_dir s len d =
   let lo = ref 0 and hi = ref len in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
-    if s.sdirs.(mid) < d then lo := mid + 1 else hi := mid
+    if fget s.sdirs mid < d then lo := mid + 1 else hi := mid
   done;
   let pos = !lo in
-  if pos < len && s.sdirs.(pos) = d then len
+  if pos < len && fget s.sdirs pos = d then len
   else begin
-    Array.blit s.sdirs pos s.sdirs (pos + 1) (len - pos);
-    s.sdirs.(pos) <- d;
+    for i = len - 1 downto pos do
+      fset s.sdirs (i + 1) (fget s.sdirs i)
+    done;
+    fset s.sdirs pos d;
     len + 1
   end
 
@@ -392,11 +413,11 @@ let grow_scratch s ~positions ~u ~alpha ~max_power ~stepped m =
   let pu = positions.(u) in
   let ptr = ref 0 and ndirs = ref 0 and nsteps = ref 0 in
   let absorb step ~drain =
-    while !ptr < m && (drain || s.link.(s.perm.(!ptr)) <= step) do
+    while !ptr < m && (drain || fget s.link s.perm.(!ptr) <= step) do
       let i = s.perm.(!ptr) in
-      s.tag.(!ptr) <- step;
+      fset s.tag !ptr step;
       let d = norm_dir_between pu positions.(s.cand.(i)) in
-      s.dir.(i) <- d;
+      fset s.dir i d;
       ndirs := insert_dir s !ndirs d;
       incr ptr
     done
@@ -411,7 +432,7 @@ let grow_scratch s ~positions ~u ~alpha ~max_power ~stepped m =
             incr nsteps;
             (* the last step is >= P up to rounding: absorb everything *)
             absorb step ~drain:is_last;
-            if not (Geom.Dirset.has_gap_sorted ~alpha s.sdirs !ndirs) then
+            if not (Geom.Dirset.has_gap_ba ~alpha s.sdirs !ndirs) then
               result := (step, false)
             else if is_last then result := (max_power, true)
             else walk rest
@@ -425,10 +446,10 @@ let grow_scratch s ~positions ~u ~alpha ~max_power ~stepped m =
       else begin
         let stop = ref false in
         while not !stop do
-          let step = s.link.(s.perm.(!ptr)) in
+          let step = fget s.link s.perm.(!ptr) in
           incr nsteps;
           absorb step ~drain:false;
-          if not (Geom.Dirset.has_gap_sorted ~alpha s.sdirs !ndirs) then begin
+          if not (Geom.Dirset.has_gap_ba ~alpha s.sdirs !ndirs) then begin
             result := (step, false);
             stop := true
           end
@@ -440,6 +461,42 @@ let grow_scratch s ~positions ~u ~alpha ~max_power ~stepped m =
       end);
   let power, boundary = !result in
   (!ptr, power, boundary, !nsteps)
+
+(* The precomputed part of the power schedule: [None] for Exact growth
+   (whose steps are each node's own candidate link powers), [Some steps]
+   for the stepped Double/Mult schedules, which ignore link powers and
+   so can be shared across every node of a run. *)
+type schedule = float list option
+
+let schedule_of config pathloss =
+  match config.Config.growth with
+  | Config.Exact -> None
+  | Config.Double _ | Config.Mult _ ->
+      Some (Config.power_steps config ~pathloss ~link_powers:[])
+
+let schedule_final = function
+  | None -> Float.infinity
+  | Some steps -> List.fold_left (fun _ s -> s) Float.infinity steps
+
+(* [grow_one] without the lists: collect + sort + power walk entirely in
+   the scratch, bit-identical results (same candidate math, same
+   (link, id) order, same gap test — pinned by the differential
+   properties in test/test_csr.ml).  The discovered rows stay resident
+   in the scratch for the caller to read through [row_id] & co, so an
+   incremental engine can re-grow one node with zero list allocation. *)
+let grow_into ?grid ?alive ~schedule s config pathloss positions u =
+  let m = collect ?grid ?alive pathloss positions s u in
+  let k, power, boundary, _nsteps =
+    grow_scratch s ~positions ~u ~alpha:config.Config.alpha
+      ~max_power:(Radio.Pathloss.max_power pathloss)
+      ~stepped:schedule m
+  in
+  (k, power, boundary)
+
+let row_id s r = s.cand.(s.perm.(r))
+let row_link s r = fget s.link s.perm.(r)
+let row_dir s r = fget s.dir s.perm.(r)
+let row_tag s r = fget s.tag r
 
 (* Growable per-chunk output rows, concatenated in chunk order into the
    final CSR arrays.  Each worker writes only its own buffer. *)
@@ -471,9 +528,9 @@ let rowbuf_append b s k =
   for r = 0 to k - 1 do
     let i = s.perm.(r) in
     b.r_ids.(b.len + r) <- s.cand.(i);
-    b.r_dirs.(b.len + r) <- s.dir.(i);
-    b.r_links.(b.len + r) <- s.link.(i);
-    b.r_tags.(b.len + r) <- s.tag.(r)
+    b.r_dirs.(b.len + r) <- fget s.dir i;
+    b.r_links.(b.len + r) <- fget s.link i;
+    b.r_tags.(b.len + r) <- fget s.tag r
   done;
   b.len <- b.len + k
 

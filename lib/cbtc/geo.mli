@@ -77,6 +77,61 @@ val grow_one :
   Config.t -> Radio.Pathloss.t -> Geom.Vec2.t array -> int ->
   Neighbor.t list * float * bool
 
+(** {2 Flat per-node kernel}
+
+    The allocation-free counterpart of {!grow_one}, for callers that
+    re-grow single nodes at high rates (the daemon's incremental
+    engine).  A {!scratch} owns reusable Bigarray-backed buffers; one
+    [grow_into] call leaves the discovered rows resident in it, read
+    back through the [row_*] accessors.  Results are bit-identical to
+    {!grow_one} — same candidate math, same (link power, id) order,
+    same gap test — pinned by the differential properties in
+    test/test_csr.ml. *)
+
+(** Reusable per-worker scratch buffers.  Not thread-safe: use one per
+    domain. *)
+type scratch
+
+val scratch_create : unit -> scratch
+
+(** The node-independent part of the power schedule ({!Config.growth}):
+    compute once per (config, pathloss) and share across all
+    [grow_into] calls of a run. *)
+type schedule
+
+val schedule_of : Config.t -> Radio.Pathloss.t -> schedule
+
+(** [schedule_final s] is the final step of a stepped (Double/Mult)
+    schedule — the power at which the walk {e drains} every remaining
+    candidate, possibly absorbing links above the step value itself —
+    or [infinity] for Exact growth, whose steps are each node's own
+    candidate link powers (draining at the maximal link absorbs nothing
+    beyond it).  A node converged exactly at this power may therefore
+    hold neighbors with link power above its converged power; callers
+    reasoning "links above [p_v] cannot be absorbed by [v]" (the
+    daemon's dirty-propagation cut) must treat such nodes like boundary
+    nodes. *)
+val schedule_final : schedule -> float
+
+(** [grow_into ?grid ?alive ~schedule s config pathloss positions u]
+    grows node [u] to convergence and returns
+    [(degree, final power, boundary)].  The [degree] discovered
+    neighbors are left in [s], sorted by increasing (link power, id) —
+    read row [r < degree] with the accessors below before the next
+    [grow_into] on [s] overwrites them. *)
+val grow_into :
+  ?grid:Geom.Grid.t ->
+  ?alive:(int -> bool) ->
+  schedule:schedule ->
+  scratch ->
+  Config.t -> Radio.Pathloss.t -> Geom.Vec2.t array -> int ->
+  int * float * bool
+
+val row_id : scratch -> int -> int
+val row_link : scratch -> int -> float
+val row_dir : scratch -> int -> float
+val row_tag : scratch -> int -> float
+
 (** [max_power_graph ?pool ?cutoff pathloss positions] is [G_R]: the
     graph induced by every node transmitting at maximum power.
     Grid-accelerated for [n >= cutoff] (default

@@ -21,6 +21,13 @@ let default_cells =
     { crash_frac = 0.3; recover_after = Some 2.; watchdog_frac = 0.1 };
     (* heavy permanent crashes, watchdog never trips *)
     { crash_frac = 0.3; recover_after = None; watchdog_frac = 1.5 };
+    (* churn with recovery at the engine's shipping default, where the
+       watchdog trips only when every live node is dirty *)
+    {
+      crash_frac = 0.15;
+      recover_after = Some 3.;
+      watchdog_frac = Daemon.Engine.default_watchdog_frac;
+    };
   ]
 
 type failure = { trial : int; seed : int; cell : cell; message : string }

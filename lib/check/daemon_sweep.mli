@@ -14,7 +14,8 @@ type cell = {
   watchdog_frac : float;  (** see {!Daemon.Engine.create} *)
 }
 
-(** Four cells spanning pure mobility, recovering churn, heavy churn
+(** Five cells spanning pure mobility, recovering churn at two watchdog
+    settings (0.25 and the engine's shipping default), heavy churn
     with a twitchy watchdog, and permanent crashes with the watchdog
     disabled. *)
 val default_cells : cell list

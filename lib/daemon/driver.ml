@@ -16,6 +16,7 @@ type params = {
   budget : int;  (* max events applied per epoch; <= 0 = unlimited *)
   queue_cap : int;
   watchdog_frac : float;
+  shards : int;  (* spatial commit shards; 0 = one per pool chunk *)
   verify_every : int;  (* epochs between truth checks; 0 = final only *)
   equivalence_every : int;  (* epochs between invariant checks; 0 = never *)
   checkpoint_every : int;  (* epochs between snapshots; 0 = never *)
@@ -28,7 +29,8 @@ let default_params =
     event_dt = 1.;
     budget = 0;
     queue_cap = 4096;
-    watchdog_frac = 0.25;
+    watchdog_frac = Engine.default_watchdog_frac;
+    shards = 0;
     verify_every = 0;
     equivalence_every = 0;
     checkpoint_every = 0;
@@ -156,6 +158,8 @@ let validate (params : params) (stream : stream) =
     invalid_arg "Daemon.Driver.run: queue_cap must be >= 1";
   if not (params.watchdog_frac >= 0.) then
     invalid_arg "Daemon.Driver.run: watchdog_frac must be >= 0";
+  if params.shards < 0 then
+    invalid_arg "Daemon.Driver.run: shards must be >= 0";
   if Array.length stream.positions < 2 then
     invalid_arg "Daemon.Driver.run: need at least two nodes"
 
@@ -177,8 +181,9 @@ let run ?pool ?obs ?clock ?restore ~params ~config ~pathloss stream =
   let engine, queue, start_epoch =
     match restore with
     | None ->
-        ( Engine.create ?pool ~watchdog_frac:params.watchdog_frac config
-            pathloss stream.positions,
+        ( Engine.create ?pool ~shards:params.shards
+            ~watchdog_frac:params.watchdog_frac config pathloss
+            stream.positions,
           Equeue.create ~capacity:params.queue_cap,
           0 )
     | Some (c : Checkpoint.t) ->
@@ -192,7 +197,7 @@ let run ?pool ?obs ?clock ?restore ~params ~config ~pathloss stream =
           Source.fast_forward src ~until:(boundary ep)
         done;
         let engine =
-          Engine.create ?pool ~alive:c.alive
+          Engine.create ?pool ~alive:c.alive ~shards:params.shards
             ~watchdog_frac:params.watchdog_frac config pathloss c.positions
         in
         let queue = Equeue.restore ~capacity:params.queue_cap c.backlog in
@@ -208,6 +213,12 @@ let run ?pool ?obs ?clock ?restore ~params ~config ~pathloss stream =
   let checkpoints_written = ref 0 in
   let observe name v =
     match obs with Some o -> Obs.Recorder.observe o name v | None -> ()
+  in
+  (* per-phase spans: with the CLI's clockless recorder these carry no
+     wall time, only deterministic structure, so traces stay
+     -j-identical and byte-stable *)
+  let span name f =
+    match obs with Some o -> Obs.Recorder.span o name f | None -> f ()
   in
   let verify () =
     incr verify_checks;
@@ -255,40 +266,44 @@ let run ?pool ?obs ?clock ?restore ~params ~config ~pathloss stream =
   in
   for ep = start_epoch to total - 1 do
     let t1 = boundary ep in
-    let events = Source.tick src ~until:t1 in
-    List.iter (Equeue.push queue) events;
+    span "daemon.drain" (fun () ->
+        let events = Source.tick src ~until:t1 in
+        List.iter (Equeue.push queue) events);
     let budget = if params.budget <= 0 then max_int else params.budget in
     let applied = ref 0 in
-    let continue = ref true in
-    while !continue && !applied < budget do
-      match Equeue.pop queue with
-      | None -> continue := false
-      | Some ev ->
-          (* convergence latency: stream time from the event to the end
-             of the epoch that applied it *)
-          Samples.add lat (t1 -. ev.Event.time);
-          Engine.apply engine ev;
-          Stdlib.incr applied
-    done;
-    (match Engine.commit ?pool engine with
-    | `Clean -> ()
-    | `Incremental k -> observe "daemon.regrow_incremental" (float_of_int k)
-    | `Full k -> observe "daemon.regrow_full" (float_of_int k));
+    span "daemon.dirty_propagate" (fun () ->
+        let continue = ref true in
+        while !continue && !applied < budget do
+          match Equeue.pop queue with
+          | None -> continue := false
+          | Some ev ->
+              (* convergence latency: stream time from the event to the
+                 end of the epoch that applied it *)
+              Samples.add lat (t1 -. ev.Event.time);
+              Engine.apply engine ev;
+              Stdlib.incr applied
+        done);
+    span "daemon.regrow" (fun () ->
+        match Engine.commit ?pool engine with
+        | `Clean -> ()
+        | `Incremental k -> observe "daemon.regrow_incremental" (float_of_int k)
+        | `Full k -> observe "daemon.regrow_full" (float_of_int k));
     observe "daemon.epoch_events" (float_of_int !applied);
     observe "daemon.epoch_backlog" (float_of_int (Equeue.length queue));
     if
       params.equivalence_every > 0
       && (ep + 1 - start_epoch) mod params.equivalence_every = 0
-    then begin
-      Stdlib.incr equivalence_checks;
-      match Engine.check_full_equivalence ?pool engine with
-      | Ok () -> ()
-      | Error m ->
-          equivalence_failures :=
-            Printf.sprintf "epoch %d: %s" (ep + 1) m :: !equivalence_failures
-    end;
+    then
+      span "daemon.verify" (fun () ->
+          Stdlib.incr equivalence_checks;
+          match Engine.check_full_equivalence ?pool engine with
+          | Ok () -> ()
+          | Error m ->
+              equivalence_failures :=
+                Printf.sprintf "epoch %d: %s" (ep + 1) m
+                :: !equivalence_failures);
     if params.verify_every > 0 && (ep + 1) mod params.verify_every = 0 then
-      ignore (verify () : degradation);
+      span "daemon.verify" (fun () -> ignore (verify () : degradation));
     match params.checkpoint_path with
     | Some path
       when params.checkpoint_every > 0
@@ -296,7 +311,7 @@ let run ?pool ?obs ?clock ?restore ~params ~config ~pathloss stream =
         checkpoint ~time:t1 ~epoch:(ep + 1) path
     | _ -> ()
   done;
-  let final_degradation = verify () in
+  let final_degradation = span "daemon.verify" verify in
   let wall_s =
     match (clock, t_start) with
     | Some c, Some t0 -> Some (c () -. t0)

@@ -27,6 +27,9 @@ type params = {
   budget : int;  (** max events applied per epoch; [<= 0] = unlimited *)
   queue_cap : int;
   watchdog_frac : float;  (** see {!Engine.create} *)
+  shards : int;
+      (** spatial shards per pooled commit, see {!Engine.create};
+          [0] = one per pool chunk *)
   verify_every : int;  (** 0 = final check only *)
   equivalence_every : int;  (** 0 = never *)
   checkpoint_every : int;  (** 0 = never *)
@@ -84,6 +87,11 @@ type report = {
 }
 
 (** [run ?pool ?obs ?clock ?restore ~params ~config ~pathloss stream].
+    [obs] records per-phase spans for every epoch — [daemon.drain]
+    (source tick + queue push), [daemon.dirty_propagate] (event
+    apply), [daemon.regrow] (commit), [daemon.verify] (equivalence and
+    invariant checks) — plus the per-epoch counters; with a clockless
+    recorder the trace is deterministic and [-j]-independent.
     [clock] (e.g. [Unix.gettimeofday]) enables [wall_s] and the derived
     events/sec — and makes the report non-reproducible, so benchmarks
     only.  [restore] resumes a checkpoint: the source is resynchronized

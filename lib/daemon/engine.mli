@@ -22,16 +22,31 @@ type stats = {
 
 type t
 
-(** [create ?pool ?alive ~watchdog_frac config pathloss positions]
-    grows every (initially) live node's cone from scratch.  [alive]
-    defaults to all-true; [watchdog_frac] is the dirty-set fraction of
-    the live population at which {!commit} abandons incremental regrowth
-    for a full recompute ([0.] = always full, [> 1.] = never).
-    @raise Invalid_argument on a negative [watchdog_frac] or an [alive]
-    mask of the wrong length. *)
+(** Default {!commit} watchdog fraction: [1.0].  Regrowing a dirty node
+    runs the same per-node kernel over the same index as the full pass
+    (per-node wall cost measured within a few percent on the n=10k
+    benchmark stream), so a full recompute is never cheaper than
+    [k < live] regrowths; at [k = live] the two are the same target
+    set and the full pass additionally squashes any drift.  The
+    watchdog therefore trips exactly when the whole live population is
+    dirty — a free drift-squash, not a routine fallback. *)
+val default_watchdog_frac : float
+
+(** [create ?pool ?alive ?shards ~watchdog_frac config pathloss
+    positions] grows every (initially) live node's cone from scratch.
+    [alive] defaults to all-true; [watchdog_frac] is the dirty-set
+    fraction of the live population at which {!commit} abandons
+    incremental regrowth for a full recompute ([0.] = always full,
+    [> 1.] = never).  [shards] is the number of spatial shards a
+    pooled commit partitions its targets into (0, the default, derives
+    one shard per pool chunk); results are bit-identical for every
+    value.
+    @raise Invalid_argument on a negative [watchdog_frac] or [shards],
+    or an [alive] mask of the wrong length. *)
 val create :
   ?pool:Parallel.Pool.t ->
   ?alive:bool array ->
+  ?shards:int ->
   watchdog_frac:float ->
   Cbtc.Config.t -> Radio.Pathloss.t -> Geom.Vec2.t array -> t
 
@@ -43,11 +58,14 @@ val alive : t -> int -> bool
 
 val position : t -> int -> Geom.Vec2.t
 
+(** [power t u] is [u]'s converged transmit power (0 when dead). *)
+val power : t -> int -> float
+
 (** Live view of the counters — not a copy. *)
 val stats : t -> stats
 
-(** Tombstone/overflow health of the engine's spatial index
-    (satellite: surfaced per epoch by the daemon driver). *)
+(** Drift/overflow/rebuild health of the engine's spatial index
+    (surfaced per epoch by the daemon driver). *)
 val grid_health : t -> Geom.Grid.health
 
 (** [apply t e] updates tracked positions/liveness and marks the
@@ -58,8 +76,9 @@ val apply : t -> Event.t -> unit
 
 (** [commit ?pool t] regrows the dirty live nodes — incrementally, or
     fully when the dirty set reaches [watchdog_frac] of the live
-    population — and empties the dirty set.  The payload is the number
-    of nodes regrown. *)
+    population — and empties the dirty set.  With a pool, the targets
+    are sorted into compact spatial shards first (same results, warmer
+    caches).  The payload is the number of nodes regrown. *)
 val commit :
   ?pool:Parallel.Pool.t -> t -> [ `Clean | `Incremental of int | `Full of int ]
 

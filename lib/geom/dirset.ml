@@ -56,6 +56,23 @@ let max_gap_sorted dirs len =
 let has_gap_sorted ?(eps = 1e-9) ~alpha dirs len =
   max_gap_sorted dirs len >= alpha -. eps
 
+(* Same again over a float64 Bigarray prefix — the storage the SoA core
+   actually keeps its sorted directions in.  Identical float operations,
+   so all three representations agree bit for bit. *)
+let max_gap_ba (dirs : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t) len =
+  if len <= 1 then Angle.two_pi
+  else begin
+    let get = Bigarray.Array1.unsafe_get dirs in
+    let best = ref (Angle.ccw_delta (get (len - 1)) (get 0)) in
+    for i = 0 to len - 2 do
+      let g = get (i + 1) -. get i in
+      if g > !best then best := g
+    done;
+    !best
+  end
+
+let has_gap_ba ?(eps = 1e-9) ~alpha dirs len = max_gap_ba dirs len >= alpha -. eps
+
 let cover ~alpha dirs = Arcset.of_directions ~alpha dirs
 
 let covers_circle ?eps ~alpha dirs =

@@ -33,6 +33,22 @@ val max_gap_sorted : float array -> int -> float
     sorted-unique prefix. *)
 val has_gap_sorted : ?eps:float -> alpha:float -> float array -> int -> bool
 
+(** [max_gap_ba dirs len] / [has_gap_ba ?eps ~alpha dirs len]: the same
+    sorted-prefix variants over a float64 [Bigarray.Array1] — the
+    storage the SoA discovery core keeps its direction set in.
+    Bit-identical to the list and [float array] paths. *)
+val max_gap_ba :
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t ->
+  int ->
+  float
+
+val has_gap_ba :
+  ?eps:float ->
+  alpha:float ->
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t ->
+  int ->
+  bool
+
 (** [widest_gap dirs] is [Some (start, width)] for the widest gap, where
     [start] is the direction at which the gap begins (going
     counterclockwise), or [None] when [dirs] is empty. *)

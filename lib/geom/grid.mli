@@ -19,10 +19,15 @@
     docs/PERFORMANCE.md, "Memory layout at scale").
 
     The grid holds its own copy of the positions; under mobility, keep
-    it current with {!move} (amortized O(1) per update: the moved id is
-    tombstoned in the flat array and parked in a small overflow table,
-    and the CSR layout is compacted lazily once enough nodes have
-    drifted).
+    it current with {!move}.  Cell crossings are {e in-place CSR edits}:
+    every occupied cell keeps a little slack, a departure swap-pops from
+    the cell's live prefix (O(1)) and an arrival appends into the slack —
+    stealing one slot from the nearest non-full cell when the slack is
+    exhausted — so sustained drift never degrades queries into
+    hash-table chasing.  Only nodes that leave the dense cell window
+    entirely park in a small overflow table, and a full two-pass rebuild
+    (re-centering the window and restoring slack) runs only when that
+    table grows past an O(n) threshold.
 
     {2 Exactness contract}
 
@@ -73,16 +78,19 @@ val occupancy : t -> int list
 val position : t -> int -> Vec2.t
 
 (** [move t u p] updates [u]'s position to [p], rebucketing it if it
-    changed cell.  Amortized O(1): most moves tombstone in place, and a
-    full two-pass rebuild is triggered only after O(n) of them. *)
+    changed cell.  O(cell) per update: a cell crossing edits the CSR
+    arrays in place (swap-pop from the old cell, append into the new
+    cell's slack, worst case shifting one id per cell over a bounded
+    scan for a free slot); a full rebuild only fires when too many nodes
+    have left the dense cell window. *)
 val move : t -> int -> Vec2.t -> unit
 
 (** Mobility health of the index, for correlating query-latency spikes
-    with lazy compaction (see docs/DAEMON.md):
-    [drifted] — tombstoned CSR slots, i.e. nodes that changed cell since
-    the last rebuild and now live in the overflow table; [overflow] —
-    current overflow-table entry count (equals [drifted] plus any nodes
-    the last rebuild could not place densely); [compactions] —
+    with rebuilds (see docs/DAEMON.md):
+    [drifted] — cell-changing moves absorbed since the last rebuild
+    (almost all of them in-place CSR edits); [overflow] — nodes
+    currently parked in the out-of-window overflow table, normally 0
+    under drift that stays inside the indexed area; [compactions] —
     {!move}-triggered full rebuilds since {!create}. *)
 type health = { drifted : int; overflow : int; compactions : int }
 

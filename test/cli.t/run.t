@@ -127,9 +127,39 @@ distinct runtime failure (exit 2), mirroring check --replay.
   Usage: cbtc daemon [OPTION]…
   Try 'cbtc daemon --help' or 'cbtc --help' for more information.
   [124]
+  $ cbtc_cli daemon --watchdog=-0.5
+  cbtc: option '--watchdog': --watchdog: -0.5 is not >= 0
+  Usage: cbtc daemon [OPTION]…
+  Try 'cbtc daemon --help' or 'cbtc --help' for more information.
+  [124]
+  $ cbtc_cli daemon --shards=-1
+  cbtc: option '--shards': --shards: -1 is not >= 0
+  Usage: cbtc daemon [OPTION]…
+  Try 'cbtc daemon --help' or 'cbtc --help' for more information.
+  [124]
+  $ cbtc_cli daemon --shards seven
+  cbtc: option '--shards': --shards: seven is not >= 0
+  Usage: cbtc daemon [OPTION]…
+  Try 'cbtc daemon --help' or 'cbtc --help' for more information.
+  [124]
   $ cbtc_cli daemon --restore /nonexistent/daemon.ckpt
   daemon: Daemon.Checkpoint: cannot open: /nonexistent/daemon.ckpt: No such file or directory
   [2]
+
+The new flags appear in the usage text, and a trace sink that cannot
+be opened fails fast (exit 3) like the other observability sinks.
+
+  $ cbtc_cli daemon --help=plain | grep -A2 -e '--shards' -e '--trace-out' | head -8
+         --shards=K (absent=0)
+             Spatial shards per pooled commit (0 = one per pool chunk). Reports
+             are byte-identical for every value; tune only for load balance.
+  --
+         --trace-out=FILE
+             Write a JSON-lines trace (run manifest, then per-epoch
+             drain/dirty-propagate/regrow/verify spans and counters) to FILE.
+  $ cbtc_cli daemon -n 12 --duration 2 --trace-out /nonexistent/dir/t.jsonl
+  cbtc: cannot open output file: /nonexistent/dir/t.jsonl: No such file or directory
+  [3]
   $ cbtc_cli daemon-sweep --seeds 0
   cbtc: option '--seeds': --seeds: 0 out of [1, 100000]
   Usage: cbtc daemon-sweep [OPTION]…

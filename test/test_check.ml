@@ -159,7 +159,7 @@ let test_scenario_json_roundtrip () =
 
 let test_daemon_sweep_passes () =
   let report = Check.Daemon_sweep.sweep ~seeds:3 () in
-  Alcotest.(check int) "12 trials" 12 report.Check.Daemon_sweep.trials;
+  Alcotest.(check int) "15 trials" 15 report.Check.Daemon_sweep.trials;
   List.iter
     (fun (f : Check.Daemon_sweep.failure) ->
       Alcotest.failf "trial %d [seed %d, %a]: %s" f.trial f.seed

@@ -259,6 +259,110 @@ let prop_grid_move_after_build =
       done;
       !ok)
 
+let prop_grid_edits_match_fresh_rebuild =
+  (* every intermediate grid state of an edit sequence must answer
+     exactly like an index freshly built over the current positions —
+     the incremental CSR edits (swap-pop, neighbor-shift, overflow,
+     compaction) may never be observable through the query API.  Moved
+     positions are adversarial for cell assignment: exact multiples of
+     the cell size (range 30), one-ulp-ish offsets across the cell
+     boundary, and coincident piles. *)
+  QCheck.Test.make ~count:60
+    ~name:"grid edit sequences = fresh rebuild (boundary + coincident)"
+    (QCheck.make
+       QCheck.Gen.(
+         triple positions_gen (int_range 0 1000) (float_bound_exclusive 80.)))
+    (fun (positions, seed, dist) ->
+      let n = Array.length positions in
+      QCheck.assume (n > 0);
+      let g = Geom.Grid.create ~range:30. positions in
+      let prng = Prng.create ~seed in
+      let current = Array.copy positions in
+      let gen_coord () =
+        match Prng.int prng 4 with
+        | 0 -> 30. *. float_of_int (Prng.int prng 10)
+        | 1 -> (30. *. float_of_int (Prng.int prng 10)) +. 1e-9
+        | 2 -> (30. *. float_of_int (1 + Prng.int prng 9)) -. 1e-9
+        | _ -> Prng.float prng 280.
+      in
+      let ok = ref true in
+      for step = 1 to 3 * n do
+        let u = Prng.int prng n in
+        let p =
+          match Prng.int prng 4 with
+          | 0 -> v2 10. 10. (* coincident magnet *)
+          | 1 -> current.(Prng.int prng n) (* land exactly on another *)
+          | _ -> v2 (gen_coord ()) (gen_coord ())
+        in
+        current.(u) <- p;
+        Geom.Grid.move g u p;
+        (* a full fresh-rebuild comparison every few steps (every node,
+           every probe), spot checks in between *)
+        if step mod n = 0 then begin
+          let fresh = Geom.Grid.create ~range:30. current in
+          for q = 0 to n - 1 do
+            if
+              Geom.Grid.neighbors_within g q ~dist
+              <> Geom.Grid.neighbors_within fresh q ~dist
+            then ok := false
+          done
+        end
+        else begin
+          let q = Prng.int prng n in
+          if
+            Geom.Grid.neighbors_within g q ~dist
+            <> brute_within current q ~dist
+          then ok := false
+        end
+      done;
+      !ok)
+
+(* ---------- flat per-node kernel = grow_one, bit-exact ---------- *)
+
+let prop_grow_into_matches_grow_one =
+  (* the daemon's allocation-free regrow path against the list-based
+     per-node oracle: same candidates (grid + alive mask), same power
+     walk, same rows — float-for-float *)
+  QCheck.Test.make ~count:100
+    ~name:"Geo.grow_into = Geo.grow_one (grid + alive mask), bit-exact"
+    (QCheck.make
+       QCheck.Gen.(triple positions_gen growth_gen (int_range 0 1000)))
+    (fun (positions, growth, seed) ->
+      let n = Array.length positions in
+      QCheck.assume (n > 0);
+      let config = Cbtc.Config.make ~growth alpha56 in
+      let prng = Prng.create ~seed in
+      let alive_mask = Array.init n (fun _ -> Prng.int prng 4 > 0) in
+      let alive v = alive_mask.(v) in
+      let grid = Geom.Grid.create ~range:(Radio.Pathloss.max_range pl) positions in
+      let schedule = Cbtc.Geo.schedule_of config pl in
+      let scratch = Cbtc.Geo.scratch_create () in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        if alive_mask.(u) then begin
+          let nbrs, power, boundary =
+            Cbtc.Geo.grow_one ~grid ~alive config pl positions u
+          in
+          let k, power', boundary' =
+            Cbtc.Geo.grow_into ~grid ~alive ~schedule scratch config pl
+              positions u
+          in
+          if k <> List.length nbrs || power <> power' || boundary <> boundary'
+          then ok := false
+          else
+            List.iteri
+              (fun r (nb : Cbtc.Neighbor.t) ->
+                if
+                  Cbtc.Geo.row_id scratch r <> nb.id
+                  || Cbtc.Geo.row_link scratch r <> nb.link_power
+                  || Cbtc.Geo.row_dir scratch r <> nb.dir
+                  || Cbtc.Geo.row_tag scratch r <> nb.tag
+                then ok := false)
+              nbrs
+        end
+      done;
+      !ok)
+
 (* ---------- occupancy: one linear pass, sorted descending ---------- *)
 
 let test_occupancy_sorted_descending () =
@@ -342,7 +446,12 @@ let () =
              ] );
       ( "grid buckets",
         Alcotest.test_case "degenerate inputs" `Quick test_grid_degenerate
-        :: qsuite [ prop_grid_move_after_build ] );
+        :: qsuite
+             [
+               prop_grid_move_after_build;
+               prop_grid_edits_match_fresh_rebuild;
+             ] );
+      ("flat kernel", qsuite [ prop_grow_into_matches_grow_one ]);
       ( "occupancy",
         Alcotest.test_case "sorted descending" `Quick
           test_occupancy_sorted_descending

@@ -205,6 +205,64 @@ let test_engine_verify_survivors () =
   | Ok () -> ()
   | Error m -> Alcotest.failf "tracked state violates guarantees: %s" m
 
+let test_engine_grid_lifecycle () =
+  (* sustained drift through the engine's spatial index: in-window moves
+     must never touch the overflow side table (the old tombstone design
+     had [drifted = overflow]), and a migration far outside the built
+     window must stay bounded — compaction re-centers the window instead
+     of letting overflow grow with every further move *)
+  (* n must clear the grid's rebuild threshold (max 64 (n/8) pending
+     out-of-window nodes) or the migration could never compact *)
+  let sc = scenario ~n:200 18 in
+  let pl = Workload.Scenario.pathloss sc in
+  let positions = Workload.Scenario.positions sc in
+  let n = Array.length positions in
+  let eng = Daemon.Engine.create ~watchdog_frac:1.5 config pl positions in
+  let prng = Prng.create ~seed:4242 in
+  let w = sc.Workload.Scenario.field.Workload.Placement.width in
+  let h = sc.Workload.Scenario.field.Workload.Placement.height in
+  let apply_move ~time u p =
+    Daemon.Engine.apply eng
+      { Daemon.Event.time; node = u; kind = Daemon.Event.Move p }
+  in
+  (* phase 1: heavy in-field drift — every node crosses cells many
+     times, none may land in overflow *)
+  for ep = 1 to 10 do
+    for _ = 1 to n do
+      let u = Prng.int prng n in
+      apply_move ~time:(float_of_int ep) u
+        (Geom.Vec2.make (Prng.float prng w) (Prng.float prng h))
+    done;
+    ignore (Daemon.Engine.commit eng)
+  done;
+  let health = Daemon.Engine.grid_health eng in
+  Alcotest.(check bool) "in-field drift moved cells" true
+    (health.Geom.Grid.drifted > 0 || health.Geom.Grid.compactions > 0);
+  Alcotest.(check int) "in-field drift never overflows" 0
+    health.Geom.Grid.overflow;
+  (* phase 2: the whole population migrates far outside the original
+     window, a few nodes per epoch — overflow must trigger compactions
+     that re-center the window rather than accumulate *)
+  for ep = 11 to 10 + ((2 * n / 16) + 1) do
+    for _ = 1 to 16 do
+      let u = Prng.int prng n in
+      apply_move ~time:(float_of_int ep) u
+        (Geom.Vec2.make
+           ((10. *. w) +. Prng.float prng w)
+           ((10. *. h) +. Prng.float prng h))
+    done;
+    ignore (Daemon.Engine.commit eng)
+  done;
+  let health = Daemon.Engine.grid_health eng in
+  Alcotest.(check bool) "out-of-window migration compacts" true
+    (health.Geom.Grid.compactions > 0);
+  Alcotest.(check bool) "overflow stays bounded after compaction" true
+    (health.Geom.Grid.overflow < n / 2);
+  (* the index must have stayed exact throughout *)
+  match Daemon.Engine.check_full_equivalence eng with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "incremental /= full after migration: %s" m
+
 (* ------------------------------------------------------------------ *)
 (* Driver                                                             *)
 
@@ -347,6 +405,8 @@ let () =
             test_engine_equivalence_watchdog;
           Alcotest.test_case "survivor guarantees" `Quick
             test_engine_verify_survivors;
+          Alcotest.test_case "grid lifecycle under drift" `Quick
+            test_engine_grid_lifecycle;
           QCheck_alcotest.to_alcotest equivalence_prop;
         ] );
       ( "driver",

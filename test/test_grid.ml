@@ -341,19 +341,26 @@ let test_health_counters () =
   let h = Geom.Grid.health g in
   Alcotest.(check bool) "fresh index is pristine" true
     (h = { Geom.Grid.drifted = 0; overflow = 0; compactions = 0 });
-  (* a same-cell move never tombstones *)
+  (* a same-cell move is not a drift *)
   Geom.Grid.move g 0 (v2 1. 1.);
   Alcotest.(check int) "same-cell move leaves no drift" 0
     (Geom.Grid.health g).Geom.Grid.drifted;
-  (* a cell-changing move tombstones its CSR slot and parks the node in
-     the overflow table *)
-  Geom.Grid.move g 0 (v2 500. 500.);
+  (* a cell-changing move inside the dense window is an in-place CSR
+     edit: it counts as drift but never touches the overflow table *)
+  Geom.Grid.move g 0 (v2 17. 1.);
   let h = Geom.Grid.health g in
   Alcotest.(check int) "one drifted node" 1 h.Geom.Grid.drifted;
-  Alcotest.(check int) "one overflow entry" 1 h.Geom.Grid.overflow;
+  Alcotest.(check int) "in-window drift stays out of overflow" 0
+    h.Geom.Grid.overflow;
   Alcotest.(check int) "no compaction yet" 0 h.Geom.Grid.compactions;
-  (* drift past the lazy-compaction threshold (max 64 (n/4) here):
-     the rebuild absorbs the overflow back into the flat layout *)
+  (* a move far outside the dense window has nowhere to land in the
+     CSR arrays and parks in overflow *)
+  Geom.Grid.move g 0 (v2 500. 500.);
+  Alcotest.(check int) "out-of-window move overflows" 1
+    (Geom.Grid.health g).Geom.Grid.overflow;
+  (* sustained out-of-window drift crosses the rebuild threshold
+     (max 64 (n/8) overflow entries here): the rebuild re-centers the
+     window and absorbs the overflow back into the flat layout *)
   for u = 1 to n - 1 do
     Geom.Grid.move g u (v2 (Stdlib.float_of_int u *. 15.) 500.)
   done;
@@ -361,7 +368,7 @@ let test_health_counters () =
   Alcotest.(check bool) "compaction happened" true (h.Geom.Grid.compactions >= 1);
   Alcotest.(check bool) "rebuild absorbed the drift" true
     (h.Geom.Grid.drifted < n - 1);
-  (* queries stay exact across the whole tombstone/compaction cycle *)
+  (* queries stay exact across the whole drift/rebuild cycle *)
   Alcotest.(check (list int)) "post-compaction probe exact" [ 1 ]
     (Geom.Grid.neighbors_within g 0 ~dist:520.
     |> List.filter (fun v -> v < 2))

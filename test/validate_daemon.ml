@@ -1,0 +1,106 @@
+(* Schema validator for <out>/daemon.json (schema 2), run by the
+   @bench-smoke alias: the document must carry schema/results, and every
+   result row must have the full column set with the right types — bench
+   (string), n (positive int), events/commits/full_recomputes/regrown
+   (ints >= 0, with full_recomputes <= commits), incremental_fraction
+   (number in [0, 1]), peak_rss_kb (int or null), allocations_mb /
+   events_per_s / wall_s (number or null), topology_digest (string), and
+   a grid health object with non-negative drifted/overflow/compactions.
+   Exits non-zero naming the offending row. *)
+
+let fail fmt =
+  Fmt.kstr
+    (fun msg ->
+      Fmt.epr "validate_daemon: %s@." msg;
+      exit 1)
+    fmt
+
+let num = function
+  | Some (Obs.Jsonl.Float f) -> Some f
+  | Some (Obs.Jsonl.Int i) -> Some (Stdlib.float_of_int i)
+  | _ -> None
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+        Fmt.epr "usage: validate_daemon DAEMON.json@.";
+        exit 2
+  in
+  let contents =
+    match open_in path with
+    | exception Sys_error e ->
+        Fmt.epr "validate_daemon: %s@." e;
+        exit 2
+    | ic ->
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        s
+  in
+  let doc =
+    try Obs.Jsonl.of_string contents
+    with Obs.Jsonl.Parse_error e -> fail "unparsable JSON: %s" e
+  in
+  (match Obs.Jsonl.member "schema" doc with
+  | Some (Obs.Jsonl.Int 2) -> ()
+  | Some (Obs.Jsonl.Int v) -> fail "unsupported schema %d (expected 2)" v
+  | _ -> fail "missing integer field \"schema\"");
+  let results =
+    match Obs.Jsonl.member "results" doc with
+    | Some (Obs.Jsonl.List rows) -> rows
+    | _ -> fail "missing list field \"results\""
+  in
+  if results = [] then fail "\"results\" is empty";
+  List.iteri
+    (fun i row ->
+      let ctx = Fmt.str "results[%d]" i in
+      (match Obs.Jsonl.member "bench" row with
+      | Some (Obs.Jsonl.Str _) -> ()
+      | _ -> fail "%s: missing string field \"bench\"" ctx);
+      let n =
+        match Obs.Jsonl.member "n" row with
+        | Some (Obs.Jsonl.Int n) when n > 0 -> n
+        | _ -> fail "%s: missing positive integer \"n\"" ctx
+      in
+      let ctx = Fmt.str "%s (n=%d)" ctx n in
+      let counter name =
+        match Obs.Jsonl.member name row with
+        | Some (Obs.Jsonl.Int v) when v >= 0 -> v
+        | _ -> fail "%s: missing non-negative integer %S" ctx name
+      in
+      ignore (counter "events" : int);
+      ignore (counter "regrown" : int);
+      let commits = counter "commits" in
+      let fulls = counter "full_recomputes" in
+      if fulls > commits then
+        fail "%s: full_recomputes %d exceeds commits %d" ctx fulls commits;
+      (match num (Obs.Jsonl.member "incremental_fraction" row) with
+      | Some f when f >= 0. && f <= 1. -> ()
+      | _ -> fail "%s: \"incremental_fraction\" must be a number in [0,1]" ctx);
+      (match Obs.Jsonl.member "peak_rss_kb" row with
+      | Some Obs.Jsonl.Null | Some (Obs.Jsonl.Int _) -> ()
+      | _ -> fail "%s: \"peak_rss_kb\" must be an integer or null" ctx);
+      List.iter
+        (fun name ->
+          match Obs.Jsonl.member name row with
+          | Some Obs.Jsonl.Null -> ()
+          | v when num v <> None -> ()
+          | _ -> fail "%s: %S must be a number or null" ctx name)
+        [ "allocations_mb"; "events_per_s"; "wall_s" ];
+      (match Obs.Jsonl.member "topology_digest" row with
+      | Some (Obs.Jsonl.Str _) -> ()
+      | _ -> fail "%s: missing string field \"topology_digest\"" ctx);
+      match Obs.Jsonl.member "grid" row with
+      | Some (Obs.Jsonl.Obj _ as g) ->
+          List.iter
+            (fun name ->
+              match Obs.Jsonl.member name g with
+              | Some (Obs.Jsonl.Int v) when v >= 0 -> ()
+              | _ ->
+                  fail "%s: grid.%s must be a non-negative integer" ctx name)
+            [ "drifted"; "overflow"; "compactions" ]
+      | _ -> fail "%s: missing object field \"grid\"" ctx)
+    results;
+  Fmt.pr "validate_daemon: %s OK (%d rows)@." path (List.length results)
