@@ -1132,6 +1132,147 @@ let run_daemon_scaling ~pool ~fast ~out_dir =
   Fmt.pr "wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* Shadowing: the 5pi/6 threshold under a non-uniform environment      *)
+(* ------------------------------------------------------------------ *)
+
+(* The alpha <= 5pi/6 connectivity guarantee is a theorem about the
+   pure disc model: G_R is a unit-disc graph and every cone argument
+   is geometric.  Under per-link log-normal shadowing the realized
+   reachability graph G_R^env keeps no disc structure, so preservation
+   becomes an empirical question.  The sweep crosses shadowing depth
+   (sigma) x cone degree (alpha) x deployment density, counting the
+   seeded deployments whose G_R^env connectivity CBTC preserves —
+   mapping where the threshold degrades.  Writes <out>/shadowing.json
+   (schema 1, validated by test/validate_shadowing.exe in the
+   @bench-smoke alias). *)
+
+let shadowing_json_write path rows =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc "{\n  \"schema\": 1,\n";
+      output_string oc
+        "  \"note\": \"fraction of seeded deployments whose realized \
+         reachability graph G_R^env stays connected under CBTC(alpha), \
+         per (sigma_db, alpha, density) cell; sigma_db = 0 is the \
+         paper's pure disc model, where alpha <= 5pi/6 preserves \
+         connectivity; target_degree is the expected G_R degree of the \
+         sigma = 0 disc model at that density\",\n";
+      output_string oc "  \"results\": [\n";
+      List.iteri
+        (fun i row ->
+          output_string oc "    ";
+          output_string oc (Obs.Jsonl.to_string row);
+          output_string oc (if i = List.length rows - 1 then "\n" else ",\n"))
+        rows;
+      output_string oc "  ]\n}\n")
+
+let run_shadowing ~pool ~fast ~out_dir =
+  section "Shadowing: connectivity threshold under sigma x alpha x density";
+  if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+  let sigmas = if fast then [ 0.; 4. ] else [ 0.; 2.; 4.; 6. ] in
+  let alphas =
+    [ ("2pi/3", Geom.Angle.two_pi_three);
+      ("5pi/6", Geom.Angle.five_pi_six);
+      ("pi", Float.pi) ]
+  in
+  let n = if fast then 48 else 100 in
+  let range = 500. in
+  (* density expressed as the expected G_R degree of the disc model:
+     deg = n pi R^2 / side^2, so side = sqrt (n pi R^2 / deg) *)
+  let degrees = if fast then [ 12.; 28. ] else [ 8.; 16.; 32. ] in
+  let trials = if fast then 6 else 30 in
+  let seeds = Workload.Scenario.seeds ~base:42 ~count:trials in
+  let table =
+    Metrics.Table.create
+      ~columns:
+        [ "sigma"; "alpha"; "GR degree"; "ref conn"; "preserved"; "CBTC deg" ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun sigma ->
+      List.iter
+        (fun (alabel, alpha) ->
+          List.iter
+            (fun deg ->
+              let side =
+                Float.sqrt
+                  (Stdlib.float_of_int n *. Float.pi *. range *. range /. deg)
+              in
+              let trial seed =
+                let sc =
+                  Workload.Scenario.make ~n ~width:side ~height:side
+                    ~max_range:range ~seed ()
+                in
+                let pl = Workload.Scenario.pathloss sc in
+                let positions = Workload.Scenario.positions sc in
+                (* one shadowing draw per deployment: the shadow seed
+                   follows the placement seed *)
+                let env =
+                  if sigma = 0. then None
+                  else Some (Radio.Env.make ~sigma_db:sigma ~shadow_seed:seed pl)
+                in
+                let reference =
+                  Baselines.Proximity.max_power ?env pl positions
+                in
+                let r =
+                  Cbtc.Pipeline.run_oracle ?env pl positions
+                    (Cbtc.Pipeline.all_ops (Cbtc.Config.make alpha))
+                in
+                ( Graphkit.Traversal.is_connected reference,
+                  Metrics.Connectivity.preserves ~reference
+                    r.Cbtc.Pipeline.graph,
+                  Cbtc.Pipeline.avg_degree r )
+              in
+              let results =
+                Parallel.Pool.map pool trial (Array.of_list seeds)
+              in
+              let ref_conn = ref 0 and preserved = ref 0 in
+              let dsum = ref 0. in
+              Array.iter
+                (fun (rc, p, d) ->
+                  if rc then incr ref_conn;
+                  if p then incr preserved;
+                  dsum := !dsum +. d)
+                results;
+              let frac =
+                Stdlib.float_of_int !preserved /. Stdlib.float_of_int trials
+              in
+              let avg_deg = !dsum /. Stdlib.float_of_int trials in
+              rows :=
+                Obs.Jsonl.Obj
+                  [
+                    ("bench", Obs.Jsonl.Str "shadowing");
+                    ("sigma_db", Obs.Jsonl.Float sigma);
+                    ("alpha", Obs.Jsonl.Float alpha);
+                    ("alpha_label", Obs.Jsonl.Str alabel);
+                    ("n", Obs.Jsonl.Int n);
+                    ("side", Obs.Jsonl.Float side);
+                    ("target_degree", Obs.Jsonl.Float deg);
+                    ("trials", Obs.Jsonl.Int trials);
+                    ("ref_connected", Obs.Jsonl.Int !ref_conn);
+                    ("preserved", Obs.Jsonl.Int !preserved);
+                    ("preserved_frac", Obs.Jsonl.Float frac);
+                    ("avg_degree", Obs.Jsonl.Float avg_deg);
+                  ]
+                :: !rows;
+              Metrics.Table.add_row table
+                [
+                  Fmt.str "%g" sigma;
+                  alabel;
+                  Fmt.str "%g" deg;
+                  Fmt.str "%d/%d" !ref_conn trials;
+                  Fmt.str "%d/%d" !preserved trials;
+                  Fmt.str "%.1f" avg_deg;
+                ])
+            degrees)
+        alphas)
+    sigmas;
+  Fmt.pr "%a@." Metrics.Table.pp table;
+  let path = Filename.concat out_dir "shadowing.json" in
+  shadowing_json_write path (List.rev !rows);
+  Fmt.pr "wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* Parallel scaling (domain pool)                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1443,6 +1584,9 @@ let () =
       if want "daemon" then
         sect "daemon" (fun () ->
             run_daemon_scaling ~pool ~fast:!fast ~out_dir:!out_dir);
+      if want "shadowing" then
+        sect "shadowing" (fun () ->
+            run_shadowing ~pool ~fast:!fast ~out_dir:!out_dir);
       if want "perf" then
         sect "perf" (fun () ->
             run_perf_scaling ~fast:!fast ~out_dir:!out_dir;

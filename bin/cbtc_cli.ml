@@ -98,6 +98,42 @@ let jobs =
           "Worker domains for trial-level parallelism, in [1, 1024] \
            (default: the host's recommended domain count).")
 
+(* --sigma / --shadow-seed: the per-link propagation environment of
+   Radio.Env.  sigma = 0 (the default) keeps the pure deterministic
+   pathloss model: no environment is even constructed, so the code path
+   is bit-identical to the pre-env one. *)
+let sigma_t =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when Float.is_finite v && v >= 0. -> Ok v
+    | _ -> Error (`Msg (Fmt.str "--sigma: %s is not a finite dB value >= 0" s))
+  in
+  Arg.(
+    value
+    & opt (conv (parse, Fmt.float)) 0.
+    & info [ "sigma" ] ~docv:"DB"
+        ~doc:
+          "Log-normal shadowing standard deviation in dB (0 = pure \
+           deterministic pathloss).")
+
+let shadow_seed_t =
+  Arg.(
+    value & opt int 0
+    & info [ "shadow-seed" ] ~docv:"S"
+        ~doc:
+          "Seed of the deterministic per-link shadowing hash (independent \
+           of --seed; same seed = same realized link gains).")
+
+let env_of ~pathloss ~sigma ~shadow_seed =
+  if sigma = 0. then None
+  else Some (Radio.Env.make ~sigma_db:sigma ~shadow_seed pathloss)
+
+let env_fields ~sigma ~shadow_seed =
+  if sigma = 0. then []
+  else
+    [ ("sigma", Obs.Jsonl.Float sigma);
+      ("shadow_seed", Obs.Jsonl.Int shadow_seed) ]
+
 (* --trace-out / --metrics-out: observability sinks, off by default (the
    recorder stays [nil] and instrumentation costs one branch).  Both are
    written by a clockless recorder, so for a fixed command line the
@@ -187,14 +223,16 @@ let plan_of config = function
 (* ---------- run ---------- *)
 
 let run_cmd =
-  let action n side range seed alpha opts jobs obsout =
+  let action n side range seed alpha opts sigma shadow_seed jobs obsout =
     with_obs obsout
       ~manifest:
         (manifest_of ~command:"run" ~n ~side ~range ~seed ~alpha
-           [ ("growth", Obs.Jsonl.Str "exact"); jobs_field jobs ])
+           ([ ("growth", Obs.Jsonl.Str "exact"); jobs_field jobs ]
+           @ env_fields ~sigma ~shadow_seed))
     @@ fun obs ->
     let sc = scenario_of ~n ~side ~range ~seed in
     let pl = Workload.Scenario.pathloss sc in
+    let env = env_of ~pathloss:pl ~sigma ~shadow_seed in
     let positions = Workload.Scenario.positions sc in
     let config = Cbtc.Config.make alpha in
     (* node-level parallelism for the oracle pass; output is
@@ -207,9 +245,10 @@ let run_cmd =
     in
     with_pool_opt @@ fun pool ->
     let r =
-      Cbtc.Pipeline.run_oracle ?pool ~obs pl positions (plan_of config opts)
+      Cbtc.Pipeline.run_oracle ?pool ~obs ?env pl positions
+        (plan_of config opts)
     in
-    let gr = Baselines.Proximity.max_power pl positions in
+    let gr = Baselines.Proximity.max_power ?env pl positions in
     Fmt.pr "scenario: %a@." Workload.Scenario.pp sc;
     Fmt.pr "config:   %a@." Cbtc.Config.pp config;
     Fmt.pr "edges:    %d (GR has %d)@." (Graphkit.Ugraph.nb_edges r.Cbtc.Pipeline.graph)
@@ -225,8 +264,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one CBTC configuration and print metrics.")
     Term.(
-      const action $ nodes $ side $ range $ seed $ alpha $ opts_flag $ jobs
-      $ obs_out)
+      const action $ nodes $ side $ range $ seed $ alpha $ opts_flag
+      $ sigma_t $ shadow_seed_t $ jobs $ obs_out)
 
 (* ---------- sweep ---------- *)
 
@@ -236,12 +275,13 @@ let sweep_cmd =
       value & opt int 20
       & info [ "count" ] ~docv:"K" ~doc:"Number of random networks.")
   in
-  let action n side range seed count opts jobs obsout =
+  let action n side range seed count opts sigma shadow_seed jobs obsout =
     with_obs obsout
       ~manifest:
         (manifest_of ~command:"sweep" ~n ~side ~range ~seed
-           [ ("count", Obs.Jsonl.Int count); ("growth", Obs.Jsonl.Str "exact");
-             jobs_field jobs ])
+           ([ ("count", Obs.Jsonl.Int count);
+              ("growth", Obs.Jsonl.Str "exact"); jobs_field jobs ]
+           @ env_fields ~sigma ~shadow_seed))
     @@ fun obs ->
     let recording = Obs.Recorder.enabled obs in
     let table =
@@ -269,15 +309,16 @@ let sweep_cmd =
               in
               let sc = scenario_of ~n ~side ~range ~seed in
               let pl = Workload.Scenario.pathloss sc in
+              let env = env_of ~pathloss:pl ~sigma ~shadow_seed in
               let positions = Workload.Scenario.positions sc in
               let r =
-                Cbtc.Pipeline.run_oracle ~obs:tobs pl positions
+                Cbtc.Pipeline.run_oracle ~obs:tobs ?env pl positions
                   (plan_of config opts)
               in
               ( Cbtc.Pipeline.avg_degree r,
                 Cbtc.Pipeline.avg_radius r,
                 Metrics.Connectivity.preserves
-                  ~reference:(Baselines.Proximity.max_power pl positions)
+                  ~reference:(Baselines.Proximity.max_power ?env pl positions)
                   r.Cbtc.Pipeline.graph,
                 tobs )
             in
@@ -306,8 +347,8 @@ let sweep_cmd =
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Sweep alpha over a seed set.")
     Term.(
-      const action $ nodes $ side $ range $ seed $ count $ opts_flag $ jobs
-      $ obs_out)
+      const action $ nodes $ side $ range $ seed $ count $ opts_flag
+      $ sigma_t $ shadow_seed_t $ jobs $ obs_out)
 
 (* ---------- topology ---------- *)
 
@@ -535,19 +576,21 @@ let stress_cmd =
          s.Cbtc.Distributed.duration)
   in
   let action n side range seed alpha losses crashes burstiness recover_after
-      out jobs obsout =
+      sigma shadow_seed out jobs obsout =
     with_obs obsout
       ~manifest:
         (manifest_of ~command:"stress" ~n ~side ~range ~seed ~alpha
-           [ ("growth", Obs.Jsonl.Str "double");
-             ("burstiness", Obs.Jsonl.Float burstiness); jobs_field jobs ])
+           ([ ("growth", Obs.Jsonl.Str "double");
+              ("burstiness", Obs.Jsonl.Float burstiness); jobs_field jobs ]
+           @ env_fields ~sigma ~shadow_seed))
     @@ fun obs ->
     let recording = Obs.Recorder.enabled obs in
     let sc = scenario_of ~n ~side ~range ~seed in
     let pl = Workload.Scenario.pathloss sc in
+    let env = env_of ~pathloss:pl ~sigma ~shadow_seed in
     let positions = Workload.Scenario.positions sc in
     let config = Cbtc.Config.make ~growth:(Cbtc.Config.Double 100.) alpha in
-    let baseline = Cbtc.Distributed.run ~obs ~seed config pl positions in
+    let baseline = Cbtc.Distributed.run ~obs ~seed ?env config pl positions in
     let t_conv = baseline.Cbtc.Distributed.stats.Cbtc.Distributed.duration in
     let table =
       Metrics.Table.create
@@ -598,13 +641,13 @@ let stress_cmd =
       in
       let o =
         Cbtc.Distributed.run ~obs:tobs ~channel ~seed
-          ~reliability:Cbtc.Distributed.hardened ~faults:plan config pl
+          ~reliability:Cbtc.Distributed.hardened ~faults:plan ?env config pl
           positions
       in
-      let deg = Cbtc.Verify.degradation ~reference:baseline o in
+      let deg = Cbtc.Verify.degradation ~reference:baseline ?env o in
       let verified, verify_error =
         match
-          Cbtc.Verify.surviving ~alive:o.Cbtc.Distributed.alive
+          Cbtc.Verify.surviving ?env ~alive:o.Cbtc.Distributed.alive
             o.Cbtc.Distributed.discovery
         with
         | () -> (true, None)
@@ -665,7 +708,8 @@ let stress_cmd =
           non-zero if any scenario fails post-fault verification.")
     Term.(
       const action $ nodes $ side $ range $ seed $ alpha $ losses $ crashes
-      $ burstiness $ recover_after $ out $ jobs $ obs_out)
+      $ burstiness $ recover_after $ sigma_t $ shadow_seed_t $ out $ jobs
+      $ obs_out)
 
 (* ---------- check ---------- *)
 
@@ -955,6 +999,45 @@ let daemon_cmd =
       & info [ "move-rate" ] ~docv:"R"
           ~doc:"Network-wide position reports per time unit (>= 0).")
   in
+  let speed =
+    (* LO:HI — syntax errors are cmdliner parse errors (exit 124);
+       syntactically valid but semantically bad ranges (inverted,
+       non-positive, NaN) are rejected by Mobility.validate_params at
+       startup with exit 2, mirroring a bad --restore file. *)
+    let parse s =
+      let err = `Msg (Fmt.str "--speed: %S is not LO:HI (two floats)" s) in
+      match String.split_on_char ':' s with
+      | [ a; b ] -> (
+          match (float_of_string_opt a, float_of_string_opt b) with
+          | Some lo, Some hi -> Ok (lo, hi)
+          | _ -> Error err)
+      | _ -> Error err
+    in
+    let print ppf (lo, hi) = Fmt.pf ppf "%g:%g" lo hi in
+    Arg.(
+      value
+      & opt (some (conv (parse, print))) None
+      & info [ "speed" ] ~docv:"LO:HI"
+          ~doc:
+            "Random-waypoint speed range (default: the library's default \
+             parameters).  Inverted or non-positive ranges are rejected \
+             at startup.")
+  in
+  let pause =
+    let parse s =
+      match float_of_string_opt s with
+      | Some v -> Ok v
+      | None -> Error (`Msg (Fmt.str "--pause: %S is not a float" s))
+    in
+    Arg.(
+      value
+      & opt (some (conv (parse, Fmt.float))) None
+      & info [ "pause" ] ~docv:"T"
+          ~doc:
+            "Random-waypoint pause at each waypoint (default: the \
+             library's default).  Negative or non-finite values are \
+             rejected at startup.")
+  in
   let crash =
     let parse s =
       match float_of_string_opt s with
@@ -1126,11 +1209,32 @@ let daemon_cmd =
              $(docv).  Recorded clockless, so the file is byte-identical \
              across runs and every -j.")
   in
-  let action n side range seed alpha duration event_dt move_rate crash
-      recover_after storm budget queue_cap watchdog shards verify_every
-      equivalence_every checkpoint_every checkpoint_path restore wall
-      metrics_out trace_out jobs =
+  let action n side range seed alpha duration event_dt move_rate speed pause
+      sigma shadow_seed crash recover_after storm budget queue_cap watchdog
+      shards verify_every equivalence_every checkpoint_every checkpoint_path
+      restore wall metrics_out trace_out jobs =
     let sc = scenario_of ~n ~side ~range ~seed in
+    let mobility =
+      let d = Workload.Mobility.default_params in
+      let speed_lo, speed_hi =
+        match speed with
+        | Some r -> r
+        | None ->
+            (d.Workload.Mobility.speed_lo, d.Workload.Mobility.speed_hi)
+      in
+      let pause =
+        match pause with Some p -> p | None -> d.Workload.Mobility.pause
+      in
+      { Workload.Mobility.speed_lo; speed_hi; pause }
+    in
+    (* reject bad mobility parameters before any work, like a bad
+       --restore file: exit 2 *)
+    (try Workload.Mobility.validate_params ~who:"daemon" mobility
+     with Invalid_argument m ->
+       (* the validator's message already carries the "daemon: " prefix *)
+       Fmt.epr "%s@." m;
+       exit 2);
+    let env = env_of ~pathloss:(Workload.Scenario.pathloss sc) ~sigma ~shadow_seed in
     let churn =
       if crash <= 0. then Faults.Plan.empty
       else
@@ -1144,7 +1248,7 @@ let daemon_cmd =
       {
         Daemon.Driver.seed;
         field = sc.Workload.Scenario.field;
-        mobility = Workload.Mobility.default_params;
+        mobility;
         move_rate;
         storm;
         churn;
@@ -1192,7 +1296,7 @@ let daemon_cmd =
           List.iter
             (fun (k, v) -> Obs.Recorder.set obs k v)
             (manifest_of ~command:"daemon" ~n ~side ~range ~seed ~alpha
-               [ jobs_field jobs ]);
+               (jobs_field jobs :: env_fields ~sigma ~shadow_seed));
           Fun.protect
             ~finally:(fun () ->
               Obs.Recorder.write_trace obs oc;
@@ -1202,7 +1306,7 @@ let daemon_cmd =
     let r, pool_jobs =
       with_trace @@ fun obs ->
       Parallel.Pool.with_pool ?jobs (fun pool ->
-          ( Daemon.Driver.run ~pool ?obs ?clock ?restore ~params
+          ( Daemon.Driver.run ~pool ?obs ?clock ?restore ?env ~params
               ~config:(Cbtc.Config.make alpha)
               ~pathloss:(Workload.Scenario.pathloss sc)
               stream,
@@ -1259,10 +1363,10 @@ let daemon_cmd =
           equivalence violation (an engine bug).")
     Term.(
       const action $ nodes $ side $ range $ seed $ alpha $ duration
-      $ event_dt $ move_rate $ crash $ recover_after $ storm $ budget
-      $ queue_cap $ watchdog $ shards $ verify_every $ equivalence_every
-      $ checkpoint_every $ checkpoint_path $ restore $ wall $ metrics_out
-      $ trace_out $ jobs)
+      $ event_dt $ move_rate $ speed $ pause $ sigma_t $ shadow_seed_t
+      $ crash $ recover_after $ storm $ budget $ queue_cap $ watchdog
+      $ shards $ verify_every $ equivalence_every $ checkpoint_every
+      $ checkpoint_path $ restore $ wall $ metrics_out $ trace_out $ jobs)
 
 (* ---------- daemon-sweep ---------- *)
 

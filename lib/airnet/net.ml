@@ -14,6 +14,10 @@ type fault = Crashed of int | Recovered of int
 type 'msg t = {
   sim : Dsim.Sim.t;
   pathloss : Radio.Pathloss.t;
+  (* Non-trivial propagation environment, or [None] for the pure
+     pathloss model (a trivial env is collapsed to [None] at [create],
+     so the sigma = 0 pipeline is bit-identical to the pre-env one). *)
+  env : Radio.Env.t option;
   channel : Dsim.Channel.t;
   prng : Prng.t;
   positions : Geom.Vec2.t array;
@@ -37,11 +41,18 @@ type 'msg t = {
   obs : Obs.Recorder.t;
 }
 
-let create ?(obs = Obs.Recorder.nil) ~sim ~pathloss ~channel ~prng ~positions () =
+let create ?(obs = Obs.Recorder.nil) ?env ~sim ~pathloss ~channel ~prng
+    ~positions () =
   let n = Array.length positions in
+  let env =
+    match env with
+    | Some e when not (Radio.Env.is_trivial e) -> Some e
+    | _ -> None
+  in
   {
     sim;
     pathloss;
+    env;
     channel;
     prng;
     positions = Array.copy positions;
@@ -166,7 +177,13 @@ let deliver_to t ~src ~dst ~power payload =
   if extra_loss > 0. && Prng.bool t.prng ~p:extra_loss then drop t dst
   else begin
     let dist = distance t src dst in
-    let rx_power = Radio.Pathloss.rx_power t.pathloss ~tx_power:power ~dist in
+    let rx_power =
+      match t.env with
+      | Some env ->
+          Radio.Env.rx_power env ~tx_power:power ~u:src ~v:dst
+            ~pu:t.positions.(src) ~pv:t.positions.(dst) ~dist
+      | None -> Radio.Pathloss.rx_power t.pathloss ~tx_power:power ~dist
+    in
     let rx_dir =
       Geom.Vec2.direction ~from:t.positions.(dst) ~toward:t.positions.(src)
     in
@@ -201,14 +218,25 @@ let bcast t ~src ~power msg =
   if not t.alive.(src) then 0
   else begin
     radiate t ~src ~power;
-    let reach = Radio.Pathloss.reach_distance t.pathloss ~power in
+    let reach =
+      match t.env with
+      | Some env -> Radio.Env.probe_radius env ~power
+      | None -> Radio.Pathloss.reach_distance t.pathloss ~power
+    in
     let audience =
       Geom.Grid.fold_in_range t.grid t.positions.(src) ~dist:reach ~init:[]
         ~f:(fun acc dst ->
           if
             dst <> src && t.alive.(dst)
-            && Radio.Pathloss.reaches t.pathloss ~power
-                 ~dist:(distance t src dst)
+            &&
+            match t.env with
+            | Some env ->
+                Radio.Env.reaches env ~power ~u:src ~v:dst
+                  ~pu:t.positions.(src) ~pv:t.positions.(dst)
+                  ~dist:(distance t src dst)
+            | None ->
+                Radio.Pathloss.reaches t.pathloss ~power
+                  ~dist:(distance t src dst)
           then dst :: acc
           else acc)
     in
@@ -227,7 +255,13 @@ let send t ~src ~dst ~power msg =
     radiate t ~src ~power;
     if
       t.alive.(dst)
-      && Radio.Pathloss.reaches t.pathloss ~power ~dist:(distance t src dst)
+      &&
+      match t.env with
+      | Some env ->
+          Radio.Env.reaches env ~power ~u:src ~v:dst ~pu:t.positions.(src)
+            ~pv:t.positions.(dst) ~dist:(distance t src dst)
+      | None ->
+          Radio.Pathloss.reaches t.pathloss ~power ~dist:(distance t src dst)
     then begin
       deliver_to t ~src ~dst ~power msg;
       true

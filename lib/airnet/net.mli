@@ -39,9 +39,18 @@ type 'msg handler = 'msg recv -> unit
     handlers.  When [obs] is given, the network bumps the
     [net.transmissions] / [net.deliveries] / [net.drops] /
     [net.retransmissions] / [net.crashes] / [net.recoveries] counters as
-    traffic flows. *)
+    traffic flows.
+
+    [?env] ({!Radio.Env}) switches the physical layer to the per-link
+    propagation environment: {!bcast}/{!send} reachability uses the env
+    link power (audience prefilters probe the sigma-aware inflated
+    radius), and [rx_power] carries the environment's excess loss, so
+    receivers estimating link powers from it recover the {e realized}
+    link power.  A trivial or omitted [env] is bit-identical to the
+    pure pathloss model. *)
 val create :
   ?obs:Obs.Recorder.t ->
+  ?env:Radio.Env.t ->
   sim:Dsim.Sim.t ->
   pathloss:Radio.Pathloss.t ->
   channel:Dsim.Channel.t ->

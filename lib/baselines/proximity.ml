@@ -2,6 +2,18 @@ let in_range pathloss positions u v =
   Radio.Pathloss.in_range pathloss
     ~dist:(Geom.Vec2.dist positions.(u) positions.(v))
 
+(* Non-trivial environments swap the membership predicate (env link
+   power against the max-power cap) and inflate the grid probe radius
+   to the env's sigma-aware [max_reach]; a trivial/absent env keeps the
+   pre-env spellings bit for bit. *)
+let real_env = function
+  | Some env when not (Radio.Env.is_trivial env) -> Some env
+  | _ -> None
+
+let env_in_range env positions u v =
+  let pu = positions.(u) and pv = positions.(v) in
+  Radio.Env.in_range env ~u ~v ~pu ~pv ~dist:(Geom.Vec2.dist pu pv)
+
 let make_grid pathloss positions =
   Geom.Grid.create ~range:(Radio.Pathloss.max_range pathloss) positions
 
@@ -22,21 +34,29 @@ let for_nodes ?pool n body =
 (* [G_R] edges via the spatial index: probe each node's neighborhood and
    keep [v > u] so every pair is examined once, as the brute-force
    triangular loop does. *)
-let filter_gr ?pool ?grid pathloss positions ~keep =
+let filter_gr ?pool ?grid ?env pathloss positions ~keep =
+  let env = real_env env in
   let n = Array.length positions in
   let grid =
     match grid with Some g -> g | None -> make_grid pathloss positions
   in
-  let reach = max_reach pathloss in
+  let reach =
+    match env with
+    | Some env -> Radio.Env.max_reach env
+    | None -> max_reach pathloss
+  in
+  let member u v =
+    match env with
+    | Some env -> env_in_range env positions u v
+    | None -> in_range pathloss positions u v
+  in
   let nbrs = Array.make n [] in
   for_nodes ?pool n (fun lo hi ->
       for u = lo to hi - 1 do
         nbrs.(u) <-
           Geom.Grid.fold_in_range grid positions.(u) ~dist:reach ~init:[]
             ~f:(fun acc v ->
-              if v > u && in_range pathloss positions u v && keep u v then
-                v :: acc
-              else acc)
+              if v > u && member u v && keep u v then v :: acc else acc)
       done);
   let g = Graphkit.Ugraph.create n in
   Array.iteri
@@ -54,14 +74,14 @@ let brute_max_power pathloss positions =
   done;
   g
 
-let max_power ?pool ?(cutoff = Geom.Grid.default_brute_cutoff) pathloss
+let max_power ?pool ?(cutoff = Geom.Grid.default_brute_cutoff) ?env pathloss
     positions =
-  match pool with
-  | None when Array.length positions < cutoff ->
+  match (real_env env, pool) with
+  | None, None when Array.length positions < cutoff ->
       brute_max_power pathloss positions
-  | pool -> filter_gr ?pool pathloss positions ~keep:(fun _ _ -> true)
+  | env, pool -> filter_gr ?pool ?env pathloss positions ~keep:(fun _ _ -> true)
 
-let rng ?pool pathloss positions =
+let rng ?pool ?env pathloss positions =
   let grid = make_grid pathloss positions in
   let dist u v = Geom.Vec2.dist positions.(u) positions.(v) in
   (* a lune witness w has max(d(u,w), d(v,w)) < d(u,v), so it lies within
@@ -72,9 +92,9 @@ let rng ?pool pathloss positions =
       (Geom.Grid.exists_in_range grid positions.(u) ~dist:duv (fun w ->
            w <> u && w <> v && Float.max (dist u w) (dist v w) < duv))
   in
-  filter_gr ?pool ~grid pathloss positions ~keep
+  filter_gr ?pool ~grid ?env pathloss positions ~keep
 
-let gabriel ?pool pathloss positions =
+let gabriel ?pool ?env pathloss positions =
   let grid = make_grid pathloss positions in
   let dist2 u v = Geom.Vec2.dist2 positions.(u) positions.(v) in
   (* w inside the circle with diameter uv satisfies d(u,w) < d(u,v) *)
@@ -85,25 +105,35 @@ let gabriel ?pool pathloss positions =
          ~dist:(Float.sqrt d2uv)
          (fun w -> w <> u && w <> v && dist2 u w +. dist2 v w < d2uv))
   in
-  filter_gr ?pool ~grid pathloss positions ~keep
+  filter_gr ?pool ~grid ?env pathloss positions ~keep
 
-let euclidean_mst pathloss positions =
-  let gr = max_power pathloss positions in
+let euclidean_mst ?env pathloss positions =
+  let gr = max_power ?env pathloss positions in
   Graphkit.Mst.forest_graph gr ~weight:(fun u v ->
       Geom.Vec2.dist positions.(u) positions.(v))
 
-let knn ?pool pathloss positions ~k =
+let knn ?pool ?env pathloss positions ~k =
   if k <= 0 then invalid_arg "Proximity.knn: non-positive k";
+  let env = real_env env in
   let n = Array.length positions in
   let grid = make_grid pathloss positions in
-  let reach = max_reach pathloss in
+  let reach =
+    match env with
+    | Some env -> Radio.Env.max_reach env
+    | None -> max_reach pathloss
+  in
+  let member u v =
+    match env with
+    | Some env -> env_in_range env positions u v
+    | None -> in_range pathloss positions u v
+  in
   let chosen = Array.make n [] in
   for_nodes ?pool n (fun lo hi ->
       for u = lo to hi - 1 do
         let in_reach =
           Geom.Grid.fold_in_range grid positions.(u) ~dist:reach ~init:[]
             ~f:(fun acc v ->
-              if v <> u && in_range pathloss positions u v then
+              if v <> u && member u v then
                 (Geom.Vec2.dist positions.(u) positions.(v), v) :: acc
               else acc)
         in

@@ -17,7 +17,14 @@
     run chunked over a [Parallel.Pool]: each chunk fills only its own
     slots of a per-node array, and a sequential merge into the set-based
     adjacency yields a graph bit-identical to the sequential pass for
-    any pool size. *)
+    any pool size.
+
+    All builders accept [?env] ({!Radio.Env}): with a non-trivial
+    environment the underlying edge set becomes [G_R^env] (grid probes
+    use the sigma-aware inflated radius, the exact env link-power
+    predicate decides membership) while the geometric witness criteria
+    (lune, diametral circle, nearest-k) stay distance-based.  Omitted
+    or trivial, the pre-env code path runs bit-identically. *)
 
 (** [max_power ?pool ?cutoff pathloss positions] is [G_R].  Below
     [cutoff] nodes (default [Geom.Grid.default_brute_cutoff]) and
@@ -26,6 +33,7 @@
 val max_power :
   ?pool:Parallel.Pool.t ->
   ?cutoff:int ->
+  ?env:Radio.Env.t ->
   Radio.Pathloss.t -> Geom.Vec2.t array -> Graphkit.Ugraph.t
 
 (** [rng ?pool pathloss positions]: keep [(u,v)] of [G_R] unless some
@@ -33,6 +41,7 @@ val max_power :
     criterion). *)
 val rng :
   ?pool:Parallel.Pool.t ->
+  ?env:Radio.Env.t ->
   Radio.Pathloss.t -> Geom.Vec2.t array -> Graphkit.Ugraph.t
 
 (** [gabriel ?pool pathloss positions]: keep [(u,v)] of [G_R] unless
@@ -40,18 +49,21 @@ val rng :
     ([d2(u,w) + d2(v,w) < d2(u,v)]). *)
 val gabriel :
   ?pool:Parallel.Pool.t ->
+  ?env:Radio.Env.t ->
   Radio.Pathloss.t -> Geom.Vec2.t array -> Graphkit.Ugraph.t
 
 (** [euclidean_mst pathloss positions]: minimum spanning forest of [G_R]
     under Euclidean edge lengths.  (Kruskal is inherently sequential, so
     no [?pool] here.) *)
 val euclidean_mst :
+  ?env:Radio.Env.t ->
   Radio.Pathloss.t -> Geom.Vec2.t array -> Graphkit.Ugraph.t
 
 (** [knn ?pool pathloss positions ~k]: symmetric closure of each node's
     [k] nearest in-range neighbors. *)
 val knn :
   ?pool:Parallel.Pool.t ->
+  ?env:Radio.Env.t ->
   Radio.Pathloss.t -> Geom.Vec2.t array -> k:int -> Graphkit.Ugraph.t
 
 (** [radius_of pathloss positions g] is the per-node transmission radius

@@ -1,4 +1,9 @@
-let smecn (energy : Radio.Energy.t) positions =
+let smecn ?env (energy : Radio.Energy.t) positions =
+  let env =
+    match env with
+    | Some env when not (Radio.Env.is_trivial env) -> Some env
+    | _ -> None
+  in
   let n = Array.length positions in
   let pathloss = energy.Radio.Energy.pathloss in
   let cost u v =
@@ -8,7 +13,14 @@ let smecn (energy : Radio.Energy.t) positions =
   for u = 0 to n - 1 do
     for v = u + 1 to n - 1 do
       let dist = Geom.Vec2.dist positions.(u) positions.(v) in
-      if Radio.Pathloss.in_range pathloss ~dist then begin
+      let member =
+        match env with
+        | Some env ->
+            Radio.Env.in_range env ~u ~v ~pu:positions.(u) ~pv:positions.(v)
+              ~dist
+        | None -> Radio.Pathloss.in_range pathloss ~dist
+      in
+      if member then begin
         let direct = cost u v in
         let blocked = ref false in
         for w = 0 to n - 1 do

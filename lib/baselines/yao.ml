@@ -3,12 +3,19 @@ let yao_out_degree_bound ~k = k
 (* Per-sector selection for one node over a candidate id list.  Ties on
    distance keep the lowest-id node: candidates are examined in
    increasing id, matching the brute-force scan's order. *)
-let select_sectors pathloss positions u ~k ~sector_width best candidates =
+let select_sectors ?env pathloss positions u ~k ~sector_width best candidates =
   List.iter
     (fun v ->
       if v <> u then begin
         let dist = Geom.Vec2.dist positions.(u) positions.(v) in
-        if Radio.Pathloss.in_range pathloss ~dist then begin
+        let member =
+          match env with
+          | Some env ->
+              Radio.Env.in_range env ~u ~v ~pu:positions.(u)
+                ~pv:positions.(v) ~dist
+          | None -> Radio.Pathloss.in_range pathloss ~dist
+        in
+        if member then begin
           let dir =
             Geom.Vec2.direction ~from:positions.(u) ~toward:positions.(v)
           in
@@ -22,7 +29,7 @@ let select_sectors pathloss positions u ~k ~sector_width best candidates =
       end)
     candidates
 
-let build ?pool pathloss positions ~k ~candidates_of =
+let build ?pool ?env pathloss positions ~k ~candidates_of =
   if k < 3 then invalid_arg "Yao.yao: k < 3";
   let n = Array.length positions in
   let sector_width = Geom.Angle.two_pi /. Stdlib.float_of_int k in
@@ -33,7 +40,7 @@ let build ?pool pathloss positions ~k ~candidates_of =
   let body lo hi =
     for u = lo to hi - 1 do
       let best = Array.make k None in
-      select_sectors pathloss positions u ~k ~sector_width best
+      select_sectors ?env pathloss positions u ~k ~sector_width best
         (candidates_of u);
       selected.(u) <-
         Array.fold_left
@@ -50,22 +57,30 @@ let build ?pool pathloss positions ~k ~candidates_of =
     selected;
   g
 
-let yao ?pool ?(cutoff = Geom.Grid.default_brute_cutoff) pathloss positions ~k
-    =
+let yao ?pool ?(cutoff = Geom.Grid.default_brute_cutoff) ?env pathloss
+    positions ~k =
+  let env =
+    match env with
+    | Some env when not (Radio.Env.is_trivial env) -> Some env
+    | _ -> None
+  in
   let n = Array.length positions in
   let inline = match pool with None -> true | Some _ -> false in
   if n < cutoff && inline then
     let all = List.init n Fun.id in
-    build pathloss positions ~k ~candidates_of:(fun _ -> all)
+    build ?env pathloss positions ~k ~candidates_of:(fun _ -> all)
   else begin
     let grid =
       Geom.Grid.create ~range:(Radio.Pathloss.max_range pathloss) positions
     in
     let reach =
-      Radio.Pathloss.reach_distance pathloss
-        ~power:(Radio.Pathloss.max_power pathloss)
+      match env with
+      | Some env -> Radio.Env.max_reach env
+      | None ->
+          Radio.Pathloss.reach_distance pathloss
+            ~power:(Radio.Pathloss.max_power pathloss)
     in
-    build ?pool pathloss positions ~k ~candidates_of:(fun u ->
+    build ?pool ?env pathloss positions ~k ~candidates_of:(fun u ->
         List.sort Int.compare
           (Geom.Grid.fold_in_range grid positions.(u) ~dist:reach ~init:[]
              ~f:(fun acc v -> if v = u then acc else v :: acc)))

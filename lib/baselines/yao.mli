@@ -17,10 +17,13 @@
     at small [n] and yields the identical graph; [~cutoff:0] forces the
     grid path.  With [?pool] the per-node sector selections run chunked
     over the pool (bit-identical output for any pool size).
+    With a non-trivial [?env] ({!Radio.Env}) the graph is restricted to
+    [G_R^env] edges instead (nearest-in-sector stays distance-ordered).
     @raise Invalid_argument when [k < 3]. *)
 val yao :
   ?pool:Parallel.Pool.t ->
   ?cutoff:int ->
+  ?env:Radio.Env.t ->
   Radio.Pathloss.t -> Geom.Vec2.t array -> k:int -> Graphkit.Ugraph.t
 
 (** [yao_out_degree_bound ~k] is the out-degree bound [k] (each sector

@@ -82,7 +82,7 @@ let check_reliability r =
 let run ?(obs = Obs.Recorder.nil) ?(channel = Dsim.Channel.reliable)
     ?(hello_repeats = 1) ?(seed = 1) ?(start_spread = 0.)
     ?(reliability = legacy) ?(faults = Faults.Plan.empty)
-    ?(policy = Dsim.Eventq.Fifo) ?(mutant = false) config pathloss
+    ?(policy = Dsim.Eventq.Fifo) ?(mutant = false) ?env config pathloss
     positions =
   check_growth config;
   if hello_repeats < 1 then invalid_arg "Distributed.run: hello_repeats < 1";
@@ -93,7 +93,7 @@ let run ?(obs = Obs.Recorder.nil) ?(channel = Dsim.Channel.reliable)
   let sim = Dsim.Sim.create ~obs ~policy () in
   let prng = Prng.create ~seed in
   let net =
-    Airnet.Net.create ~obs ~sim ~pathloss ~channel ~prng:(Prng.split prng)
+    Airnet.Net.create ~obs ?env ~sim ~pathloss ~channel ~prng:(Prng.split prng)
       ~positions ()
   in
   let steps = Config.power_steps config ~pathloss ~link_powers:[] in

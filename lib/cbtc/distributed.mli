@@ -135,6 +135,12 @@ type outcome = {
       are sorted by id), so the mutant is invisible to every
       single-schedule test — only schedule exploration catches it.
       Never enable outside the harness.
+    - [env] ({!Radio.Env}) switches the simulated radio to the
+      per-link propagation environment: hello audiences and reception
+      powers carry the realized excess loss, so nodes discover the
+      {e env} link powers (reception-power estimation recovers exactly
+      the realized link power, not the geometric one).  Trivial or
+      omitted environments are bit-identical to the pure model.
 
     @raise Invalid_argument if [config.growth] is [Exact], if
     [hello_repeats < 1], if [start_spread < 0], or if [reliability] is
@@ -150,6 +156,7 @@ val run :
   ?faults:Faults.Plan.t ->
   ?policy:Dsim.Eventq.policy ->
   ?mutant:bool ->
+  ?env:Radio.Env.t ->
   Config.t ->
   Radio.Pathloss.t ->
   Geom.Vec2.t array ->

@@ -14,6 +14,30 @@ let consider pathloss positions u v acc =
     else acc
   end
 
+(* Env counterpart of [consider]: membership and link power come from
+   the environment's per-pair excess.  Only reached through [real_env],
+   so the sigma = 0 / no-attenuation pipeline never leaves the
+   bit-identical [consider] path above. *)
+let consider_env env positions u v acc =
+  if v = u then acc
+  else begin
+    let pu = positions.(u) and pv = positions.(v) in
+    let dist = Geom.Vec2.dist pu pv in
+    let link_power = Radio.Env.link_power env ~u ~v ~pu ~pv ~dist in
+    if link_power <= Radio.Env.max_link_cap env then begin
+      let dir = Geom.Vec2.direction ~from:pu ~toward:pv in
+      Neighbor.make ~id:v ~dir ~link_power ~tag:link_power :: acc
+    end
+    else acc
+  end
+
+(* Collapse a trivial environment to [None] once, at the entry of every
+   wired function: downstream the [None] branch is the pre-env code,
+   byte for byte, so sigma = 0 stays bit-identical by construction. *)
+let real_env = function
+  | Some env when not (Radio.Env.is_trivial env) -> Some env
+  | _ -> None
+
 let check_node positions u =
   if u < 0 || u >= Array.length positions then
     invalid_arg "Geo.candidates: node out of range"
@@ -22,21 +46,40 @@ let max_reach pathloss =
   Radio.Pathloss.reach_distance pathloss
     ~power:(Radio.Pathloss.max_power pathloss)
 
-let candidates ?grid ?(alive = fun _ -> true) pathloss positions u =
+let candidates ?grid ?(alive = fun _ -> true) ?env pathloss positions u =
   check_node positions u;
   let acc =
-    match grid with
-    | Some grid ->
-        Geom.Grid.fold_in_range grid positions.(u) ~dist:(max_reach pathloss)
-          ~init:[]
-          ~f:(fun acc v ->
-            if alive v then consider pathloss positions u v acc else acc)
-    | None ->
-        let acc = ref [] in
-        for v = 0 to Array.length positions - 1 do
-          if alive v then acc := consider pathloss positions u v !acc
-        done;
-        !acc
+    match real_env env with
+    | Some env -> begin
+        (* the grid probe inflates the radius to the env's headroom
+           (shadowing may admit pairs beyond the pathloss reach); the
+           exact env predicate decides membership *)
+        match grid with
+        | Some grid ->
+            Geom.Grid.fold_in_range grid positions.(u)
+              ~dist:(Radio.Env.max_reach env) ~init:[]
+              ~f:(fun acc v ->
+                if alive v then consider_env env positions u v acc else acc)
+        | None ->
+            let acc = ref [] in
+            for v = 0 to Array.length positions - 1 do
+              if alive v then acc := consider_env env positions u v !acc
+            done;
+            !acc
+      end
+    | None -> (
+        match grid with
+        | Some grid ->
+            Geom.Grid.fold_in_range grid positions.(u)
+              ~dist:(max_reach pathloss) ~init:[]
+              ~f:(fun acc v ->
+                if alive v then consider pathloss positions u v acc else acc)
+        | None ->
+            let acc = ref [] in
+            for v = 0 to Array.length positions - 1 do
+              if alive v then acc := consider pathloss positions u v !acc
+            done;
+            !acc)
   in
   List.sort Neighbor.compare_by_link_power acc
 
@@ -64,14 +107,40 @@ let brute_max_power_graph pathloss positions =
   done;
   g
 
-let max_power_graph ?pool ?(cutoff = Geom.Grid.default_brute_cutoff) pathloss
-    positions =
+(* G_R^env: edges are pairs whose env link power fits the maximum
+   power — the realized reachability graph guarantees are stated
+   against when an environment is in play. *)
+let env_in_range env positions u v =
+  let pu = positions.(u) and pv = positions.(v) in
+  let dist = Geom.Vec2.dist pu pv in
+  Radio.Env.in_range env ~u ~v ~pu ~pv ~dist
+
+let brute_max_power_graph_env env positions =
+  let n = Array.length positions in
+  let g = Graphkit.Ugraph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if env_in_range env positions u v then Graphkit.Ugraph.add_edge g u v
+    done
+  done;
+  g
+
+let max_power_graph ?pool ?(cutoff = Geom.Grid.default_brute_cutoff) ?env
+    pathloss positions =
+  let env = real_env env in
   let n = Array.length positions in
   let inline = match pool with None -> true | Some _ -> false in
-  if n < cutoff && inline then brute_max_power_graph pathloss positions
+  if n < cutoff && inline then
+    match env with
+    | Some env -> brute_max_power_graph_env env positions
+    | None -> brute_max_power_graph pathloss positions
   else begin
     let grid = make_grid pathloss positions in
-    let reach = max_reach pathloss in
+    let reach =
+      match env with
+      | Some env -> Radio.Env.max_reach env
+      | None -> max_reach pathloss
+    in
     (* per-node upper adjacency, then a sequential merge: adjacency sets
        make insertion order irrelevant, and the per-u lists are written
        to disjoint slots, so grid, pool and brute paths all build equal
@@ -84,8 +153,12 @@ let max_power_graph ?pool ?(cutoff = Geom.Grid.default_brute_cutoff) pathloss
               ~f:(fun acc v ->
                 if
                   v > u
-                  && Radio.Pathloss.in_range pathloss
-                       ~dist:(Geom.Vec2.dist positions.(u) positions.(v))
+                  &&
+                  match env with
+                  | Some env -> env_in_range env positions u v
+                  | None ->
+                      Radio.Pathloss.in_range pathloss
+                        ~dist:(Geom.Vec2.dist positions.(u) positions.(v))
                 then v :: acc
                 else acc)
         done);
@@ -131,8 +204,8 @@ let grow_node ~alpha ~max_power cands steps =
    within range of [u], so re-growing only the nodes an event can affect
    (the incremental daemon engine) is provably equivalent to a full
    recompute of every node. *)
-let grow_one ?grid ?alive config pathloss positions u =
-  let cands = candidates ?grid ?alive pathloss positions u in
+let grow_one ?grid ?alive ?env config pathloss positions u =
+  let cands = candidates ?grid ?alive ?env pathloss positions u in
   let link_powers = List.map (fun (nb : Neighbor.t) -> nb.link_power) cands in
   let steps = Config.power_steps config ~pathloss ~link_powers in
   let discovered, power, boundary, _nsteps =
@@ -322,6 +395,47 @@ let collect ?grid ?alive pathloss positions s u =
       done);
   !m
 
+(* Env counterpart of [collect]: the probe radius is the env's inflated
+   [max_reach] and the exact test is the env link power against the
+   hoisted cap.  Kept separate from [collect] so the hot sigma = 0 path
+   keeps its exact float spellings (and pays no per-candidate env
+   dispatch). *)
+let collect_env ?grid ?alive env positions s u =
+  check_node positions u;
+  let cap = Radio.Env.max_link_cap env in
+  let reach = Radio.Env.max_reach env in
+  let pre = (reach *. (1. +. 1e-9)) +. 1e-9 in
+  let pre2 = pre *. pre in
+  let pu = positions.(u) in
+  let m = ref 0 in
+  let consider v =
+    if v <> u && (match alive with None -> true | Some a -> a v) then begin
+      let pv = positions.(v) in
+      let dx = pv.Geom.Vec2.x -. pu.Geom.Vec2.x
+      and dy = pv.Geom.Vec2.y -. pu.Geom.Vec2.y in
+      let d2 = (dx *. dx) +. (dy *. dy) in
+      if d2 <= pre2 then begin
+        let dist = sqrt d2 in
+        let link = Radio.Env.link_power env ~u ~v ~pu ~pv ~dist in
+        if link <= cap then begin
+          let i = !m in
+          if i >= s.cap then scratch_grow s (i + 1);
+          s.cand.(i) <- v;
+          fset s.link i link;
+          m := i + 1
+        end
+      end
+    end
+  in
+  (match grid with
+  | Some grid ->
+      Geom.Grid.iter_in_range grid positions.(u) ~dist:reach consider
+  | None ->
+      for v = 0 to Array.length positions - 1 do
+        consider v
+      done);
+  !m
+
 (* In-place heapsort of [perm.(0..m-1)] by (link power, id) — the
    [Neighbor.compare_by_link_power] order.  No per-node allocation. *)
 let sort_perm s m =
@@ -484,8 +598,12 @@ let schedule_final = function
    properties in test/test_csr.ml).  The discovered rows stay resident
    in the scratch for the caller to read through [row_id] & co, so an
    incremental engine can re-grow one node with zero list allocation. *)
-let grow_into ?grid ?alive ~schedule s config pathloss positions u =
-  let m = collect ?grid ?alive pathloss positions s u in
+let grow_into ?grid ?alive ?env ~schedule s config pathloss positions u =
+  let m =
+    match real_env env with
+    | Some env -> collect_env ?grid ?alive env positions s u
+    | None -> collect ?grid ?alive pathloss positions s u
+  in
   let k, power, boundary, _nsteps =
     grow_scratch s ~positions ~u ~alpha:config.Config.alpha
       ~max_power:(Radio.Pathloss.max_power pathloss)
@@ -534,7 +652,8 @@ let rowbuf_append b s k =
   done;
   b.len <- b.len + k
 
-let run_flat ?pool ?(obs = Obs.Recorder.nil) config pathloss positions =
+let run_flat ?pool ?(obs = Obs.Recorder.nil) ?env config pathloss positions =
+  let env = real_env env in
   let n = Array.length positions in
   let grid = make_grid pathloss positions in
   if Obs.Recorder.enabled obs then
@@ -571,13 +690,18 @@ let run_flat ?pool ?(obs = Obs.Recorder.nil) config pathloss positions =
   in
   let nchunks = if n = 0 then 0 else ((n + chunk - 1) / chunk) in
   let bufs = Array.init nchunks (fun _ -> rowbuf_create ()) in
+  let collect_with s u =
+    match env with
+    | Some env -> collect_env ~grid env positions s u
+    | None -> collect ~grid pathloss positions s u
+  in
   (match pool with
   | Some pool ->
       Parallel.Pool.iter_chunks pool ~chunk n (fun lo hi ->
           let s = scratch_create () in
           let b = bufs.(lo / chunk) in
           for u = lo to hi - 1 do
-            let m = collect ~grid pathloss positions s u in
+            let m = collect_with s u in
             let k, pw, bd, ns = grow_scratch s ~positions ~u ~alpha ~max_power ~stepped m in
             off.(u + 1) <- k;
             power.(u) <- pw;
@@ -593,7 +717,7 @@ let run_flat ?pool ?(obs = Obs.Recorder.nil) config pathloss positions =
         let s = scratch_create () in
         let b = bufs.(0) in
         for u = 0 to n - 1 do
-          let m = collect ~grid pathloss positions s u in
+          let m = collect_with s u in
           let k, pw, bd, ns = grow_scratch s ~positions ~u ~alpha ~max_power ~stepped m in
           off.(u + 1) <- k;
           power.(u) <- pw;
@@ -646,8 +770,8 @@ let run_flat ?pool ?(obs = Obs.Recorder.nil) config pathloss positions =
     boundary;
   }
 
-let run ?pool ?obs config pathloss positions =
-  Soa.to_discovery (run_flat ?pool ?obs config pathloss positions)
+let run ?pool ?obs ?env config pathloss positions =
+  Soa.to_discovery (run_flat ?pool ?obs ?env config pathloss positions)
 
 module Brute = struct
   let candidates pathloss positions u = candidates pathloss positions u

@@ -32,10 +32,19 @@
     [discovery.boundary_nodes] counters plus [discovery.candidates],
     [discovery.degree] and [grid.cell_occupancy] histograms.  Metrics
     are folded in node order after the parallel loop, so they are
-    identical for every pool size. *)
+    identical for every pool size.
+
+    [?env] (here and on every function below) switches discovery to the
+    per-link propagation environment of {!Radio.Env}: grid prefilters
+    probe the sigma-aware inflated [Env.max_reach] radius while the
+    exact env link-power predicate decides membership.  Omitting it, or
+    passing a trivial environment ([Radio.Env.is_trivial]), takes the
+    pre-env code path and is bit-identical to it (pinned by the
+    differential suite in test/test_env.ml). *)
 val run :
   ?pool:Parallel.Pool.t ->
   ?obs:Obs.Recorder.t ->
+  ?env:Radio.Env.t ->
   Config.t -> Radio.Pathloss.t -> Geom.Vec2.t array -> Discovery.t
 
 (** [run_flat ?pool ?obs config pathloss positions] is {!run} without
@@ -49,6 +58,7 @@ val run :
 val run_flat :
   ?pool:Parallel.Pool.t ->
   ?obs:Obs.Recorder.t ->
+  ?env:Radio.Env.t ->
   Config.t -> Radio.Pathloss.t -> Geom.Vec2.t array -> Soa.t
 
 (** [candidates ?grid ?alive pathloss positions u] lists the nodes
@@ -62,6 +72,7 @@ val run_flat :
 val candidates :
   ?grid:Geom.Grid.t ->
   ?alive:(int -> bool) ->
+  ?env:Radio.Env.t ->
   Radio.Pathloss.t -> Geom.Vec2.t array -> int -> Neighbor.t list
 
 (** [grow_one ?grid ?alive config pathloss positions u] is [u]'s
@@ -74,6 +85,7 @@ val candidates :
 val grow_one :
   ?grid:Geom.Grid.t ->
   ?alive:(int -> bool) ->
+  ?env:Radio.Env.t ->
   Config.t -> Radio.Pathloss.t -> Geom.Vec2.t array -> int ->
   Neighbor.t list * float * bool
 
@@ -122,6 +134,7 @@ val schedule_final : schedule -> float
 val grow_into :
   ?grid:Geom.Grid.t ->
   ?alive:(int -> bool) ->
+  ?env:Radio.Env.t ->
   schedule:schedule ->
   scratch ->
   Config.t -> Radio.Pathloss.t -> Geom.Vec2.t array -> int ->
@@ -138,10 +151,13 @@ val row_tag : scratch -> int -> float
     [Geom.Grid.default_brute_cutoff]); below that, and with no pool, the
     triangular brute scan is used — it is faster at small [n] and
     produces the identical graph.  [~cutoff:0] forces the grid path
-    (the differential tests pin grid = brute this way). *)
+    (the differential tests pin grid = brute this way).  With a
+    non-trivial [?env] the result is [G_R^env] — the realized
+    reachability graph under the environment. *)
 val max_power_graph :
   ?pool:Parallel.Pool.t ->
   ?cutoff:int ->
+  ?env:Radio.Env.t ->
   Radio.Pathloss.t -> Geom.Vec2.t array -> Graphkit.Ugraph.t
 
 (** Brute-force O(n²) reference implementations, producing identical

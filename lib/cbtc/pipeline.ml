@@ -60,8 +60,8 @@ let of_discovery ?(obs = Obs.Recorder.nil) (d : Discovery.t) plan =
     basic_radius = Discovery.radius_in d (Discovery.closure d);
   }
 
-let run_oracle ?pool ?obs pathloss positions plan =
-  of_discovery ?obs (Geo.run ?pool ?obs plan.config pathloss positions) plan
+let run_oracle ?pool ?obs ?env pathloss positions plan =
+  of_discovery ?obs (Geo.run ?pool ?obs ?env plan.config pathloss positions) plan
 
 let avg_degree t =
   let n = Graphkit.Ugraph.nb_nodes t.graph in

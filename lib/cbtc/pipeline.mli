@@ -47,11 +47,15 @@ type t = {
     @raise Invalid_argument on config mismatch or an inapplicable op2. *)
 val of_discovery : ?obs:Obs.Recorder.t -> Discovery.t -> plan -> t
 
-(** [run_oracle ?pool ?obs pathloss positions plan] = oracle discovery
-    + [plan], threading [pool] and [obs] through {!Geo.run}. *)
+(** [run_oracle ?pool ?obs ?env pathloss positions plan] = oracle
+    discovery + [plan], threading [pool], [obs] and the optional
+    propagation environment [env] through {!Geo.run}.  The optimization
+    phases operate on the discovered link powers (already env-realized),
+    so no further env plumbing is needed past discovery. *)
 val run_oracle :
   ?pool:Parallel.Pool.t ->
   ?obs:Obs.Recorder.t ->
+  ?env:Radio.Env.t ->
   Radio.Pathloss.t -> Geom.Vec2.t array -> plan -> t
 
 (** [avg_degree t] and [avg_radius t]: the two quantities of Table 1. *)

@@ -1,9 +1,40 @@
+(* With a non-trivial environment the guarantees are stated against the
+   realized reachability graph G_R^env: range, reach and minimality are
+   all judged by the env's per-link power instead of the pure
+   distance-monotone pathloss.  A trivial or absent [env] collapses to
+   the exact pre-env predicates, bit for bit. *)
 let check ?(obs = Obs.Recorder.nil) ?(complete = false) ?(minimal = false)
-    ~alive (d : Discovery.t) =
+    ?env ~alive (d : Discovery.t) =
   Obs.Recorder.span obs "verify" @@ fun () ->
   let n = Discovery.nb_nodes d in
   let alpha = d.config.Config.alpha in
   let pathloss = d.pathloss in
+  let env =
+    match env with
+    | Some e when not (Radio.Env.is_trivial e) -> Some e
+    | _ -> None
+  in
+  let in_range_uv ~u ~v ~dist =
+    match env with
+    | Some e ->
+        Radio.Env.in_range e ~u ~v ~pu:d.positions.(u) ~pv:d.positions.(v)
+          ~dist
+    | None -> Radio.Pathloss.in_range pathloss ~dist
+  in
+  let reaches_uv ~power ~u ~v ~dist =
+    match env with
+    | Some e ->
+        Radio.Env.reaches e ~power ~u ~v ~pu:d.positions.(u)
+          ~pv:d.positions.(v) ~dist
+    | None -> Radio.Pathloss.reaches pathloss ~power ~dist
+  in
+  let link_power_uv ~u ~v ~dist =
+    match env with
+    | Some e ->
+        Radio.Env.link_power e ~u ~v ~pu:d.positions.(u) ~pv:d.positions.(v)
+          ~dist
+    | None -> Radio.Pathloss.power_for_distance pathloss dist
+  in
   let max_power = Radio.Pathloss.max_power pathloss in
   let fail fmt = Fmt.kstr failwith fmt in
   let eps = 1e-9 in
@@ -19,10 +50,10 @@ let check ?(obs = Obs.Recorder.nil) ?(complete = false) ?(minimal = false)
           if not (alive nb.id) then
             fail "Verify: surviving node %d lists crashed neighbor %d" u nb.id;
           let dist = Geom.Vec2.dist pos_u d.positions.(nb.id) in
-          if not (Radio.Pathloss.in_range pathloss ~dist) then
+          if not (in_range_uv ~u ~v:nb.id ~dist) then
             fail "Verify: node %d lists out-of-range neighbor %d (d=%g)" u
               nb.id dist;
-          if not (Radio.Pathloss.reaches pathloss ~power ~dist) then
+          if not (reaches_uv ~power ~u ~v:nb.id ~dist) then
             fail "Verify: node %d cannot reach neighbor %d at power %g" u
               nb.id power;
           if nb.tag > power *. (1. +. eps) +. eps then
@@ -41,7 +72,7 @@ let check ?(obs = Obs.Recorder.nil) ?(complete = false) ?(minimal = false)
         for v = 0 to n - 1 do
           if
             v <> u && alive v
-            && Radio.Pathloss.reaches pathloss ~power
+            && reaches_uv ~power ~u ~v
                  ~dist:(Geom.Vec2.dist pos_u d.positions.(v))
             && not
                  (List.exists
@@ -56,8 +87,8 @@ let check ?(obs = Obs.Recorder.nil) ?(complete = false) ?(minimal = false)
         let strictly_below =
           List.filter
             (fun (nb : Neighbor.t) ->
-              Radio.Pathloss.power_for_distance pathloss
-                (Geom.Vec2.dist pos_u d.positions.(nb.id))
+              link_power_uv ~u ~v:nb.id
+                ~dist:(Geom.Vec2.dist pos_u d.positions.(nb.id))
               < power *. (1. -. 1e-12))
             d.neighbors.(u)
         in
@@ -70,18 +101,23 @@ let check ?(obs = Obs.Recorder.nil) ?(complete = false) ?(minimal = false)
     end
   done
 
-let run ?obs ?complete ?minimal (d : Discovery.t) =
-  check ?obs ?complete ?minimal ~alive:(fun _ -> true) d
+let run ?obs ?complete ?minimal ?env (d : Discovery.t) =
+  check ?obs ?complete ?minimal ?env ~alive:(fun _ -> true) d
 
-let surviving ?complete ~alive (d : Discovery.t) =
+let surviving ?complete ?env ~alive (d : Discovery.t) =
   if Array.length alive <> Discovery.nb_nodes d then
     invalid_arg "Verify.surviving: alive array size mismatch";
-  check ?complete ~minimal:false ~alive:(fun u -> alive.(u)) d
+  check ?complete ~minimal:false ?env ~alive:(fun u -> alive.(u)) d
 
 (* Survivor-induced max-power reachability graph: the fair baseline for
    post-fault connectivity — edges through crashed nodes are gone for any
    algorithm. *)
-let reachability_of_survivors (d : Discovery.t) ~alive =
+let reachability_of_survivors ?env (d : Discovery.t) ~alive =
+  let env =
+    match env with
+    | Some e when not (Radio.Env.is_trivial e) -> Some e
+    | _ -> None
+  in
   let n = Discovery.nb_nodes d in
   let g = Graphkit.Ugraph.create n in
   for u = 0 to n - 1 do
@@ -89,8 +125,15 @@ let reachability_of_survivors (d : Discovery.t) ~alive =
       for v = u + 1 to n - 1 do
         if
           alive.(v)
-          && Radio.Pathloss.in_range d.pathloss
-               ~dist:(Geom.Vec2.dist d.positions.(u) d.positions.(v))
+          &&
+          match env with
+          | Some e ->
+              Radio.Env.in_range e ~u ~v ~pu:d.positions.(u)
+                ~pv:d.positions.(v)
+                ~dist:(Geom.Vec2.dist d.positions.(u) d.positions.(v))
+          | None ->
+              Radio.Pathloss.in_range d.pathloss
+                ~dist:(Geom.Vec2.dist d.positions.(u) d.positions.(v))
         then Graphkit.Ugraph.add_edge g u v
       done
   done;
@@ -129,7 +172,7 @@ type degradation = {
   extra_rounds : int;
 }
 
-let degradation ?reference (o : Distributed.outcome) =
+let degradation ?reference ?env (o : Distributed.outcome) =
   let d = o.Distributed.discovery in
   let alive = o.Distributed.alive in
   let n = Discovery.nb_nodes d in
@@ -153,7 +196,7 @@ let degradation ?reference (o : Distributed.outcome) =
   Array.iteri
     (fun u a -> if a && d.boundary.(u) then incr boundary_survivors)
     alive;
-  let reference_graph = reachability_of_survivors d ~alive in
+  let reference_graph = reachability_of_survivors ?env d ~alive in
   let closure = restrict_to_survivors (Discovery.closure d) ~alive in
   let connectivity_preserved =
     same_partition_on ~alive reference_graph closure
@@ -192,14 +235,16 @@ let guard f =
   | exception Failure msg -> Error msg
   | exception Invalid_argument msg -> Error msg
 
-let check_guarantees ?complete (o : Distributed.outcome) =
-  guard (fun () -> surviving ?complete ~alive:o.Distributed.alive o.Distributed.discovery)
+let check_guarantees ?complete ?env (o : Distributed.outcome) =
+  guard (fun () ->
+      surviving ?complete ?env ~alive:o.Distributed.alive
+        o.Distributed.discovery)
 
 (* Same guarantees check, but on a bare (alive mask, discovery snapshot)
    pair: the adapter the topology daemon's continuous verification calls
    between event batches, where there is no Distributed.outcome. *)
-let check_surviving ?complete ~alive (d : Discovery.t) =
-  guard (fun () -> surviving ?complete ~alive d)
+let check_surviving ?complete ?env ~alive (d : Discovery.t) =
+  guard (fun () -> surviving ?complete ?env ~alive d)
 
 let discovery_equal ~oracle (d : Discovery.t) =
   let ids nbs =

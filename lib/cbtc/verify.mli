@@ -20,9 +20,16 @@
       node physically reachable at the converged power was discovered;
     - with [minimal = true] (exact growth only): the converged power is
       minimal — the neighbors strictly below the final power do not by
-      themselves cover the circle for non-boundary nodes. *)
+      themselves cover the circle for non-boundary nodes.
+
+    With a non-trivial [?env] ({!Radio.Env}) every range/reach/power
+    predicate is judged by the environment's per-link power — the
+    guarantees are restricted to the realized reachability graph
+    [G_R^env].  Omitted or trivial, the pre-env predicates apply
+    bit-identically. *)
 val run :
-  ?obs:Obs.Recorder.t -> ?complete:bool -> ?minimal:bool -> Discovery.t -> unit
+  ?obs:Obs.Recorder.t -> ?complete:bool -> ?minimal:bool ->
+  ?env:Radio.Env.t -> Discovery.t -> unit
 
 (** [surviving ?complete ~alive d] is {!run} restricted to the surviving
     nodes: crashed nodes ([alive.(u) = false]) are skipped entirely, and
@@ -31,7 +38,8 @@ val run :
     reachable {e survivors}.
     @raise Failure on the first violated guarantee.
     @raise Invalid_argument if [alive] does not have one entry per node. *)
-val surviving : ?complete:bool -> alive:bool array -> Discovery.t -> unit
+val surviving :
+  ?complete:bool -> ?env:Radio.Env.t -> alive:bool array -> Discovery.t -> unit
 
 (** Quantified post-fault degradation of a {!Distributed.run} outcome. *)
 type degradation = {
@@ -56,7 +64,9 @@ type degradation = {
 (** [degradation ?reference o] measures [o] without raising.  [reference]
     is typically the fault-free, reliable-channel run of the same
     scenario and only influences [extra_rounds]. *)
-val degradation : ?reference:Distributed.outcome -> Distributed.outcome -> degradation
+val degradation :
+  ?reference:Distributed.outcome -> ?env:Radio.Env.t -> Distributed.outcome ->
+  degradation
 
 (** {1 Invariant adapters}
 
@@ -68,14 +78,16 @@ val degradation : ?reference:Distributed.outcome -> Distributed.outcome -> degra
 (** [check_guarantees ?complete o] is {!surviving} on [o]'s surviving
     nodes, as a [result]. *)
 val check_guarantees :
-  ?complete:bool -> Distributed.outcome -> (unit, string) result
+  ?complete:bool -> ?env:Radio.Env.t -> Distributed.outcome ->
+  (unit, string) result
 
 (** [check_surviving ?complete ~alive d] is {!surviving} on a bare
     (alive mask, discovery snapshot) pair, as a [result] — the adapter
     the topology daemon's continuous verification calls between event
     batches, where no [Distributed.outcome] exists. *)
 val check_surviving :
-  ?complete:bool -> alive:bool array -> Discovery.t -> (unit, string) result
+  ?complete:bool -> ?env:Radio.Env.t -> alive:bool array -> Discovery.t ->
+  (unit, string) result
 
 (** [discovery_equal ~oracle d] checks [d] against the centralized
     oracle's converged state: same neighbor id sets, powers within

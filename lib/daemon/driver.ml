@@ -163,7 +163,7 @@ let validate (params : params) (stream : stream) =
   if Array.length stream.positions < 2 then
     invalid_arg "Daemon.Driver.run: need at least two nodes"
 
-let run ?pool ?obs ?clock ?restore ~params ~config ~pathloss stream =
+let run ?pool ?obs ?clock ?restore ?env ~params ~config ~pathloss stream =
   validate params stream;
   let t_start = match clock with Some c -> Some (c ()) | None -> None in
   let total =
@@ -181,7 +181,7 @@ let run ?pool ?obs ?clock ?restore ~params ~config ~pathloss stream =
   let engine, queue, start_epoch =
     match restore with
     | None ->
-        ( Engine.create ?pool ~shards:params.shards
+        ( Engine.create ?pool ?env ~shards:params.shards
             ~watchdog_frac:params.watchdog_frac config pathloss
             stream.positions,
           Equeue.create ~capacity:params.queue_cap,
@@ -197,7 +197,7 @@ let run ?pool ?obs ?clock ?restore ~params ~config ~pathloss stream =
           Source.fast_forward src ~until:(boundary ep)
         done;
         let engine =
-          Engine.create ?pool ~alive:c.alive ~shards:params.shards
+          Engine.create ?pool ~alive:c.alive ?env ~shards:params.shards
             ~watchdog_frac:params.watchdog_frac config pathloss c.positions
         in
         let queue = Equeue.restore ~capacity:params.queue_cap c.backlog in
@@ -223,7 +223,7 @@ let run ?pool ?obs ?clock ?restore ~params ~config ~pathloss stream =
   let verify () =
     incr verify_checks;
     (match
-       Cbtc.Verify.check_surviving
+       Cbtc.Verify.check_surviving ?env
          ~alive:(Array.init n (Engine.alive engine))
          (Engine.discovery engine)
      with
@@ -238,7 +238,9 @@ let run ?pool ?obs ?clock ?restore ~params ~config ~pathloss stream =
       if Engine.alive engine u <> truth_alive.(u) then Stdlib.incr lag
     done;
     let reference =
-      restrict (Cbtc.Geo.max_power_graph ?pool pathloss truth_pos) truth_alive
+      restrict
+        (Cbtc.Geo.max_power_graph ?pool ?env pathloss truth_pos)
+        truth_alive
     in
     let tracked = restrict (Engine.topology engine) truth_alive in
     let d =

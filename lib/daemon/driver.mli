@@ -105,6 +105,7 @@ val run :
   ?obs:Obs.Recorder.t ->
   ?clock:(unit -> float) ->
   ?restore:Checkpoint.t ->
+  ?env:Radio.Env.t ->
   params:params ->
   config:Cbtc.Config.t ->
   pathloss:Radio.Pathloss.t ->

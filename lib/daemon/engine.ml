@@ -61,6 +61,10 @@ let default_watchdog_frac = 1.0
 type t = {
   config : Cbtc.Config.t;
   pathloss : Radio.Pathloss.t;
+  (* non-trivial propagation environment, or [None] for the pure
+     pathloss model (trivial envs are collapsed at [create], so sigma=0
+     streams run the pre-env code bit for bit) *)
+  env : Radio.Env.t option;
   schedule : Cbtc.Geo.schedule;
   positions : Geom.Vec2.t array;
   alive : bool array;
@@ -108,8 +112,8 @@ let grid_health t = Geom.Grid.health t.grid
 let grow_node t s u =
   let alive_fn v = t.alive.(v) in
   let k, p, b =
-    Cbtc.Geo.grow_into ~grid:t.grid ~alive:alive_fn ~schedule:t.schedule s
-      t.config t.pathloss t.positions u
+    Cbtc.Geo.grow_into ~grid:t.grid ~alive:alive_fn ?env:t.env
+      ~schedule:t.schedule s t.config t.pathloss t.positions u
   in
   let ids = Array.make k 0 in
   let data = if k = 0 then [||] else Array.make (3 * k) 0. in
@@ -170,11 +174,17 @@ let live_targets t =
   done;
   Array.of_list !acc
 
-let create ?pool ?alive ?(shards = 0) ~watchdog_frac config pathloss positions =
+let create ?pool ?alive ?env ?(shards = 0) ~watchdog_frac config pathloss
+    positions =
   if not (watchdog_frac >= 0.) then
     invalid_arg "Daemon.Engine.create: watchdog_frac must be >= 0";
   if shards < 0 then
     invalid_arg "Daemon.Engine.create: shards must be >= 0";
+  let env =
+    match env with
+    | Some e when not (Radio.Env.is_trivial e) -> Some e
+    | _ -> None
+  in
   let n = Array.length positions in
   let alive =
     match alive with
@@ -192,6 +202,7 @@ let create ?pool ?alive ?(shards = 0) ~watchdog_frac config pathloss positions =
     {
       config;
       pathloss;
+      env;
       schedule = Cbtc.Geo.schedule_of config pathloss;
       positions = Array.copy positions;
       alive;
@@ -201,8 +212,13 @@ let create ?pool ?alive ?(shards = 0) ~watchdog_frac config pathloss positions =
       boundary = Array.make n false;
       grid = Geom.Grid.create ~range:(Radio.Pathloss.max_range pathloss) positions;
       reach =
-        Radio.Pathloss.reach_distance pathloss
-          ~power:(Radio.Pathloss.max_power pathloss);
+        (* with an env, the probe radius is the sigma-aware inflated
+           one bounding the support of G_R^env *)
+        (match env with
+        | Some env -> Radio.Env.max_reach env
+        | None ->
+            Radio.Pathloss.reach_distance pathloss
+              ~power:(Radio.Pathloss.max_power pathloss));
       pl_coeff = Radio.Pathloss.coeff pathloss;
       pl_exponent = Radio.Pathloss.exponent pathloss;
       reach_cap =
@@ -260,7 +276,12 @@ let mark t u =
    Already-dirty nodes skip the test (their tracked power may be stale,
    but the dirty set is monotone within an epoch, so the induction
    above only ever consults clean nodes' powers). *)
-let mark_around t p =
+(* [u] is the disturbed node and [p] the position of its disturbance
+   (old or new); under an env the link power is the env's — computed
+   with the kernel's own spelling (collect_env's sqrt-of-squares dist
+   into [Radio.Env.link_power], whose excess is symmetric in the pair),
+   so the cut stays exact, not tolerance-based, in both models. *)
+let mark_around t u p =
   let pc = t.pl_coeff and pe = t.pl_exponent in
   let px = p.Geom.Vec2.x and py = p.Geom.Vec2.y in
   Geom.Grid.iter_in_range t.grid p ~dist:t.reach (fun v ->
@@ -268,7 +289,11 @@ let mark_around t p =
         let pv = t.positions.(v) in
         let dx = px -. pv.Geom.Vec2.x and dy = py -. pv.Geom.Vec2.y in
         let dist = sqrt ((dx *. dx) +. (dy *. dy)) in
-        let link = pc *. (dist ** pe) in
+        let link =
+          match t.env with
+          | Some env -> Radio.Env.link_power env ~u ~v ~pu:p ~pv ~dist
+          | None -> pc *. (dist ** pe)
+        in
         let pw = fget t.power v in
         let cut =
           if t.boundary.(v) || pw >= t.final_step then t.reach_cap else pw
@@ -295,9 +320,9 @@ let apply t (e : Event.t) =
   | Event.Move p ->
       t.stats.moves <- t.stats.moves + 1;
       if t.alive.(u) then begin
-        mark_around t t.positions.(u);
+        mark_around t u t.positions.(u);
         set_position t u p;
-        mark_around t p;
+        mark_around t u p;
         mark t u
       end
       else
@@ -310,22 +335,22 @@ let apply t (e : Event.t) =
         t.alive.(u) <- false;
         t.live <- t.live - 1;
         clear_node t u;
-        mark_around t t.positions.(u)
+        mark_around t u t.positions.(u)
       end
   | Event.Join p ->
       t.stats.joins <- t.stats.joins + 1;
       if t.alive.(u) then begin
         (* duplicate join = a move *)
-        mark_around t t.positions.(u);
+        mark_around t u t.positions.(u);
         set_position t u p;
-        mark_around t p;
+        mark_around t u p;
         mark t u
       end
       else begin
         set_position t u p;
         t.alive.(u) <- true;
         t.live <- t.live + 1;
-        mark_around t p;
+        mark_around t u p;
         mark t u
       end
 
@@ -412,7 +437,8 @@ let check_full_equivalence ?pool t =
   let check u =
     if t.alive.(u) then begin
       let nbs, p, b =
-        Cbtc.Geo.grow_one ~grid ~alive:alive_fn t.config t.pathloss t.positions u
+        Cbtc.Geo.grow_one ~grid ~alive:alive_fn ?env:t.env t.config t.pathloss
+          t.positions u
       in
       let nb_eq (nb : Cbtc.Neighbor.t) r =
         nb.id = t.nbr_ids.(u).(r)

@@ -40,12 +40,16 @@ val default_watchdog_frac : float
     [> 1.] = never).  [shards] is the number of spatial shards a
     pooled commit partitions its targets into (0, the default, derives
     one shard per pool chunk); results are bit-identical for every
-    value.
+    value.  [env] ({!Radio.Env}) switches per-node discovery and the
+    dirty-propagation cut to the per-link propagation environment;
+    trivial environments ([Radio.Env.is_trivial]) are collapsed away,
+    so sigma = 0 runs the pure pathloss code bit for bit.
     @raise Invalid_argument on a negative [watchdog_frac] or [shards],
     or an [alive] mask of the wrong length. *)
 val create :
   ?pool:Parallel.Pool.t ->
   ?alive:bool array ->
+  ?env:Radio.Env.t ->
   ?shards:int ->
   watchdog_frac:float ->
   Cbtc.Config.t -> Radio.Pathloss.t -> Geom.Vec2.t array -> t

@@ -45,13 +45,20 @@ let rx_power t ~tx_power ~dist =
   if tx_power < 0. then invalid_arg "Pathloss.rx_power: negative power";
   tx_power /. (Float.max dist reference_distance ** t.exponent)
 
+(* Below the reference distance the rx-power clamp erases distance
+   information (rx = tx for every d < d0), so the raw recovery
+   [c * tx / rx] resp. [(tx / rx)^(1/n)] under-reports for noisy or
+   out-of-model inputs.  Saturate at the d0 image: the estimators
+   return exactly [p(max(d, d0))] and [max(d, d0)] for model-generated
+   inputs over all of (0, R] — pinned by the qcheck round-trip
+   properties in test/test_radio.ml. *)
 let estimate_link_power t ~tx_power ~rx_power =
   if rx_power <= 0. then invalid_arg "Pathloss.estimate_link_power";
-  t.coeff *. tx_power /. rx_power
+  Float.max t.coeff (t.coeff *. tx_power /. rx_power)
 
 let estimate_distance t ~tx_power ~rx_power =
   if rx_power <= 0. then invalid_arg "Pathloss.estimate_distance";
-  (tx_power /. rx_power) ** (1. /. t.exponent)
+  Float.max reference_distance ((tx_power /. rx_power) ** (1. /. t.exponent))
 
 let pp ppf t =
   Fmt.pf ppf "pathloss(p(d)=%g*d^%g, R=%g, P=%g)" t.coeff t.exponent

@@ -63,12 +63,23 @@ val reach_distance : t -> power:float -> float
     sent with [tx_power] from distance [dist]. *)
 val rx_power : t -> tx_power:float -> dist:float -> float
 
-(** [estimate_link_power t ~tx_power ~rx_power] recovers [p(d)] from the
-    transmission and reception powers, per the paper's assumption.  Exact
-    for [dist >= 1]. *)
+(** [estimate_link_power t ~tx_power ~rx_power] recovers the link power
+    from the transmission and reception powers, per the paper's
+    assumption.
+
+    {b Contract.}  Reception power is clamped at the reference distance
+    [d0 = 1] ({!rx_power}), so no distance information survives below
+    it: the recovery is saturated there rather than left non-invertible.
+    For model-generated inputs ([rx_power t ~tx_power ~dist:d]) the
+    result is exactly [power_for_distance t (max d d0)] for every
+    [d] in [(0, R]] — equal to [p(d)] for [d >= d0], and [p(d0)]
+    (an upper bound on [p(d)]) below it. *)
 val estimate_link_power : t -> tx_power:float -> rx_power:float -> float
 
-(** [estimate_distance t ~tx_power ~rx_power] recovers [d] similarly. *)
+(** [estimate_distance t ~tx_power ~rx_power] recovers the distance
+    similarly, clamped to the reference distance: for model-generated
+    inputs the result is exactly [max d d0] over [(0, R]] — never less
+    than [d0], and never an underestimate of the true distance. *)
 val estimate_distance : t -> tx_power:float -> rx_power:float -> float
 
 val pp : t Fmt.t

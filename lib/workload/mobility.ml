@@ -2,6 +2,19 @@ type params = { speed_lo : float; speed_hi : float; pause : float }
 
 let default_params = { speed_lo = 5.; speed_hi = 20.; pause = 2. }
 
+(* Shared by both models.  Float.is_finite also rejects NaN, which
+   slips through plain comparisons (every NaN comparison is false, so
+   [speed_lo <= 0.] and [speed_hi < speed_lo] both pass on NaN). *)
+let validate_params ~who params =
+  if
+    (not (Float.is_finite params.speed_lo))
+    || (not (Float.is_finite params.speed_hi))
+    || params.speed_lo <= 0.
+    || params.speed_hi < params.speed_lo
+  then invalid_arg (who ^ ": bad speed range");
+  if (not (Float.is_finite params.pause)) || params.pause < 0. then
+    invalid_arg (who ^ ": negative pause")
+
 type node = {
   mutable pos : Geom.Vec2.t;
   mutable waypoint : Geom.Vec2.t;
@@ -27,9 +40,7 @@ let draw_speed t =
   else Prng.uniform t.prng ~lo:t.params.speed_lo ~hi:t.params.speed_hi
 
 let create prng ~field ~params positions =
-  if params.speed_lo <= 0. || params.speed_hi < params.speed_lo then
-    invalid_arg "Mobility.create: bad speed range";
-  if params.pause < 0. then invalid_arg "Mobility.create: negative pause";
+  validate_params ~who:"Mobility.create" params;
   let t =
     {
       prng;
@@ -115,8 +126,7 @@ module Direction = struct
     else Prng.uniform t.prng ~lo:t.params.speed_lo ~hi:t.params.speed_hi
 
   let create prng ~field ~params positions =
-    if params.speed_lo <= 0. || params.speed_hi < params.speed_lo then
-      invalid_arg "Mobility.Direction.create: bad speed range";
+    validate_params ~who:"Mobility.Direction.create" params;
     let t =
       {
         prng;

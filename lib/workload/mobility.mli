@@ -10,10 +10,21 @@ type params = {
 
 val default_params : params
 
+(** [validate_params ~who params] checks the invariant {!create}
+    enforces — finite [0 < speed_lo <= speed_hi] and finite
+    [pause >= 0] — raising [Invalid_argument] with a [who]-prefixed
+    message otherwise.  Exposed so front ends can reject bad
+    user-supplied parameters eagerly (e.g. at argument-parsing time)
+    instead of deep inside a run. *)
+val validate_params : who:string -> params -> unit
+
 type t
 
 (** [create prng ~field ~params positions] starts each node at its given
-    position with a fresh waypoint. *)
+    position with a fresh waypoint.
+    @raise Invalid_argument unless [0 < speed_lo <= speed_hi],
+    [pause >= 0], and all three are finite (NaN and infinities are
+    rejected). *)
 val create :
   Prng.t -> field:Placement.field -> params:params -> Geom.Vec2.t array -> t
 
@@ -50,7 +61,8 @@ module Direction : sig
   type t
 
   (** [create prng ~field ~params positions] — [params.pause] applies at
-      each reflection. *)
+      each reflection.  Validates [params] exactly like {!Mobility.create}
+      (finite [0 < speed_lo <= speed_hi], finite [pause >= 0]). *)
   val create :
     Prng.t -> field:Placement.field -> params:params -> Geom.Vec2.t array -> t
 

@@ -11,15 +11,31 @@ let uniform prng ~field ~n =
   Array.init n (fun _ ->
       Geom.Vec2.make (Prng.float prng field.width) (Prng.float prng field.height))
 
+(* Out-of-field Gaussian draws are resampled, not clamped: clamping
+   piles the tail mass onto the field boundary, which skews boundary
+   density exactly where the cone condition is most fragile.  The retry
+   count is bounded so PRNG consumption stays finite and deterministic
+   (a draw sequence is a pure function of the seed); only after
+   [max_resample] rejected pairs does the old clamp apply as a
+   fallback. *)
+let max_resample = 64
+
 let clustered prng ~field ~clusters ~n ~sigma =
   if clusters <= 0 then invalid_arg "Placement.clustered: no clusters";
   if sigma <= 0. then invalid_arg "Placement.clustered: non-positive sigma";
   let centers = uniform prng ~field ~n:clusters in
   Array.init n (fun _ ->
       let c = Prng.choose prng centers in
-      let x = clamp 0. field.width (Prng.gaussian prng ~mu:c.Geom.Vec2.x ~sigma) in
-      let y = clamp 0. field.height (Prng.gaussian prng ~mu:c.Geom.Vec2.y ~sigma) in
-      Geom.Vec2.make x y)
+      let rec draw tries =
+        let x = Prng.gaussian prng ~mu:c.Geom.Vec2.x ~sigma in
+        let y = Prng.gaussian prng ~mu:c.Geom.Vec2.y ~sigma in
+        if x >= 0. && x <= field.width && y >= 0. && y <= field.height then
+          Geom.Vec2.make x y
+        else if tries >= max_resample then
+          Geom.Vec2.make (clamp 0. field.width x) (clamp 0. field.height y)
+        else draw (tries + 1)
+      in
+      draw 1)
 
 let grid_jitter prng ~field ~rows ~cols ~jitter =
   if rows <= 0 || cols <= 0 then invalid_arg "Placement.grid_jitter";
@@ -37,3 +53,45 @@ let grid_jitter prng ~field ~rows ~cols ~jitter =
       let dy = draw () in
       Geom.Vec2.make (clamp 0. field.width (cx +. dx))
         (clamp 0. field.height (cy +. dy)))
+
+let obstacle_terrain prng ~field ~count ~radius ~loss_db =
+  if count < 0 then invalid_arg "Placement.obstacle_terrain: negative count";
+  Array.init count (fun _ ->
+      let center =
+        Geom.Vec2.make (Prng.float prng field.width)
+          (Prng.float prng field.height)
+      in
+      Radio.Env.obstacle ~center ~radius ~loss_db)
+
+let obstructed prng ~field ~n ~obstacles =
+  if n < 0 then invalid_arg "Placement.obstructed: negative n";
+  let blocked p =
+    Array.exists
+      (fun (o : Radio.Env.obstacle) ->
+        Geom.Vec2.dist2 o.Radio.Env.center p < o.Radio.Env.radius *. o.Radio.Env.radius)
+      obstacles
+  in
+  Array.init n (fun _ ->
+      let rec draw tries =
+        let p =
+          Geom.Vec2.make (Prng.float prng field.width)
+            (Prng.float prng field.height)
+        in
+        if (not (blocked p)) || tries >= max_resample then p
+        else draw (tries + 1)
+      in
+      draw 1)
+
+let projected_3d prng ~field ~n ~depth =
+  if n < 0 then invalid_arg "Placement.projected_3d: negative n";
+  if depth < 0. then invalid_arg "Placement.projected_3d: negative depth";
+  let positions = Array.make n Geom.Vec2.zero in
+  let heights = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let x = Prng.float prng field.width in
+    let y = Prng.float prng field.height in
+    let z = if depth = 0. then 0. else Prng.float prng depth in
+    positions.(i) <- Geom.Vec2.make x y;
+    heights.(i) <- z
+  done;
+  (positions, heights)

@@ -3,7 +3,9 @@
     The paper's evaluation places 100 nodes uniformly at random in a
     1500 x 1500 region ({!uniform}); {!clustered} and {!grid_jitter}
     provide the denser/sparser regimes used by the examples and
-    ablations. *)
+    ablations, and {!obstacle_terrain} / {!obstructed} /
+    {!projected_3d} feed the non-uniform propagation environments of
+    {!Radio.Env}. *)
 
 type field = { width : float; height : float }
 
@@ -14,7 +16,11 @@ val uniform : Prng.t -> field:field -> n:int -> Geom.Vec2.t array
 
 (** [clustered prng ~field ~clusters ~n ~sigma] places cluster centers
     uniformly, then draws each node from a Gaussian around a uniformly
-    chosen center, clamped to the field. *)
+    chosen center.  Draws landing outside the field are {e resampled}
+    (both coordinates redrawn, bounded retry count, deterministic PRNG
+    consumption) rather than clamped, so no probability mass piles onto
+    the boundary; after the retry budget the clamp applies as a
+    fallback. *)
 val clustered :
   Prng.t -> field:field -> clusters:int -> n:int -> sigma:float ->
   Geom.Vec2.t array
@@ -25,3 +31,26 @@ val clustered :
 val grid_jitter :
   Prng.t -> field:field -> rows:int -> cols:int -> jitter:float ->
   Geom.Vec2.t array
+
+(** [obstacle_terrain prng ~field ~count ~radius ~loss_db] draws [count]
+    attenuating discs with uniform centers — the obstacle /
+    fault-cluster terrain consumed by [Radio.Env.make ~obstacles]. *)
+val obstacle_terrain :
+  Prng.t -> field:field -> count:int -> radius:float -> loss_db:float ->
+  Radio.Env.obstacle array
+
+(** [obstructed prng ~field ~n ~obstacles] draws uniform positions,
+    resampling (bounded retries) any that land inside an obstacle
+    disc — nodes live around the obstacles, links may still cross
+    them. *)
+val obstructed :
+  Prng.t -> field:field -> n:int -> obstacles:Radio.Env.obstacle array ->
+  Geom.Vec2.t array
+
+(** [projected_3d prng ~field ~n ~depth] draws uniform positions in the
+    [field x [0, depth]] box and projects onto the plane, returning the
+    2D positions together with the per-node heights for
+    [Radio.Env.make ~heights]. *)
+val projected_3d :
+  Prng.t -> field:field -> n:int -> depth:float ->
+  Geom.Vec2.t array * float array

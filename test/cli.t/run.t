@@ -165,3 +165,59 @@ be opened fails fast (exit 3) like the other observability sinks.
   Usage: cbtc daemon-sweep [OPTION]…
   Try 'cbtc daemon-sweep --help' or 'cbtc --help' for more information.
   [124]
+
+The propagation-environment flag --sigma must be a finite dB value
+>= 0 (a conv parse error, like any malformed option).
+
+  $ cbtc_cli run --sigma=-1
+  cbtc: option '--sigma': --sigma: -1 is not a finite dB value >= 0
+  Usage: cbtc run [OPTION]…
+  Try 'cbtc run --help' or 'cbtc --help' for more information.
+  [124]
+  $ cbtc_cli run --sigma nope
+  cbtc: option '--sigma': --sigma: nope is not a finite dB value >= 0
+  Usage: cbtc run [OPTION]…
+  Try 'cbtc run --help' or 'cbtc --help' for more information.
+  [124]
+
+A sigma > 0 run is deterministic per (--seed, --shadow-seed): shadowing
+is a hashed pure function of the node pair, not a PRNG stream.  The
+reference graph becomes G_R^env (here denser than G_R: shadowing lets
+some longer links through).
+
+  $ cbtc_cli run --n 30 --seed 5 --sigma 4 --opts all
+  scenario: scenario(n=30, 1500x1500, R=500, n_exp=2, seed=5)
+  config:   CBTC(alpha=2.6180 rad (150.0 deg), growth=exact)
+  edges:    40 (GR has 166)
+  degree:   2.67 (GR 11.07)
+  radius:   251.5 (max power 500)
+  degree distribution: n=30 mean=2.667 sd=1.295 min=1.000 p25=2.000 med=2.000 p75=3.000 max=7.000
+  connectivity preserved: true
+
+The daemon's mobility overrides split syntax from semantics: a --speed
+that is not LO:HI is a parse error (124), while an inverted range or a
+negative pause parses fine and is rejected by the model's own
+validation before any simulation work (exit 2, like a bad --restore).
+
+  $ cbtc_cli daemon --speed 5
+  cbtc: option '--speed': --speed: "5" is not LO:HI (two floats)
+  Usage: cbtc daemon [OPTION]…
+  Try 'cbtc daemon --help' or 'cbtc --help' for more information.
+  [124]
+  $ cbtc_cli daemon --speed oops:3
+  cbtc: option '--speed': --speed: "oops:3" is not LO:HI (two floats)
+  Usage: cbtc daemon [OPTION]…
+  Try 'cbtc daemon --help' or 'cbtc --help' for more information.
+  [124]
+  $ cbtc_cli daemon --speed 10:5
+  daemon: bad speed range
+  [2]
+  $ cbtc_cli daemon --speed 0:5
+  daemon: bad speed range
+  [2]
+  $ cbtc_cli daemon --speed 1e500:1e501
+  daemon: bad speed range
+  [2]
+  $ cbtc_cli daemon --pause=-1
+  daemon: negative pause
+  [2]

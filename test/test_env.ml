@@ -1,0 +1,444 @@
+(* Differential suite for the per-link propagation environment
+   (Radio.Env).
+
+   The load-bearing contract is bit-identity: a trivial environment
+   (sigma = 0, no obstacles, no height loss) must take the exact
+   pre-env code path at every wired site — Geo.run / Geo.run_flat, the
+   proximity/Yao/SMECN baselines, and the daemon engine — at every pool
+   size.  On top of that, the shadowing hash itself must be symmetric,
+   deterministic in (shadow_seed, {u, v}), clamped, and the full env
+   link power float-exactly symmetric (including obstacle crossings,
+   whose segment-distance computation is canonicalized by node id). *)
+
+let v2 = Geom.Vec2.make
+
+let pl = Radio.Pathloss.make ~max_range:100. ()
+
+let alpha56 = Geom.Angle.five_pi_six
+
+let positions_gen =
+  QCheck.Gen.(
+    int_range 2 50 >>= fun n ->
+    list_repeat n
+      (pair (float_bound_exclusive 300.) (float_bound_exclusive 300.))
+    >|= fun pts -> Array.of_list (List.map (fun (x, y) -> v2 x y) pts))
+
+let growth_gen =
+  QCheck.Gen.oneofl
+    [ Cbtc.Config.Exact; Cbtc.Config.Double 25.;
+      Cbtc.Config.Mult { p0 = 100.; factor = 3. } ]
+
+(* A non-trivial environment over the 300x300 test field: shadowing plus
+   a couple of obstacle discs plus height loss, all derived from one
+   seed so properties shrink well. *)
+let env_gen n =
+  QCheck.Gen.(
+    triple (float_range 0.5 8.) (int_range 0 1000) (int_range 0 3)
+    >>= fun (sigma, shadow_seed, nobs) ->
+    list_repeat nobs
+      (triple
+         (pair (float_bound_exclusive 300.) (float_bound_exclusive 300.))
+         (float_range 5. 60.) (float_range 0.5 10.))
+    >>= fun obs ->
+    list_repeat n (float_bound_exclusive 30.) >|= fun heights ->
+    let obstacles =
+      Array.of_list
+        (List.map
+           (fun ((x, y), radius, loss_db) ->
+             Radio.Env.obstacle ~center:(v2 x y) ~radius ~loss_db)
+           obs)
+    in
+    Radio.Env.make ~sigma_db:sigma ~shadow_seed ~obstacles
+      ~heights:(Array.of_list heights) ~height_loss_db:0.5 pl)
+
+(* ---------- structural equality helpers (float-exact) ---------- *)
+
+let neighbor_eq (a : Cbtc.Neighbor.t) (b : Cbtc.Neighbor.t) =
+  a.id = b.id && a.dir = b.dir && a.link_power = b.link_power && a.tag = b.tag
+
+let discovery_eq (a : Cbtc.Discovery.t) (b : Cbtc.Discovery.t) =
+  Cbtc.Discovery.nb_nodes a = Cbtc.Discovery.nb_nodes b
+  && Array.for_all2 (List.equal neighbor_eq) a.neighbors b.neighbors
+  && a.power = b.power && a.boundary = b.boundary
+
+let soa_eq (a : Cbtc.Soa.t) (b : Cbtc.Soa.t) =
+  a.off = b.off && a.ids = b.ids && a.dirs = b.dirs && a.links = b.links
+  && a.tags = b.tags && a.power = b.power && a.boundary = b.boundary
+
+let graph_eq a b =
+  let n = Graphkit.Ugraph.nb_nodes a in
+  n = Graphkit.Ugraph.nb_nodes b
+  && Graphkit.Ugraph.nb_edges a = Graphkit.Ugraph.nb_edges b
+  &&
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    if Graphkit.Ugraph.neighbors a u <> Graphkit.Ugraph.neighbors b u then
+      ok := false
+  done;
+  !ok
+
+(* ---------- sigma = 0 bit-identity at every wired site ---------- *)
+
+let trivial_env = Radio.Env.trivial pl
+
+let prop_trivial_run_identical =
+  QCheck.Test.make ~count:80
+    ~name:"Geo.run: trivial env = no env, bit-exact, at -j 1/2/4"
+    (QCheck.make QCheck.Gen.(pair positions_gen growth_gen))
+    (fun (positions, growth) ->
+      let config = Cbtc.Config.make ~growth alpha56 in
+      let plain = Cbtc.Geo.run config pl positions in
+      discovery_eq plain (Cbtc.Geo.run ~env:trivial_env config pl positions)
+      && List.for_all
+           (fun jobs ->
+             Parallel.Pool.with_pool ~jobs (fun pool ->
+                 discovery_eq plain
+                   (Cbtc.Geo.run ~pool ~env:trivial_env config pl positions)))
+           [ 2; 4 ])
+
+let prop_trivial_run_flat_identical =
+  QCheck.Test.make ~count:80
+    ~name:"Geo.run_flat: trivial env = no env, array-exact"
+    (QCheck.make QCheck.Gen.(pair positions_gen growth_gen))
+    (fun (positions, growth) ->
+      let config = Cbtc.Config.make ~growth alpha56 in
+      soa_eq
+        (Cbtc.Geo.run_flat config pl positions)
+        (Cbtc.Geo.run_flat ~env:trivial_env config pl positions))
+
+let prop_trivial_baselines_identical =
+  QCheck.Test.make ~count:60
+    ~name:"baselines (GR/RNG/Gabriel/MST/kNN/Yao/SMECN): trivial env = no env"
+    (QCheck.make positions_gen)
+    (fun positions ->
+      let e = trivial_env in
+      graph_eq
+        (Baselines.Proximity.max_power pl positions)
+        (Baselines.Proximity.max_power ~env:e pl positions)
+      && graph_eq
+           (Baselines.Proximity.rng pl positions)
+           (Baselines.Proximity.rng ~env:e pl positions)
+      && graph_eq
+           (Baselines.Proximity.gabriel pl positions)
+           (Baselines.Proximity.gabriel ~env:e pl positions)
+      && graph_eq
+           (Baselines.Proximity.euclidean_mst pl positions)
+           (Baselines.Proximity.euclidean_mst ~env:e pl positions)
+      && graph_eq
+           (Baselines.Proximity.knn pl positions ~k:4)
+           (Baselines.Proximity.knn ~env:e pl positions ~k:4)
+      && graph_eq
+           (Baselines.Yao.yao pl positions ~k:6)
+           (Baselines.Yao.yao ~env:e pl positions ~k:6)
+      &&
+      let energy = Radio.Energy.make pl in
+      graph_eq
+        (Baselines.Smecn.smecn energy positions)
+        (Baselines.Smecn.smecn ~env:e energy positions))
+
+(* The daemon engine: a trivial env must leave the digest (full tracked
+   state: positions, liveness, powers, boundary flags, neighbor rows)
+   byte-identical through a little event history, at every pool size. *)
+let prop_trivial_engine_identical =
+  QCheck.Test.make ~count:30
+    ~name:"daemon engine: trivial env = no env, digest-exact, -j 1/2/4"
+    (QCheck.make QCheck.Gen.(pair positions_gen growth_gen))
+    (fun (positions, growth) ->
+      let n = Array.length positions in
+      QCheck.assume (n >= 3);
+      let config = Cbtc.Config.make ~growth alpha56 in
+      let events =
+        [
+          { Daemon.Event.time = 0.1; node = 0;
+            kind = Daemon.Event.Move (v2 10. 20.) };
+          { Daemon.Event.time = 0.2; node = n - 1; kind = Daemon.Event.Leave };
+          { Daemon.Event.time = 0.3; node = 1;
+            kind = Daemon.Event.Move (v2 250. 250.) };
+          { Daemon.Event.time = 0.4; node = n - 1;
+            kind = Daemon.Event.Join (v2 150. 150.) };
+        ]
+      in
+      let digest ?pool ?env () =
+        let eng =
+          Daemon.Engine.create ?pool ?env ~watchdog_frac:1. config pl positions
+        in
+        List.iter (Daemon.Engine.apply eng) events;
+        ignore (Daemon.Engine.commit ?pool eng);
+        Daemon.Engine.digest eng
+      in
+      let plain = digest () in
+      String.equal plain (digest ~env:trivial_env ())
+      && List.for_all
+           (fun jobs ->
+             Parallel.Pool.with_pool ~jobs (fun pool ->
+                 String.equal plain (digest ~pool ~env:trivial_env ())))
+           [ 2; 4 ])
+
+(* ---------- shadowing hash properties ---------- *)
+
+let pair_gen =
+  QCheck.Gen.(
+    triple (float_range 0.1 10.) (int_range 0 10_000)
+      (pair (int_range 0 2000) (int_range 0 2000)))
+
+let prop_shadow_symmetric_deterministic =
+  QCheck.Test.make ~count:500
+    ~name:"shadow_db: symmetric, seed-deterministic, clamped"
+    (QCheck.make pair_gen)
+    (fun (sigma, seed, (u, v)) ->
+      let e = Radio.Env.make ~sigma_db:sigma ~shadow_seed:seed pl in
+      let e' = Radio.Env.make ~sigma_db:sigma ~shadow_seed:seed pl in
+      let x = Radio.Env.shadow_db e ~u ~v in
+      (* float-exact symmetry *)
+      x = Radio.Env.shadow_db e ~u:v ~v:u
+      (* same (seed, pair) = same draw across independent envs *)
+      && x = Radio.Env.shadow_db e' ~u ~v
+      && Float.abs x <= Radio.Env.clamp_db e
+      && Float.is_finite x)
+
+let prop_shadow_seed_sensitive =
+  QCheck.Test.make ~count:200
+    ~name:"shadow_db: some pair separates different shadow seeds"
+    (QCheck.make QCheck.Gen.(pair (int_range 0 10_000) (int_range 0 10_000)))
+    (fun (s1, s2) ->
+      QCheck.assume (s1 <> s2);
+      let e1 = Radio.Env.make ~sigma_db:4. ~shadow_seed:s1 pl in
+      let e2 = Radio.Env.make ~sigma_db:4. ~shadow_seed:s2 pl in
+      (* one collision is conceivable; 32 independent pairs all
+         colliding means the seed is not being mixed in *)
+      let differs = ref false in
+      for u = 0 to 31 do
+        if
+          Radio.Env.shadow_db e1 ~u ~v:(u + 1)
+          <> Radio.Env.shadow_db e2 ~u ~v:(u + 1)
+        then differs := true
+      done;
+      !differs)
+
+let prop_link_power_symmetric =
+  QCheck.Test.make ~count:200
+    ~name:"link_power: float-exactly symmetric under full env"
+    (QCheck.make
+       QCheck.Gen.(
+         positions_gen >>= fun positions ->
+         env_gen (Array.length positions) >|= fun env -> (positions, env)))
+    (fun (positions, env) ->
+      let n = Array.length positions in
+      QCheck.assume (n >= 2);
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          let pu = positions.(u) and pv = positions.(v) in
+          let dist = Geom.Vec2.dist pu pv in
+          let a = Radio.Env.link_power env ~u ~v ~pu ~pv ~dist in
+          let b = Radio.Env.link_power env ~u:v ~v:u ~pu:pv ~pv:pu ~dist in
+          if a <> b then ok := false
+        done
+      done;
+      !ok)
+
+let prop_probe_radius_bounds_support =
+  QCheck.Test.make ~count:200
+    ~name:"probe_radius bounds the support of env reaches"
+    (QCheck.make
+       QCheck.Gen.(
+         positions_gen >>= fun positions ->
+         env_gen (Array.length positions) >|= fun env -> (positions, env)))
+    (fun (positions, env) ->
+      let n = Array.length positions in
+      QCheck.assume (n >= 2);
+      let power = Radio.Pathloss.max_power pl in
+      let reach = Radio.Env.max_reach env in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          let pu = positions.(u) and pv = positions.(v) in
+          let dist = Geom.Vec2.dist pu pv in
+          if
+            Radio.Env.reaches env ~power ~u ~v ~pu ~pv ~dist
+            && dist > reach
+          then ok := false
+        done
+      done;
+      !ok)
+
+(* ---------- sigma > 0: flat = boxed, and -j independence ---------- *)
+
+let prop_env_run_flat_matches_run =
+  QCheck.Test.make ~count:60
+    ~name:"sigma > 0: Soa.to_discovery (run_flat ~env) = run ~env"
+    (QCheck.make
+       QCheck.Gen.(
+         pair positions_gen growth_gen >>= fun (positions, growth) ->
+         env_gen (Array.length positions) >|= fun env ->
+         (positions, growth, env)))
+    (fun (positions, growth, env) ->
+      let config = Cbtc.Config.make ~growth alpha56 in
+      discovery_eq
+        (Cbtc.Soa.to_discovery (Cbtc.Geo.run_flat ~env config pl positions))
+        (Cbtc.Geo.run ~env config pl positions))
+
+let prop_env_pool_identical =
+  QCheck.Test.make ~count:30
+    ~name:"sigma > 0: run_flat sequential = -j 2 = -j 4, array-exact"
+    (QCheck.make
+       QCheck.Gen.(
+         pair positions_gen growth_gen >>= fun (positions, growth) ->
+         env_gen (Array.length positions) >|= fun env ->
+         (positions, growth, env)))
+    (fun (positions, growth, env) ->
+      let config = Cbtc.Config.make ~growth alpha56 in
+      let seq = Cbtc.Geo.run_flat ~env config pl positions in
+      List.for_all
+        (fun jobs ->
+          Parallel.Pool.with_pool ~jobs (fun pool ->
+              soa_eq seq (Cbtc.Geo.run_flat ~pool ~env config pl positions)))
+        [ 2; 4 ])
+
+(* The daemon under a non-trivial env: incremental regrowth must still
+   equal a full recompute (the probe radius and dirty cut are env-aware,
+   and link symmetry keeps discovery well-defined). *)
+let prop_env_engine_equivalence =
+  QCheck.Test.make ~count:20
+    ~name:"sigma > 0: engine incremental = full recompute"
+    (QCheck.make
+       QCheck.Gen.(
+         pair positions_gen growth_gen >>= fun (positions, growth) ->
+         env_gen (Array.length positions) >|= fun env ->
+         (positions, growth, env)))
+    (fun (positions, growth, env) ->
+      let n = Array.length positions in
+      QCheck.assume (n >= 3);
+      let config = Cbtc.Config.make ~growth alpha56 in
+      let eng =
+        Daemon.Engine.create ~env ~watchdog_frac:2. config pl positions
+      in
+      let events =
+        [
+          { Daemon.Event.time = 0.1; node = 0;
+            kind = Daemon.Event.Move (v2 10. 20.) };
+          { Daemon.Event.time = 0.2; node = n - 1; kind = Daemon.Event.Leave };
+          { Daemon.Event.time = 0.3; node = 1;
+            kind = Daemon.Event.Move (v2 250. 250.) };
+          { Daemon.Event.time = 0.4; node = n - 1;
+            kind = Daemon.Event.Join (v2 150. 150.) };
+          { Daemon.Event.time = 0.5; node = n / 2;
+            kind = Daemon.Event.Move (v2 40. 260.) };
+        ]
+      in
+      List.for_all
+        (fun ev ->
+          Daemon.Engine.apply eng ev;
+          ignore (Daemon.Engine.commit eng);
+          match Daemon.Engine.check_full_equivalence eng with
+          | Ok () -> true
+          | Error _ -> false)
+        events)
+
+(* ---------- unit cases ---------- *)
+
+let test_trivial_detection () =
+  Alcotest.(check bool) "trivial pl" true (Radio.Env.is_trivial trivial_env);
+  Alcotest.(check bool) "sigma = 0 make" true
+    (Radio.Env.is_trivial (Radio.Env.make pl));
+  Alcotest.(check bool) "sigma > 0" false
+    (Radio.Env.is_trivial (Radio.Env.make ~sigma_db:1. pl));
+  let ob = Radio.Env.obstacle ~center:(v2 0. 0.) ~radius:10. ~loss_db:3. in
+  Alcotest.(check bool) "obstacles" false
+    (Radio.Env.is_trivial (Radio.Env.make ~obstacles:[| ob |] pl));
+  (* heights without a loss coefficient stay trivial *)
+  Alcotest.(check bool) "heights, zero coeff" true
+    (Radio.Env.is_trivial (Radio.Env.make ~heights:[| 1.; 2. |] pl))
+
+let test_make_validation () =
+  let rejects name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: accepted" name
+  in
+  rejects "negative sigma" (fun () -> Radio.Env.make ~sigma_db:(-1.) pl);
+  rejects "nan sigma" (fun () -> Radio.Env.make ~sigma_db:Float.nan pl);
+  rejects "negative clamp" (fun () ->
+      Radio.Env.make ~sigma_db:1. ~clamp_db:(-1.) pl);
+  rejects "nan height" (fun () -> Radio.Env.make ~heights:[| Float.nan |] pl);
+  rejects "bad obstacle radius" (fun () ->
+      Radio.Env.obstacle ~center:(v2 0. 0.) ~radius:0. ~loss_db:1.);
+  rejects "negative obstacle loss" (fun () ->
+      Radio.Env.obstacle ~center:(v2 0. 0.) ~radius:1. ~loss_db:(-1.))
+
+let test_obstacle_crossing () =
+  let ob = Radio.Env.obstacle ~center:(v2 50. 0.) ~radius:10. ~loss_db:7. in
+  let env = Radio.Env.make ~obstacles:[| ob |] pl in
+  (* segment through the disc pays the loss *)
+  Alcotest.(check (float 1e-9)) "crossing" 7.
+    (Radio.Env.excess_db env ~u:0 ~v:1 ~pu:(v2 0. 0.) ~pv:(v2 100. 0.));
+  (* parallel segment far away does not *)
+  Alcotest.(check (float 1e-9)) "clear" 0.
+    (Radio.Env.excess_db env ~u:0 ~v:1 ~pu:(v2 0. 50.) ~pv:(v2 100. 50.));
+  (* endpoints inside count as crossing *)
+  Alcotest.(check (float 1e-9)) "endpoint inside" 7.
+    (Radio.Env.excess_db env ~u:0 ~v:1 ~pu:(v2 50. 0.) ~pv:(v2 200. 0.))
+
+let test_height_loss () =
+  let env =
+    Radio.Env.make ~heights:[| 0.; 10.; 4. |] ~height_loss_db:0.5 pl
+  in
+  Alcotest.(check (float 1e-9)) "pair 0-1" 5.
+    (Radio.Env.excess_db env ~u:0 ~v:1 ~pu:(v2 0. 0.) ~pv:(v2 1. 0.));
+  Alcotest.(check (float 1e-9)) "pair 1-2" 3.
+    (Radio.Env.excess_db env ~u:1 ~v:2 ~pu:(v2 0. 0.) ~pv:(v2 1. 0.));
+  (* nodes beyond the heights array carry height 0 *)
+  Alcotest.(check (float 1e-9)) "beyond array" 0.
+    (Radio.Env.excess_db env ~u:5 ~v:6 ~pu:(v2 0. 0.) ~pv:(v2 1. 0.))
+
+let test_rx_power_roundtrip () =
+  (* the estimation assumption lifted to the env: estimate_link_power
+     over env rx_power recovers the realized link power (d >= d0) *)
+  let env = Radio.Env.make ~sigma_db:4. ~shadow_seed:9 pl in
+  let pu = v2 0. 0. and pv = v2 60. 0. in
+  let dist = 60. in
+  let tx = Radio.Pathloss.max_power pl in
+  let rx = Radio.Env.rx_power env ~tx_power:tx ~u:3 ~v:7 ~pu ~pv ~dist in
+  let est = Radio.Pathloss.estimate_link_power pl ~tx_power:tx ~rx_power:rx in
+  let realized = Radio.Env.link_power env ~u:3 ~v:7 ~pu ~pv ~dist in
+  Alcotest.(check bool) "recovers realized link power" true
+    (Float.abs (est -. realized) /. realized < 1e-9)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "env"
+    [
+      ( "sigma = 0 bit-identity",
+        qsuite
+          [
+            prop_trivial_run_identical;
+            prop_trivial_run_flat_identical;
+            prop_trivial_baselines_identical;
+            prop_trivial_engine_identical;
+          ] );
+      ( "shadowing hash",
+        qsuite
+          [
+            prop_shadow_symmetric_deterministic;
+            prop_shadow_seed_sensitive;
+            prop_link_power_symmetric;
+            prop_probe_radius_bounds_support;
+          ] );
+      ( "sigma > 0 discovery",
+        qsuite
+          [
+            prop_env_run_flat_matches_run;
+            prop_env_pool_identical;
+            prop_env_engine_equivalence;
+          ] );
+      ( "unit",
+        [
+          Alcotest.test_case "trivial detection" `Quick test_trivial_detection;
+          Alcotest.test_case "make validation" `Quick test_make_validation;
+          Alcotest.test_case "obstacle crossing" `Quick test_obstacle_crossing;
+          Alcotest.test_case "height loss" `Quick test_height_loss;
+          Alcotest.test_case "rx-power round-trip" `Quick
+            test_rx_power_roundtrip;
+        ] );
+    ]

@@ -126,6 +126,38 @@ let prop_roundtrip =
       in
       Float.abs (d -. d') < 1e-6 *. d)
 
+(* The d0-clamp contract over all of (0, R]: for model-generated
+   (tx, rx) pairs the estimators return exactly [p(max(d, d0))] and
+   [max(d, d0)] — the clamp only engages below the reference distance,
+   where the rx-power saturation has erased distance information. *)
+let prop_estimation_roundtrip =
+  QCheck.Test.make ~count:500
+    ~name:"estimators recover p(max(d,d0)) / max(d,d0) over (0, R]"
+    QCheck.(pair (float_range 1e-9 500.) (float_range 1. 1e9))
+    (fun (d, tx) ->
+      let rx = Radio.Pathloss.rx_power pl ~tx_power:tx ~dist:d in
+      let dc = Float.max d 1. in
+      let close a b =
+        Float.abs (a -. b)
+        <= 1e-9 *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+      in
+      close
+        (Radio.Pathloss.estimate_link_power pl ~tx_power:tx ~rx_power:rx)
+        (Radio.Pathloss.power_for_distance pl dc)
+      && close (Radio.Pathloss.estimate_distance pl ~tx_power:tx ~rx_power:rx) dc)
+
+(* Even for off-model (tx, rx) pairs — noise, asymmetric hardware — the
+   estimates never fall below the d0 image: a sub-reference distance or
+   a power below p(d0) is never reported. *)
+let prop_estimate_floor =
+  QCheck.Test.make ~count:300
+    ~name:"estimates saturate at the reference distance for any inputs"
+    QCheck.(pair (float_range 1e-6 1e9) (float_range 1e-6 1e9))
+    (fun (tx, rx) ->
+      Radio.Pathloss.estimate_link_power pl ~tx_power:tx ~rx_power:rx
+      >= Radio.Pathloss.power_for_distance pl 1.
+      && Radio.Pathloss.estimate_distance pl ~tx_power:tx ~rx_power:rx >= 1.)
+
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
 let () =
@@ -148,5 +180,10 @@ let () =
           Alcotest.test_case "costs" `Quick test_energy;
           Alcotest.test_case "relay beats direct" `Quick test_relay_beats_direct;
         ] );
-      ("properties", qsuite [ prop_monotone; prop_roundtrip ]);
+      ( "properties",
+        qsuite
+          [
+            prop_monotone; prop_roundtrip; prop_estimation_roundtrip;
+            prop_estimate_floor;
+          ] );
     ]

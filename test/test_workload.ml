@@ -18,16 +18,115 @@ let test_uniform () =
   let other = Workload.Placement.uniform (Prng.create ~seed:2) ~field ~n:500 in
   Alcotest.(check bool) "seed-sensitive" true (pts <> other)
 
+let digest_positions pts =
+  Digest.to_hex
+    (Digest.string
+       (String.concat ";"
+          (Array.to_list
+             (Array.map
+                (fun (p : Geom.Vec2.t) ->
+                  Fmt.str "%h,%h" p.Geom.Vec2.x p.Geom.Vec2.y)
+                pts))))
+
 let test_clustered () =
   let prng = Prng.create ~seed:3 in
   let pts =
     Workload.Placement.clustered prng ~field ~clusters:3 ~n:300 ~sigma:20.
   in
   Alcotest.(check int) "count" 300 (Array.length pts);
-  Alcotest.(check bool) "clamped to field" true (Array.for_all in_field pts);
+  Alcotest.(check bool) "in field" true (Array.for_all in_field pts);
   Alcotest.check_raises "no clusters"
     (Invalid_argument "Placement.clustered: no clusters") (fun () ->
-      ignore (Workload.Placement.clustered prng ~field ~clusters:0 ~n:5 ~sigma:1.))
+      ignore (Workload.Placement.clustered prng ~field ~clusters:0 ~n:5 ~sigma:1.));
+  Alcotest.check_raises "bad sigma"
+    (Invalid_argument "Placement.clustered: non-positive sigma") (fun () ->
+      ignore (Workload.Placement.clustered prng ~field ~clusters:1 ~n:5 ~sigma:0.))
+
+let test_clustered_resamples () =
+  (* A wide Gaussian pushes most draws out of the field; clamping piled
+     that mass exactly onto the boundary, resampling must not — no node
+     may sit on a field edge (the clamp fallback after the retry budget
+     has probability ~0.75^64 per node here). *)
+  let pts =
+    Workload.Placement.clustered (Prng.create ~seed:21) ~field ~clusters:2
+      ~n:500 ~sigma:400.
+  in
+  let on_edge (p : Geom.Vec2.t) =
+    p.Geom.Vec2.x = 0. || p.Geom.Vec2.x = 1000. || p.Geom.Vec2.y = 0.
+    || p.Geom.Vec2.y = 500.
+  in
+  Alcotest.(check int) "no boundary pileup" 0
+    (Array.fold_left (fun acc p -> if on_edge p then acc + 1 else acc) 0 pts);
+  Alcotest.(check bool) "in field" true (Array.for_all in_field pts)
+
+let test_clustered_digest_pin () =
+  (* Frozen draw semantics: the resampling loop consumes the PRNG in a
+     fixed order, so this digest moves only if the algorithm changes. *)
+  let pts =
+    Workload.Placement.clustered (Prng.create ~seed:42) ~field ~clusters:4
+      ~n:100 ~sigma:60.
+  in
+  Alcotest.(check string) "digest" "fbd74f3ac71bd0353dca3f12b6dce007"
+    (digest_positions pts)
+
+let test_obstacle_terrain () =
+  let obs =
+    Workload.Placement.obstacle_terrain (Prng.create ~seed:31) ~field ~count:8
+      ~radius:40. ~loss_db:6.
+  in
+  Alcotest.(check int) "count" 8 (Array.length obs);
+  Array.iter
+    (fun (o : Radio.Env.obstacle) ->
+      Alcotest.(check bool) "center in field" true (in_field o.Radio.Env.center);
+      Alcotest.(check (float 0.)) "radius" 40. o.Radio.Env.radius;
+      Alcotest.(check (float 0.)) "loss" 6. o.Radio.Env.loss_db)
+    obs;
+  let again =
+    Workload.Placement.obstacle_terrain (Prng.create ~seed:31) ~field ~count:8
+      ~radius:40. ~loss_db:6.
+  in
+  Alcotest.(check bool) "deterministic" true (obs = again)
+
+let test_obstructed () =
+  let obs =
+    Workload.Placement.obstacle_terrain (Prng.create ~seed:32) ~field ~count:5
+      ~radius:60. ~loss_db:10.
+  in
+  let pts =
+    Workload.Placement.obstructed (Prng.create ~seed:33) ~field ~n:400
+      ~obstacles:obs
+  in
+  Alcotest.(check int) "count" 400 (Array.length pts);
+  Alcotest.(check bool) "in field" true (Array.for_all in_field pts);
+  let inside p =
+    Array.exists
+      (fun (o : Radio.Env.obstacle) ->
+        Geom.Vec2.dist2 o.Radio.Env.center p
+        < o.Radio.Env.radius *. o.Radio.Env.radius)
+      obs
+  in
+  (* the discs cover well under half the field, so the retry budget is
+     never exhausted and no node lands inside an obstacle *)
+  Alcotest.(check int) "no node inside an obstacle" 0
+    (Array.fold_left (fun acc p -> if inside p then acc + 1 else acc) 0 pts)
+
+let test_projected_3d () =
+  let positions, heights =
+    Workload.Placement.projected_3d (Prng.create ~seed:34) ~field ~n:200
+      ~depth:50.
+  in
+  Alcotest.(check int) "positions" 200 (Array.length positions);
+  Alcotest.(check int) "heights" 200 (Array.length heights);
+  Alcotest.(check bool) "in field" true (Array.for_all in_field positions);
+  Alcotest.(check bool) "heights in [0, depth]" true
+    (Array.for_all (fun h -> h >= 0. && h <= 50.) heights);
+  (* the pair feeds Radio.Env.make directly *)
+  let pl = Radio.Pathloss.make ~max_range:500. () in
+  let env = Radio.Env.make ~heights ~height_loss_db:0.5 pl in
+  Alcotest.(check bool) "non-trivial env" false (Radio.Env.is_trivial env);
+  let flat, zero = Workload.Placement.projected_3d (Prng.create ~seed:34) ~field ~n:10 ~depth:0. in
+  Alcotest.(check int) "flat positions" 10 (Array.length flat);
+  Alcotest.(check bool) "zero heights" true (Array.for_all (( = ) 0.) zero)
 
 let test_grid_jitter () =
   let prng = Prng.create ~seed:4 in
@@ -141,7 +240,43 @@ let test_mobility_validation () =
       ~params:Workload.Mobility.default_params [| Geom.Vec2.zero |]
   in
   Alcotest.check_raises "negative dt" (Invalid_argument "Mobility.step: negative dt")
-    (fun () -> Workload.Mobility.step m ~dt:(-1.))
+    (fun () -> Workload.Mobility.step m ~dt:(-1.));
+  (* NaN slips through plain comparisons — validation must reject it *)
+  let reject name params msg =
+    Alcotest.check_raises name (Invalid_argument msg) (fun () ->
+        ignore (Workload.Mobility.create (Prng.create ~seed:2) ~field ~params [||]))
+  in
+  let ok = Workload.Mobility.default_params in
+  reject "nan speed_lo"
+    { ok with Workload.Mobility.speed_lo = Float.nan }
+    "Mobility.create: bad speed range";
+  reject "nan speed_hi"
+    { ok with Workload.Mobility.speed_hi = Float.nan }
+    "Mobility.create: bad speed range";
+  reject "infinite speed_hi"
+    { ok with Workload.Mobility.speed_hi = Float.infinity }
+    "Mobility.create: bad speed range";
+  reject "inverted range"
+    { ok with Workload.Mobility.speed_lo = 10.; speed_hi = 5. }
+    "Mobility.create: bad speed range";
+  reject "nan pause"
+    { ok with Workload.Mobility.pause = Float.nan }
+    "Mobility.create: negative pause";
+  reject "negative pause"
+    { ok with Workload.Mobility.pause = -1. }
+    "Mobility.create: negative pause";
+  (* the exposed validator carries the caller's prefix (CLI front ends
+     reject bad flags eagerly with it) *)
+  Alcotest.check_raises "validator prefix"
+    (Invalid_argument "daemon: negative pause") (fun () ->
+      Workload.Mobility.validate_params ~who:"daemon"
+        { ok with Workload.Mobility.pause = -2. });
+  Alcotest.check_raises "Direction validates too"
+    (Invalid_argument "Mobility.Direction.create: negative pause") (fun () ->
+      ignore
+        (Workload.Mobility.Direction.create (Prng.create ~seed:3) ~field
+           ~params:{ ok with Workload.Mobility.pause = -1. }
+           [||]))
 
 let () =
   Alcotest.run "workload"
@@ -150,6 +285,11 @@ let () =
         [
           Alcotest.test_case "uniform" `Quick test_uniform;
           Alcotest.test_case "clustered" `Quick test_clustered;
+          Alcotest.test_case "clustered resamples" `Quick test_clustered_resamples;
+          Alcotest.test_case "clustered digest pin" `Quick test_clustered_digest_pin;
+          Alcotest.test_case "obstacle terrain" `Quick test_obstacle_terrain;
+          Alcotest.test_case "obstructed" `Quick test_obstructed;
+          Alcotest.test_case "projected 3d" `Quick test_projected_3d;
           Alcotest.test_case "grid jitter" `Quick test_grid_jitter;
         ] );
       ("scenario", [ Alcotest.test_case "paper setup" `Quick test_scenario ]);

@@ -1,0 +1,122 @@
+(* Schema validator for <out>/shadowing.json (schema 1), run by the
+   @bench-smoke alias: the document must carry schema/results, and every
+   result row must have the full column set with the right types —
+   bench (string), sigma_db (number >= 0), alpha (number in (0, 2pi]),
+   alpha_label (string), n (positive int), side / target_degree
+   (positive numbers), trials (positive int), ref_connected / preserved
+   (ints in [0, trials]), preserved_frac (number in [0, 1] consistent
+   with preserved/trials), avg_degree (number >= 0).  Every sigma = 0
+   row is additionally required to have preserved = trials when
+   alpha <= 5pi/6: that cell is the paper's own guarantee, so a
+   degradation there is a harness bug, not an empirical finding.
+   Exits non-zero naming the offending row. *)
+
+let fail fmt =
+  Fmt.kstr
+    (fun msg ->
+      Fmt.epr "validate_shadowing: %s@." msg;
+      exit 1)
+    fmt
+
+let num = function
+  | Some (Obs.Jsonl.Float f) -> Some f
+  | Some (Obs.Jsonl.Int i) -> Some (Stdlib.float_of_int i)
+  | _ -> None
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+        Fmt.epr "usage: validate_shadowing SHADOWING.json@.";
+        exit 2
+  in
+  let contents =
+    match open_in path with
+    | exception Sys_error e ->
+        Fmt.epr "validate_shadowing: %s@." e;
+        exit 2
+    | ic ->
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        s
+  in
+  let doc =
+    try Obs.Jsonl.of_string contents
+    with Obs.Jsonl.Parse_error e -> fail "unparsable JSON: %s" e
+  in
+  (match Obs.Jsonl.member "schema" doc with
+  | Some (Obs.Jsonl.Int 1) -> ()
+  | Some (Obs.Jsonl.Int v) -> fail "unsupported schema %d (expected 1)" v
+  | _ -> fail "missing integer field \"schema\"");
+  let results =
+    match Obs.Jsonl.member "results" doc with
+    | Some (Obs.Jsonl.List rows) -> rows
+    | _ -> fail "missing list field \"results\""
+  in
+  if results = [] then fail "\"results\" is empty";
+  let five_pi_six = 5. *. Float.pi /. 6. in
+  List.iteri
+    (fun i row ->
+      let ctx = Fmt.str "results[%d]" i in
+      (match Obs.Jsonl.member "bench" row with
+      | Some (Obs.Jsonl.Str _) -> ()
+      | _ -> fail "%s: missing string field \"bench\"" ctx);
+      let sigma =
+        match num (Obs.Jsonl.member "sigma_db" row) with
+        | Some v when v >= 0. -> v
+        | _ -> fail "%s: \"sigma_db\" must be a number >= 0" ctx
+      in
+      let alpha =
+        match num (Obs.Jsonl.member "alpha" row) with
+        | Some v when v > 0. && v <= 2. *. Float.pi -> v
+        | _ -> fail "%s: \"alpha\" must be a number in (0, 2pi]" ctx
+      in
+      let ctx = Fmt.str "%s (sigma=%g alpha=%g)" ctx sigma alpha in
+      (match Obs.Jsonl.member "alpha_label" row with
+      | Some (Obs.Jsonl.Str _) -> ()
+      | _ -> fail "%s: missing string field \"alpha_label\"" ctx);
+      (match Obs.Jsonl.member "n" row with
+      | Some (Obs.Jsonl.Int n) when n > 0 -> ()
+      | _ -> fail "%s: missing positive integer \"n\"" ctx);
+      List.iter
+        (fun name ->
+          match num (Obs.Jsonl.member name row) with
+          | Some v when v > 0. -> ()
+          | _ -> fail "%s: %S must be a positive number" ctx name)
+        [ "side"; "target_degree" ];
+      let trials =
+        match Obs.Jsonl.member "trials" row with
+        | Some (Obs.Jsonl.Int t) when t > 0 -> t
+        | _ -> fail "%s: missing positive integer \"trials\"" ctx
+      in
+      let bounded name =
+        match Obs.Jsonl.member name row with
+        | Some (Obs.Jsonl.Int v) when v >= 0 && v <= trials -> v
+        | _ -> fail "%s: %S must be an integer in [0, trials]" ctx name
+      in
+      ignore (bounded "ref_connected" : int);
+      let preserved = bounded "preserved" in
+      (match num (Obs.Jsonl.member "preserved_frac" row) with
+      | Some f
+        when f >= 0. && f <= 1.
+             && Float.abs (f -. (Stdlib.float_of_int preserved
+                                 /. Stdlib.float_of_int trials))
+                < 1e-9 ->
+          ()
+      | _ ->
+          fail "%s: \"preserved_frac\" must be a number in [0,1] equal to \
+                preserved/trials"
+            ctx);
+      (match num (Obs.Jsonl.member "avg_degree" row) with
+      | Some d when d >= 0. -> ()
+      | _ -> fail "%s: \"avg_degree\" must be a number >= 0" ctx);
+      if sigma = 0. && alpha <= five_pi_six +. 1e-12 && preserved <> trials
+      then
+        fail
+          "%s: sigma = 0 with alpha <= 5pi/6 must preserve connectivity in \
+           every trial (got %d/%d) — the paper's own guarantee"
+          ctx preserved trials)
+    results;
+  Fmt.pr "validate_shadowing: %s OK (%d rows)@." path (List.length results)
