@@ -1273,6 +1273,152 @@ let run_shadowing ~pool ~fast ~out_dir =
   Fmt.pr "wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* Network lifetime (writes <out>/lifetime.json, schema 1)             *)
+(* ------------------------------------------------------------------ *)
+
+(* The lifetime study the scheduler exists for: every topology family
+   under identical many-to-one load, passive (every node listening,
+   per-round Dijkstra — exactly Gather.run) vs scheduled (the
+   energy-aware cover-set scheduler of Lifetime.Schedule).  The radio
+   is parameterized realistically — listening comparable to receiving —
+   because at the library default (rx_overhead = 2000 against
+   p(R) = 250000) overhearing is a rounding error and no sleeping
+   discipline can matter.  Trials fan out over the pool and fold back
+   in seed order, so lifetime.json is byte-identical at every -j; the
+   schema and the scheduled > passive pin for the max-power and CBTC
+   families are enforced by test/validate_lifetime.exe in the
+   @bench-smoke alias. *)
+
+let lifetime_json_write path rows =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc "{\n  \"schema\": 1,\n";
+      output_string oc
+        "  \"note\": \"mean over seeded trials per (family, mode) cell; \
+         lifetime_rounds is the service-rounds scalar (rounds in which \
+         at least half the original non-sink population reaches the \
+         sink); first_death is censored at the simulation horizon; \
+         mode = passive is Gather.run (rotation_period = 0), \
+         mode = scheduled is the cover-set scheduler\",\n";
+      output_string oc "  \"results\": [\n";
+      List.iteri
+        (fun i row ->
+          output_string oc "    ";
+          output_string oc (Obs.Jsonl.to_string row);
+          output_string oc (if i = List.length rows - 1 then "\n" else ",\n"))
+        rows;
+      output_string oc "  ]\n}\n")
+
+let run_lifetime ~pool ~fast ~out_dir =
+  section "Network lifetime: cover-set scheduler vs passive gathering";
+  if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+  let n = 60 in
+  let trials = if fast then 5 else 10 in
+  let params =
+    { Lifetime.Gather.default_params with
+      capacity = 5e7; rx_overhead = 40000.; max_rounds = 4000 }
+  in
+  let modes =
+    [ ("passive", Lifetime.Schedule.passive);
+      ("scheduled", Lifetime.Schedule.default_policy) ]
+  in
+  let seeds = Workload.Scenario.seeds ~base:42 ~count:trials in
+  let table =
+    Metrics.Table.create
+      ~columns:
+        [ "family"; "mode"; "lifetime"; "first death"; "delivered";
+          "covers"; "energy/pkt" ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun family ->
+      List.iter
+        (fun (mode, policy) ->
+          let trial seed =
+            let sc = Workload.Scenario.make ~n ~seed () in
+            let pl = Workload.Scenario.pathloss sc in
+            let positions = Workload.Scenario.positions sc in
+            (* builders run single-threaded inside each trial: the
+               pool's parallelism is spent across seeds *)
+            let topology = Lifetime.Schedule.family_builder family pl in
+            let r =
+              Lifetime.Schedule.run ~params ~policy pl positions ~sink:0
+                ~topology
+            in
+            let o = r.Lifetime.Schedule.outcome in
+            ( Lifetime.Schedule.total_lifetime r,
+              (match o.Lifetime.Gather.first_death with
+              | Some k -> k
+              | None -> o.Lifetime.Gather.rounds_completed),
+              o.Lifetime.Gather.packets_delivered,
+              o.Lifetime.Gather.packets_dropped,
+              r.Lifetime.Schedule.cover_sets,
+              r.Lifetime.Schedule.epochs,
+              r.Lifetime.Schedule.awake_node_rounds,
+              r.Lifetime.Schedule.energy_per_delivered )
+          in
+          let results =
+            Parallel.Pool.map pool trial (Array.of_list seeds)
+          in
+          let mean f =
+            Array.fold_left (fun acc r -> acc +. f r) 0. results
+            /. Stdlib.float_of_int trials
+          in
+          let fi = Stdlib.float_of_int in
+          let lifetime = mean (fun (l, _, _, _, _, _, _, _) -> fi l) in
+          let first_death = mean (fun (_, f, _, _, _, _, _, _) -> fi f) in
+          let delivered = mean (fun (_, _, d, _, _, _, _, _) -> fi d) in
+          let dropped = mean (fun (_, _, _, d, _, _, _, _) -> fi d) in
+          let covers = mean (fun (_, _, _, _, c, _, _, _) -> fi c) in
+          let epochs = mean (fun (_, _, _, _, _, e, _, _) -> fi e) in
+          let awake = mean (fun (_, _, _, _, _, _, a, _) -> fi a) in
+          let epd = mean (fun (_, _, _, _, _, _, _, e) -> e) in
+          rows :=
+            Obs.Jsonl.Obj
+              [
+                ("bench", Obs.Jsonl.Str "lifetime");
+                ("family",
+                 Obs.Jsonl.Str (Lifetime.Schedule.family_label family));
+                ("mode", Obs.Jsonl.Str mode);
+                ("n", Obs.Jsonl.Int n);
+                ("trials", Obs.Jsonl.Int trials);
+                ("capacity",
+                 Obs.Jsonl.Float params.Lifetime.Gather.capacity);
+                ("rx_overhead",
+                 Obs.Jsonl.Float params.Lifetime.Gather.rx_overhead);
+                ("rotation_period",
+                 Obs.Jsonl.Int policy.Lifetime.Schedule.rotation_period);
+                ("duty", Obs.Jsonl.Float policy.Lifetime.Schedule.duty);
+                ("idle_listen",
+                 Obs.Jsonl.Float policy.Lifetime.Schedule.idle_listen);
+                ("lifetime_rounds", Obs.Jsonl.Float lifetime);
+                ("first_death", Obs.Jsonl.Float first_death);
+                ("delivered", Obs.Jsonl.Float delivered);
+                ("dropped", Obs.Jsonl.Float dropped);
+                ("cover_sets", Obs.Jsonl.Float covers);
+                ("epochs", Obs.Jsonl.Float epochs);
+                ("awake_node_rounds", Obs.Jsonl.Float awake);
+                ("energy_per_delivered", Obs.Jsonl.Float epd);
+              ]
+            :: !rows;
+          Metrics.Table.add_row table
+            [
+              Lifetime.Schedule.family_label family;
+              mode;
+              Fmt.str "%.1f" lifetime;
+              Fmt.str "%.1f" first_death;
+              Fmt.str "%.0f" delivered;
+              Fmt.str "%.1f" covers;
+              Fmt.str "%.3g" epd;
+            ])
+        modes)
+    Lifetime.Schedule.families;
+  Fmt.pr "%a@." Metrics.Table.pp table;
+  let path = Filename.concat out_dir "lifetime.json" in
+  lifetime_json_write path (List.rev !rows);
+  Fmt.pr "wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* Parallel scaling (domain pool)                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1587,6 +1733,9 @@ let () =
       if want "shadowing" then
         sect "shadowing" (fun () ->
             run_shadowing ~pool ~fast:!fast ~out_dir:!out_dir);
+      if want "lifetime" then
+        sect "lifetime" (fun () ->
+            run_lifetime ~pool ~fast:!fast ~out_dir:!out_dir);
       if want "perf" then
         sect "perf" (fun () ->
             run_perf_scaling ~fast:!fast ~out_dir:!out_dir;

@@ -3,7 +3,9 @@ type control = { graph : Graphkit.Ugraph.t; radius : float array }
 type topology_builder = alive:bool array -> Geom.Vec2.t array -> control
 
 (* Run a full-array pipeline on the live-node subset and translate edges
-   and radii back to global ids; dead nodes end up isolated at radius 0. *)
+   and radii back to global ids; dead nodes end up isolated at radius 0.
+   [build] also receives the local-to-global id map so env-aware callers
+   can [Radio.Env.relabel] the survivor subset back to original ids. *)
 let induce ~alive positions build =
   let n = Array.length positions in
   let to_local = Array.make n (-1) in
@@ -18,7 +20,7 @@ let induce ~alive positions build =
   done;
   let to_global = Array.of_list (List.rev !to_global) in
   let local_positions = Array.map (fun u -> positions.(u)) to_global in
-  let local_graph, local_radius = build local_positions in
+  let local_graph, local_radius = build to_global local_positions in
   let graph = Graphkit.Ugraph.create n in
   Graphkit.Ugraph.iter_edges
     (fun a b -> Graphkit.Ugraph.add_edge graph to_global.(a) to_global.(b))
@@ -27,16 +29,25 @@ let induce ~alive positions build =
   Array.iteri (fun local r -> radius.(to_global.(local)) <- r) local_radius;
   { graph; radius }
 
-let cbtc_builder plan pathloss ~alive positions =
-  induce ~alive positions (fun local ->
+let relabeled env to_global =
+  match env with
+  | None -> None
+  | Some e ->
+      if Radio.Env.is_trivial e then Some e
+      else Some (Radio.Env.relabel ~labels:to_global e)
+
+let cbtc_builder ?pool ?env plan pathloss ~alive positions =
+  induce ~alive positions (fun to_global local ->
       if Array.length local = 0 then (Graphkit.Ugraph.create 0, [||])
       else
-        let r = Cbtc.Pipeline.run_oracle pathloss local plan in
+        let env = relabeled env to_global in
+        let r = Cbtc.Pipeline.run_oracle ?pool ?env pathloss local plan in
         (r.Cbtc.Pipeline.graph, r.Cbtc.Pipeline.radius))
 
-let max_power_builder pathloss ~alive positions =
-  induce ~alive positions (fun local ->
-      let g = Baselines.Proximity.max_power pathloss local in
+let max_power_builder ?pool ?env pathloss ~alive positions =
+  induce ~alive positions (fun to_global local ->
+      let env = relabeled env to_global in
+      let g = Baselines.Proximity.max_power ?pool ?env pathloss local in
       (g, Array.make (Array.length local) (Radio.Pathloss.max_range pathloss)))
 
 type params = {

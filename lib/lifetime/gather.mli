@@ -26,13 +26,32 @@ type control = { graph : Graphkit.Ugraph.t; radius : float array }
     set in which dead nodes are isolated with radius 0. *)
 type topology_builder = alive:bool array -> Geom.Vec2.t array -> control
 
+(** [induce ~alive positions build] compacts the live nodes to dense
+    local ids, runs [build to_global local_positions] on the subset, and
+    translates the resulting (graph, radius) pair back to global ids —
+    dead nodes end up isolated at radius 0.  [to_global] maps local ids
+    back to original ones so env-aware builders can
+    [Radio.Env.relabel] the survivor subset ({!Schedule.family_builder}
+    uses this for every proximity family). *)
+val induce :
+  alive:bool array ->
+  Geom.Vec2.t array ->
+  (int array -> Geom.Vec2.t array -> Graphkit.Ugraph.t * float array) ->
+  control
+
 (** [cbtc_builder plan pathloss] reruns the CBTC pipeline over the live
-    nodes. *)
-val cbtc_builder : Cbtc.Pipeline.plan -> Radio.Pathloss.t -> topology_builder
+    nodes.  A non-trivial [?env] is relabeled to original ids before
+    each rebuild so survivor topologies keep the fading of the original
+    links. *)
+val cbtc_builder :
+  ?pool:Parallel.Pool.t -> ?env:Radio.Env.t ->
+  Cbtc.Pipeline.plan -> Radio.Pathloss.t -> topology_builder
 
 (** [max_power_builder pathloss] is the no-topology-control baseline:
     [G_R] over the live nodes, every node at radius [R]. *)
-val max_power_builder : Radio.Pathloss.t -> topology_builder
+val max_power_builder :
+  ?pool:Parallel.Pool.t -> ?env:Radio.Env.t ->
+  Radio.Pathloss.t -> topology_builder
 
 type params = {
   capacity : float;  (** initial battery per node *)

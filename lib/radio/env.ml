@@ -23,6 +23,12 @@ type t = {
   (* hoisted for the hot membership test: the largest env link power an
      edge of G_R^env may have *)
   max_link_cap : float;
+  (* local-to-original id translation installed by [relabel]; [||] is
+     the identity.  Shadowing and heights are keyed by node id, so a
+     caller running discovery over a renumbered subset (e.g. the
+     survivors of a lifetime run) must translate ids or every epoch
+     would redraw the fading of the same physical link. *)
+  labels : int array;
 }
 
 let obstacle ~center ~radius ~loss_db =
@@ -61,9 +67,23 @@ let make ?(sigma_db = 0.) ?(shadow_seed = 0) ?clamp_db ?(obstacles = [||])
     heights;
     height_loss_db;
     max_link_cap = Pathloss.reach_cap ~power:(Pathloss.max_power pathloss);
+    labels = [||];
   }
 
 let trivial pathloss = make pathloss
+
+let node_id t i =
+  if Array.length t.labels = 0 then i
+  else if i < 0 || i >= Array.length t.labels then
+    invalid_arg "Env.relabel: node id outside the label table"
+  else t.labels.(i)
+
+let relabel ~labels t =
+  Array.iter
+    (fun l -> if l < 0 then invalid_arg "Env.relabel: negative label") labels;
+  (* compose with any translation already installed, so relabeling a
+     relabeled env still resolves to original ids *)
+  { t with labels = Array.map (fun l -> node_id t l) labels }
 
 let is_trivial t =
   t.sigma_db = 0.
@@ -95,6 +115,7 @@ let unit_of bits =
 let shadow_db t ~u ~v =
   if t.sigma_db <= 0. then 0.
   else begin
+    let u = node_id t u and v = node_id t v in
     let lo, hi = if u <= v then (u, v) else (v, u) in
     let open Int64 in
     let z = mix (of_int t.shadow_seed) in
@@ -138,7 +159,7 @@ let height_db t ~u ~v =
        nodes a caller appended after building the env) sit at height 0 *)
     let len = Array.length t.heights in
     let h i = if i < len then t.heights.(i) else 0. in
-    t.height_loss_db *. Float.abs (h u -. h v)
+    t.height_loss_db *. Float.abs (h (node_id t u) -. h (node_id t v))
   end
 
 let excess_db t ~u ~v ~pu ~pv =
@@ -146,10 +167,13 @@ let excess_db t ~u ~v ~pu ~pv =
   let x =
     if Array.length t.obstacles = 0 then x
     else begin
-      (* canonicalize the segment direction by node id: seg_dist2 is
-         only symmetric up to rounding, and gain must be float-exactly
-         symmetric in (u, v) for both discovery directions to agree *)
-      let pa, pb = if u <= v then (pu, pv) else (pv, pu) in
+      (* canonicalize the segment direction by node id (the original id
+         under a [relabel]): seg_dist2 is only symmetric up to rounding,
+         and gain must be float-exactly symmetric in (u, v) for both
+         discovery directions to agree *)
+      let pa, pb =
+        if node_id t u <= node_id t v then (pu, pv) else (pv, pu)
+      in
       x +. obstacle_db t ~pu:pa ~pv:pb
     end
   in

@@ -67,6 +67,18 @@ val make :
     pairs. *)
 val trivial : Pathloss.t -> t
 
+(** [relabel ~labels t] presents [t] under renamed node ids: a query for
+    node [i] draws shadowing and heights as node [labels.(i)] of the
+    original environment.  Shadowing and heights are keyed by node id,
+    so a caller running discovery over a renumbered subset — e.g. the
+    survivors of a lifetime run, compacted to dense local ids — must
+    translate ids back or every rebuild would redraw the fading of the
+    same physical link.  Obstacle losses are purely positional and are
+    unaffected.  Relabeling a relabeled environment composes.
+    @raise Invalid_argument (possibly deferred to the first query) on a
+    negative label or a queried id outside [labels]. *)
+val relabel : labels:int array -> t -> t
+
 (** [is_trivial t] holds when [X_uv = 0] for every pair — call sites use
     it to fall back to the bit-identical {!Pathloss}-only code path. *)
 val is_trivial : t -> bool

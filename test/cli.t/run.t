@@ -221,3 +221,50 @@ validation before any simulation work (exit 2, like a bad --restore).
   $ cbtc_cli daemon --pause=-1
   daemon: negative pause
   [2]
+
+The lifetime scheduler splits syntax from semantics the same way: a
+non-integer rotation period or a non-float duty is a conv parse error
+(124), while a negative rotation period, an out-of-range duty fraction,
+a non-positive capacity, or an unknown topology family parses fine and
+is rejected by the policy's own validation before any simulation work
+(exit 2).
+
+  $ cbtc_cli lifetime --rotation-period x
+  cbtc: option '--rotation-period': invalid value 'x', expected an integer
+  Usage: cbtc lifetime [OPTION]…
+  Try 'cbtc lifetime --help' or 'cbtc --help' for more information.
+  [124]
+  $ cbtc_cli lifetime --duty often
+  cbtc: option '--duty': invalid value 'often', expected a floating point
+        number
+  Usage: cbtc lifetime [OPTION]…
+  Try 'cbtc lifetime --help' or 'cbtc --help' for more information.
+  [124]
+  $ cbtc_cli lifetime --rotation-period=-3
+  lifetime: rotation period must be >= 0
+  [2]
+  $ cbtc_cli lifetime --duty 1.5
+  lifetime: duty fraction must lie in [0, 1]
+  [2]
+  $ cbtc_cli lifetime --duty 0.5 --rotation-period 0
+  lifetime: duty-cycling (duty < 1) requires a rotation period >= 1
+  [2]
+  $ cbtc_cli lifetime --capacity 0
+  lifetime: capacity must be a positive finite energy (got 0)
+  [2]
+  $ cbtc_cli lifetime --idle-listen=-2
+  lifetime: idle-listen cost must be a finite number >= 0
+  [2]
+  $ cbtc_cli lifetime --family nosuch
+  lifetime: unknown topology family "nosuch"
+  [2]
+  $ cbtc_cli lifetime --family yao:0
+  lifetime: bad sector count "0"
+  [2]
+
+The usage text pins the scheduler's knobs.
+
+  $ cbtc_cli lifetime --help=plain | grep -A 2 -- '--rotation-period=K'
+         --rotation-period=K (absent=25)
+             Re-elect the relay cover set every K rounds; 0 disables active
+             scheduling entirely (the passive per-round-Dijkstra baseline).

@@ -1,0 +1,152 @@
+(* Schema validator for <out>/lifetime.json (schema 1), run by the
+   @bench-smoke alias: the document must carry schema/results, every
+   result row must have the full column set with the right types —
+   bench/family/mode (strings, mode in {passive, scheduled}), n / trials
+   (positive ints), capacity / rx_overhead (positive numbers),
+   rotation_period (int >= 0, 0 exactly when mode = passive), duty
+   (number in [0, 1]), idle_listen (number >= 0), lifetime_rounds /
+   first_death / delivered / dropped / cover_sets / epochs /
+   awake_node_rounds (numbers >= 0, with first_death <= lifetime horizon
+   implied by being finite), energy_per_delivered (positive number) —
+   and every family must appear in both modes.  The semantic pin: for
+   the max-power and CBTC families the scheduled row's lifetime_rounds
+   must strictly exceed the passive row's — the claim the scheduler
+   exists to establish, so a regression there is a scheduler bug, not an
+   empirical finding.  Exits non-zero naming the offending row. *)
+
+let fail fmt =
+  Fmt.kstr
+    (fun msg ->
+      Fmt.epr "validate_lifetime: %s@." msg;
+      exit 1)
+    fmt
+
+let num = function
+  | Some (Obs.Jsonl.Float f) -> Some f
+  | Some (Obs.Jsonl.Int i) -> Some (Stdlib.float_of_int i)
+  | _ -> None
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+        Fmt.epr "usage: validate_lifetime LIFETIME.json@.";
+        exit 2
+  in
+  let contents =
+    match open_in path with
+    | exception Sys_error e ->
+        Fmt.epr "validate_lifetime: %s@." e;
+        exit 2
+    | ic ->
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        s
+  in
+  let doc =
+    try Obs.Jsonl.of_string contents
+    with Obs.Jsonl.Parse_error e -> fail "unparsable JSON: %s" e
+  in
+  (match Obs.Jsonl.member "schema" doc with
+  | Some (Obs.Jsonl.Int 1) -> ()
+  | Some (Obs.Jsonl.Int v) -> fail "unsupported schema %d (expected 1)" v
+  | _ -> fail "missing integer field \"schema\"");
+  let results =
+    match Obs.Jsonl.member "results" doc with
+    | Some (Obs.Jsonl.List rows) -> rows
+    | _ -> fail "missing list field \"results\""
+  in
+  if results = [] then fail "\"results\" is empty";
+  (* (family, mode) -> lifetime_rounds, for the cross-row pins *)
+  let cells = Hashtbl.create 16 in
+  List.iteri
+    (fun i row ->
+      let ctx = Fmt.str "results[%d]" i in
+      (match Obs.Jsonl.member "bench" row with
+      | Some (Obs.Jsonl.Str "lifetime") -> ()
+      | _ -> fail "%s: \"bench\" must be the string \"lifetime\"" ctx);
+      let family =
+        match Obs.Jsonl.member "family" row with
+        | Some (Obs.Jsonl.Str f) -> f
+        | _ -> fail "%s: missing string field \"family\"" ctx
+      in
+      let mode =
+        match Obs.Jsonl.member "mode" row with
+        | Some (Obs.Jsonl.Str ("passive" as m))
+        | Some (Obs.Jsonl.Str ("scheduled" as m)) ->
+            m
+        | _ -> fail "%s: \"mode\" must be \"passive\" or \"scheduled\"" ctx
+      in
+      let ctx = Fmt.str "%s (%s/%s)" ctx family mode in
+      List.iter
+        (fun name ->
+          match Obs.Jsonl.member name row with
+          | Some (Obs.Jsonl.Int v) when v > 0 -> ()
+          | _ -> fail "%s: missing positive integer %S" ctx name)
+        [ "n"; "trials" ];
+      List.iter
+        (fun name ->
+          match num (Obs.Jsonl.member name row) with
+          | Some v when v > 0. -> ()
+          | _ -> fail "%s: %S must be a positive number" ctx name)
+        [ "capacity"; "rx_overhead"; "energy_per_delivered" ];
+      let rotation =
+        match Obs.Jsonl.member "rotation_period" row with
+        | Some (Obs.Jsonl.Int r) when r >= 0 -> r
+        | _ -> fail "%s: \"rotation_period\" must be an integer >= 0" ctx
+      in
+      (match mode with
+      | "passive" when rotation <> 0 ->
+          fail "%s: passive rows must have rotation_period = 0" ctx
+      | "scheduled" when rotation = 0 ->
+          fail "%s: scheduled rows must have rotation_period >= 1" ctx
+      | _ -> ());
+      (match num (Obs.Jsonl.member "duty" row) with
+      | Some d when d >= 0. && d <= 1. -> ()
+      | _ -> fail "%s: \"duty\" must be a number in [0, 1]" ctx);
+      List.iter
+        (fun name ->
+          match num (Obs.Jsonl.member name row) with
+          | Some v when v >= 0. && Float.is_finite v -> ()
+          | _ -> fail "%s: %S must be a finite number >= 0" ctx name)
+        [ "idle_listen"; "lifetime_rounds"; "first_death"; "delivered";
+          "dropped"; "cover_sets"; "epochs"; "awake_node_rounds" ];
+      let lifetime =
+        Option.get (num (Obs.Jsonl.member "lifetime_rounds" row))
+      in
+      (* cover sets only exist when the scheduler actually elects *)
+      (match num (Obs.Jsonl.member "cover_sets" row) with
+      | Some c when mode = "passive" && c <> 0. ->
+          fail "%s: passive rows must report cover_sets = 0" ctx
+      | Some c when mode = "scheduled" && c <= 0. ->
+          fail "%s: scheduled rows must report cover_sets > 0" ctx
+      | _ -> ());
+      if Hashtbl.mem cells (family, mode) then
+        fail "%s: duplicate (family, mode) cell" ctx;
+      Hashtbl.add cells (family, mode) lifetime)
+    results;
+  let prefixed prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  Hashtbl.iter
+    (fun (family, mode) lifetime ->
+      let other = if mode = "passive" then "scheduled" else "passive" in
+      (match Hashtbl.find_opt cells (family, other) with
+      | Some _ -> ()
+      | None -> fail "family %S has a %s row but no %s row" family mode other);
+      (* the claim the scheduler exists to establish *)
+      if
+        mode = "passive"
+        && (family = "max power" || prefixed "cbtc" family)
+      then
+        let scheduled = Hashtbl.find cells (family, "scheduled") in
+        if not (scheduled > lifetime) then
+          fail
+            "family %S: scheduled lifetime (%g) must strictly exceed \
+             passive (%g)"
+            family scheduled lifetime)
+    cells;
+  Fmt.pr "validate_lifetime: %s OK (%d rows)@." path (List.length results)
